@@ -1,0 +1,102 @@
+"""Ablation — the Algorithm-1 initial split design choices.
+
+The paper (Section V) notes that "the current splitter, although able to
+outperform existing models and methods, may not be the best possible
+choice".  This bench quantifies the design decisions on the synthetic
+collection:
+
+* the nonzero-count score vs a uniform score (every nonzero a tie) vs a
+  square-root-compressed score;
+* the single-nonzero post-pass on vs off.
+
+All variants are evaluated as full medium-grain runs (no IR, to isolate
+the split's effect) and summarized as normalized geometric means against
+the paper's configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.medium_grain import build_medium_grain
+from repro.core.split import initial_split
+from repro.core.volume import communication_volume
+from repro.eval.geomean import normalized_geomeans
+from repro.eval.report import markdown_table, write_csv
+from repro.partitioner.bipartition import bipartition_hypergraph
+from repro.sparse.collection import build_collection, load_instance
+from repro.utils.rng import spawn_seeds
+
+from conftest import BENCH_SEED
+
+VARIANTS = {
+    "paper (nnz + post)": dict(score="nnz", post_pass=True),
+    "nnz, no post-pass": dict(score="nnz", post_pass=False),
+    "sqrt score": dict(score="sqrt_nnz", post_pass=True),
+    "uniform (all ties)": dict(score="uniform", post_pass=True),
+}
+
+
+def _mg_volume(matrix, seed, **split_kwargs) -> int:
+    split = initial_split(matrix, seed=seed, **split_kwargs)
+    inst = build_medium_grain(split)
+    res = bipartition_hypergraph(inst.hypergraph, eps=0.03, seed=seed)
+    return communication_volume(matrix, inst.nonzero_parts(res.parts))
+
+
+@pytest.fixture(scope="module")
+def ablation_data(results_dir):
+    entries = build_collection(tier="small") + build_collection(
+        tier="medium"
+    )
+    seeds = spawn_seeds(BENCH_SEED, 2)
+    values = {label: [] for label in VARIANTS}
+    for entry in entries:
+        matrix = load_instance(entry.name)
+        for label, kwargs in VARIANTS.items():
+            vols = [_mg_volume(matrix, s, **kwargs) for s in seeds]
+            values[label].append(float(np.mean(vols)))
+    values = {k: np.array(v) for k, v in values.items()}
+    means, n = normalized_geomeans(values, "paper (nnz + post)")
+    rows = [["variant", "normalized_geomean_volume"]]
+    rows += [[k, round(v, 4)] for k, v in means.items()]
+    write_csv(results_dir / "ablation_split.csv", rows[0], rows[1:])
+    return means, n, rows
+
+
+def test_split_ablation_report(ablation_data):
+    means, n, rows = ablation_data
+    print()
+    print(f"Initial-split ablation over {n} matrices "
+          "(medium-grain, no IR, volume geomean vs paper config):")
+    print(markdown_table(rows[0], rows[1:]))
+
+
+def test_paper_score_beats_uniform(ablation_data):
+    """The nnz score must beat treating every nonzero as a tie."""
+    means, _, _ = ablation_data
+    assert means["paper (nnz + post)"] <= means["uniform (all ties)"]
+
+
+def test_post_pass_not_harmful(ablation_data):
+    """The post-pass is a strict local improvement per line; across the
+    collection it must not hurt on average (allow 2% noise)."""
+    means, _, _ = ablation_data
+    assert means["paper (nnz + post)"] <= means["nnz, no post-pass"] * 1.02
+
+
+@pytest.mark.benchmark(group="artifacts")
+def test_split_ablation_regenerate(benchmark, ablation_data):
+    """Print the ablation table under any bench mode."""
+    means, n, rows = ablation_data
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    print()
+    print(f"Initial-split ablation over {n} matrices:")
+    print(markdown_table(rows[0], rows[1:]))
+
+
+@pytest.mark.benchmark(group="split")
+def test_split_kernel(benchmark):
+    """Algorithm 1 itself is O(N) vectorized; time it on a medium matrix."""
+    matrix = load_instance("sqr_cl_m")
+    split = benchmark(lambda: initial_split(matrix, seed=1))
+    assert split.in_row_group.shape == (matrix.nnz,)

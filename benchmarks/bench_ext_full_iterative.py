@@ -1,0 +1,104 @@
+"""Extension — the full iterative method of the paper's Section V.
+
+The paper sketches a method where each iteration performs a *complete*
+multilevel medium-grain partitioning seeded by the previous result,
+"trad[ing] computation time for solution quality, by using more or less
+iterations".  This bench realizes the sketch: it sweeps the iteration
+count over a collection subset and reports the quality/time trade-off
+against the paper's MG+IR configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.iterate import full_iterative_bipartition
+from repro.core.methods import bipartition
+from repro.eval.geomean import normalized_geomeans
+from repro.eval.report import markdown_table, write_csv
+from repro.sparse.collection import build_collection, load_instance
+from repro.utils.rng import spawn_seeds
+
+from conftest import BENCH_SEED
+
+ITERATION_SWEEP = (0, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep_data(results_dir):
+    entries = build_collection(tier="small") + build_collection(
+        tier="medium"
+    )[:10]
+    seeds = spawn_seeds(BENCH_SEED + 2, 2)
+    vol = {"MG+IR": []}
+    tim = {"MG+IR": []}
+    for k in ITERATION_SWEEP:
+        vol[f"full-it({k})"] = []
+        tim[f"full-it({k})"] = []
+    for entry in entries:
+        matrix = load_instance(entry.name)
+        runs = [
+            bipartition(
+                matrix, method="mediumgrain", refine=True, seed=s
+            )
+            for s in seeds
+        ]
+        vol["MG+IR"].append(float(np.mean([r.volume for r in runs])))
+        tim["MG+IR"].append(float(np.mean([r.seconds for r in runs])))
+        for k in ITERATION_SWEEP:
+            results = [
+                full_iterative_bipartition(matrix, iterations=k, seed=s)
+                for s in seeds
+            ]
+            vol[f"full-it({k})"].append(
+                float(np.mean([r.volume for r in results]))
+            )
+            tim[f"full-it({k})"].append(
+                float(np.mean([r.seconds for r in results]))
+            )
+    vol = {k: np.array(v) for k, v in vol.items()}
+    tim = {k: np.array(v) for k, v in tim.items()}
+    vmeans, n = normalized_geomeans(vol, "MG+IR")
+    tmeans, _ = normalized_geomeans(tim, "MG+IR")
+    rows = [["variant", "volume_geomean", "time_geomean"]]
+    for label in vol:
+        rows.append(
+            [label, round(vmeans[label], 4), round(tmeans[label], 4)]
+        )
+    write_csv(results_dir / "ext_full_iterative.csv", rows[0], rows[1:])
+    return vmeans, tmeans, n, rows
+
+
+def test_full_iterative_report(sweep_data):
+    vmeans, tmeans, n, rows = sweep_data
+    print()
+    print(f"Full iterative method over {n} matrices "
+          "(geomeans vs MG+IR = 1.00):")
+    print(markdown_table(rows[0], rows[1:]))
+
+
+def test_quality_monotone_in_iterations(sweep_data):
+    """More iterations never hurt the volume geomean (keep-best)."""
+    vmeans, _, _, _ = sweep_data
+    values = [vmeans[f"full-it({k})"] for k in ITERATION_SWEEP]
+    assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_iterations_buy_quality_over_mg_ir(sweep_data):
+    """At the largest iteration budget the method beats plain MG+IR."""
+    vmeans, _, _, _ = sweep_data
+    assert vmeans[f"full-it({ITERATION_SWEEP[-1]})"] < 1.0
+
+
+def test_time_scales_with_iterations(sweep_data):
+    """The trade-off's cost side: more iterations cost more time."""
+    _, tmeans, _, _ = sweep_data
+    assert tmeans[f"full-it({ITERATION_SWEEP[-1]})"] > tmeans["full-it(0)"]
+
+
+@pytest.mark.benchmark(group="artifacts")
+def test_full_iterative_regenerate(benchmark, sweep_data):
+    vmeans, tmeans, n, rows = sweep_data
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    print()
+    print(f"Full iterative method over {n} matrices:")
+    print(markdown_table(rows[0], rows[1:]))

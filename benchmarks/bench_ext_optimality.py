@@ -1,0 +1,104 @@
+"""Extension — optimality gaps on exactly solvable instances.
+
+The paper's Fig. 3 compares heuristic volumes against a *known optimum*
+(from the exact bipartitioner of ref. [19]).  This bench generalizes the
+check: on a set of tiny random matrices the exact branch-and-bound solver
+provides ground truth, and the gap of each heuristic method to the
+optimum is reported — the strongest possible quality statement the
+reproduction can make.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_bipartition
+from repro.core.methods import bipartition
+from repro.eval.report import markdown_table, write_csv
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.rng import as_generator, spawn_seeds
+
+from conftest import BENCH_SEED
+
+N_INSTANCES = 24
+EPS = 0.1  # a little slack keeps every tiny instance feasible
+METHODS = ("localbest", "finegrain", "mediumgrain")
+
+
+def _tiny_matrix(seed: int) -> SparseMatrix:
+    rng = as_generator(seed)
+    m = int(rng.integers(5, 9))
+    n = int(rng.integers(5, 9))
+    k = int(rng.integers(12, min(26, m * n)))
+    cells = set()
+    while len(cells) < k:
+        cells.add((int(rng.integers(0, m)), int(rng.integers(0, n))))
+    return SparseMatrix(
+        (m, n),
+        np.array([c[0] for c in cells]),
+        np.array([c[1] for c in cells]),
+    )
+
+
+@pytest.fixture(scope="module")
+def gap_data(results_dir):
+    seeds = spawn_seeds(BENCH_SEED + 3, N_INSTANCES)
+    optima = []
+    heuristic = {f"{m}+IR": [] for m in METHODS}
+    for seed in seeds:
+        matrix = _tiny_matrix(seed)
+        warm = bipartition(
+            matrix, method="mediumgrain", refine=True, eps=EPS, seed=seed
+        )
+        opt = exact_bipartition(
+            matrix, eps=EPS, initial_incumbent=warm.parts
+        )
+        assert opt.optimal
+        optima.append(opt.volume)
+        for m in METHODS:
+            res = bipartition(
+                matrix, method=m, refine=True, eps=EPS, seed=seed
+            )
+            heuristic[f"{m}+IR"].append(res.volume)
+    rows = [["method", "mean_gap", "optimal_found_fraction"]]
+    stats = {}
+    for label, vols in heuristic.items():
+        gaps = [v - o for v, o in zip(vols, optima)]
+        hit = sum(g == 0 for g in gaps) / len(gaps)
+        stats[label] = (float(np.mean(gaps)), hit)
+        rows.append([label, round(float(np.mean(gaps)), 3), round(hit, 3)])
+    write_csv(results_dir / "ext_optimality.csv", rows[0], rows[1:])
+    return optima, heuristic, stats, rows
+
+
+def test_optimality_report(gap_data):
+    optima, _, stats, rows = gap_data
+    print()
+    print(
+        f"Optimality gaps over {len(optima)} tiny instances "
+        f"(mean optimum {np.mean(optima):.2f}):"
+    )
+    print(markdown_table(rows[0], rows[1:]))
+
+
+def test_no_heuristic_beats_optimum(gap_data):
+    optima, heuristic, _, _ = gap_data
+    for label, vols in heuristic.items():
+        assert all(
+            v >= o for v, o in zip(vols, optima)
+        ), f"{label} reported a volume below the proven optimum"
+
+
+def test_mg_ir_close_to_optimal(gap_data):
+    """MG+IR should land within 1 unit of optimal on average and find
+    the exact optimum on a healthy fraction of tiny instances."""
+    _, _, stats, _ = gap_data
+    mean_gap, hit = stats["mediumgrain+IR"]
+    assert mean_gap <= 1.0
+    assert hit >= 0.4
+
+
+@pytest.mark.benchmark(group="exact")
+def test_exact_solver_kernel(benchmark):
+    matrix = _tiny_matrix(12345)
+    res = benchmark(lambda: exact_bipartition(matrix, eps=EPS))
+    assert res.optimal

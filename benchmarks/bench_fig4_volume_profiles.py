@@ -1,0 +1,95 @@
+"""Fig. 4 — communication-volume performance profiles (internal partitioner).
+
+The paper's four panels compare LB / LB+IR / FG / FG+IR / MG / MG+IR over
+(a) all matrices, (b) square non-symmetric, (c) symmetric, and
+(d) rectangular matrices, with eps = 0.03 and p = 2.  Headline readings:
+
+* (a) MG+IR is the top curve: ~90% of matrices within factor 1.2 of best
+  (FG+IR ~80%, FG without IR ~50%);
+* (b) square non-symmetric: MG+IR strongest, LB weak;
+* (c) symmetric: IR has the largest impact; MG ~ FG;
+* (d) rectangular: LB competitive, MG+IR ties LB+IR.
+
+This bench regenerates all four profiles over the synthetic collection and
+asserts the orderings that constitute the claim (on profile area, a scalar
+summary of "higher curve").
+"""
+
+import pytest
+
+from repro.eval.experiments import run_fig4_profiles
+
+
+@pytest.fixture(scope="module")
+def report(internal_sweep, results_dir):
+    rep = run_fig4_profiles(internal_sweep)
+    rep.write(results_dir)
+    return rep
+
+
+def test_fig4_renders_all_panels(report):
+    print()
+    print(report.text)
+    assert {"all", "Rec", "Sym", "Sqr"} <= set(report.profiles)
+
+
+def test_fig4a_mg_ir_is_best_overall(report):
+    """Panel (a): MG+IR has the highest profile over all matrices."""
+    profile = report.profiles["all"]
+    auc = {m: profile.auc(m) for m in profile.fractions}
+    assert auc["MG+IR"] == max(auc.values())
+
+
+def test_fig4a_ir_improves_every_method(report):
+    """IR curves dominate their base methods in area."""
+    profile = report.profiles["all"]
+    for base in ("LB", "MG", "FG"):
+        assert profile.auc(f"{base}+IR") >= profile.auc(base)
+
+
+def test_fig4b_square_mg_ir_beats_lb(report):
+    """Panel (b): on square non-symmetric matrices localbest performs
+    relatively badly, MG+IR relatively well."""
+    profile = report.profiles["Sqr"]
+    assert profile.auc("MG+IR") > profile.auc("LB")
+
+
+def test_fig4c_symmetric_ir_impact_largest(report):
+    """Panel (c): on symmetric matrices IR's lift (area gained) is larger
+    than on rectangular matrices, for the localbest method."""
+    lift_sym = report.profiles["Sym"].auc("LB+IR") - report.profiles[
+        "Sym"
+    ].auc("LB")
+    lift_rec = report.profiles["Rec"].auc("LB+IR") - report.profiles[
+        "Rec"
+    ].auc("LB")
+    assert lift_sym > lift_rec
+
+
+def test_fig4d_rectangular_lb_competitive(report):
+    """Panel (d): localbest+IR is within a whisker of MG+IR on
+    rectangular matrices (the paper reports a tie)."""
+    profile = report.profiles["Rec"]
+    assert profile.auc("LB+IR") >= 0.9 * profile.auc("MG+IR")
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_profile_computation_kernel(benchmark, internal_sweep):
+    """Time the analysis step itself (profile construction)."""
+    from repro.eval.profiles import performance_profile
+
+    values = internal_sweep.mean_metric("volume")
+    profile = benchmark(lambda: performance_profile(values, max_tau=2.0))
+    assert profile.n_instances > 0
+
+
+@pytest.mark.benchmark(group="artifacts")
+def test_fig4_regenerate(benchmark, internal_sweep, results_dir):
+    """Regenerate and print the Fig. 4 artifact (also under
+    ``--benchmark-only``, where the assertion tests above are skipped)."""
+    rep = benchmark.pedantic(
+        lambda: run_fig4_profiles(internal_sweep), iterations=1, rounds=1
+    )
+    rep.write(results_dir)
+    print()
+    print(rep.text)

@@ -1,0 +1,66 @@
+"""Fig. 5 — partitioning-time performance profile (internal partitioner).
+
+Paper readings: the medium-grain method is the *fastest* of all methods —
+faster even than localbest, because many columns of B hold only the dummy
+diagonal and drop out, leaving a hypergraph with fewer than m + n vertices;
+fine-grain (N vertices) is slowest; iterative refinement adds little time.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_fig5_time_profile
+
+
+@pytest.fixture(scope="module")
+def report(internal_sweep, results_dir):
+    rep = run_fig5_time_profile(internal_sweep)
+    rep.write(results_dir)
+    return rep
+
+
+def test_fig5_renders(report):
+    print()
+    print(report.text)
+    assert "all" in report.profiles
+
+
+def test_fig5_mg_fastest(report):
+    """MG has the highest time profile (lowest times) of the six."""
+    profile = report.profiles["all"]
+    auc = {m: profile.auc(m) for m in profile.fractions}
+    assert auc["MG"] == max(auc.values())
+
+
+def test_fig5_mg_faster_than_lb(report):
+    """The surprising paper result: MG beats even the 1D localbest."""
+    profile = report.profiles["all"]
+    assert profile.auc("MG") > profile.auc("LB")
+
+
+def test_fig5_fg_slowest_base_method(report):
+    """Fine-grain pays for its N-vertex hypergraph."""
+    profile = report.profiles["all"]
+    assert profile.auc("FG") < profile.auc("MG")
+    assert profile.auc("FG") < profile.auc("LB")
+
+
+def test_fig5_ir_adds_little_time(internal_sweep):
+    """Paper: partitioning with IR is roughly 10% slower; allow a loose
+    factor-of-2 envelope for the Python reproduction."""
+    times = internal_sweep.mean_metric("seconds")
+    for base in ("LB", "MG", "FG"):
+        ratio = float(times[f"{base}+IR"].mean() / times[base].mean())
+        assert ratio < 2.0, f"{base}+IR / {base} time ratio {ratio:.2f}"
+
+
+@pytest.mark.benchmark(group="artifacts")
+def test_fig5_regenerate(benchmark, internal_sweep, results_dir):
+    """Regenerate and print the Fig. 5 artifact under any bench mode."""
+    rep = benchmark.pedantic(
+        lambda: run_fig5_time_profile(internal_sweep),
+        iterations=1,
+        rounds=1,
+    )
+    rep.write(results_dir)
+    print()
+    print(rep.text)

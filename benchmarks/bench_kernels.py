@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Not a paper artifact — these time the building blocks so performance
+regressions in the hot paths (model construction, FM, coarsening, volume
+accounting, SpMV simulation) are visible in isolation.  Grouped by
+pytest-benchmark for ``--benchmark-only`` runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.medium_grain import build_medium_grain
+from repro.core.split import initial_split
+from repro.core.volume import communication_volume
+from repro.hypergraph.models import fine_grain_model, row_net_model
+from repro.hypergraph.metrics import connectivity_volume
+from repro.partitioner.coarsen import coarsen_level
+from repro.partitioner.config import get_config
+from repro.partitioner.fm import fm_refine
+from repro.sparse.collection import load_instance
+from repro.spmv.simulate import simulate_spmv
+
+MATRIX = "sqr_cl_m"  # 1800 x 1800, 7200 nonzeros
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return load_instance(MATRIX)
+
+
+@pytest.mark.benchmark(group="models")
+def test_row_net_build(benchmark, matrix):
+    h = benchmark(lambda: row_net_model(matrix).hypergraph)
+    assert h.nverts == matrix.ncols
+
+
+@pytest.mark.benchmark(group="models")
+def test_fine_grain_build(benchmark, matrix):
+    h = benchmark(lambda: fine_grain_model(matrix).hypergraph)
+    assert h.nverts == matrix.nnz
+
+
+@pytest.mark.benchmark(group="models")
+def test_medium_grain_build(benchmark, matrix):
+    split = initial_split(matrix, seed=0)
+    inst = benchmark(lambda: build_medium_grain(split))
+    assert inst.hypergraph.nverts <= sum(matrix.shape)
+
+
+@pytest.mark.benchmark(group="partitioner")
+def test_coarsen_one_level(benchmark, matrix):
+    h = row_net_model(matrix).hypergraph
+    rng = np.random.default_rng(0)
+    level = benchmark(
+        lambda: coarsen_level(h, get_config("mondriaan"), rng, 10**9)
+    )
+    assert level.coarse.nverts < h.nverts
+
+
+@pytest.mark.benchmark(group="partitioner")
+def test_fm_refine_pass(benchmark, matrix):
+    h = row_net_model(matrix).hypergraph
+    rng = np.random.default_rng(1)
+    parts = rng.integers(0, 2, size=h.nverts).astype(np.int64)
+    cap = int(1.2 * h.total_weight() / 2)
+    before = connectivity_volume(h, parts)
+
+    def run():
+        return fm_refine(h, parts, (cap, cap), seed=2, max_passes=1)
+
+    res = benchmark(run)
+    assert res.cut <= before
+
+
+@pytest.mark.benchmark(group="metrics")
+def test_communication_volume_kernel(benchmark, matrix):
+    rng = np.random.default_rng(3)
+    parts = rng.integers(0, 64, size=matrix.nnz)
+    vol = benchmark(lambda: communication_volume(matrix, parts))
+    assert vol > 0
+
+
+@pytest.mark.benchmark(group="metrics")
+def test_connectivity_volume_kernel(benchmark, matrix):
+    h = fine_grain_model(matrix).hypergraph
+    rng = np.random.default_rng(4)
+    parts = rng.integers(0, 2, size=h.nverts).astype(np.int64)
+    cut = benchmark(lambda: connectivity_volume(h, parts))
+    assert cut > 0
+
+
+@pytest.mark.benchmark(group="spmv")
+def test_spmv_simulation_kernel(benchmark, matrix):
+    rng = np.random.default_rng(5)
+    parts = rng.integers(0, 4, size=matrix.nnz)
+    report = benchmark.pedantic(
+        lambda: simulate_spmv(matrix, parts, 4), iterations=1, rounds=3
+    )
+    assert report.volume == communication_volume(matrix, parts)

@@ -1,0 +1,91 @@
+"""Table II — geometric means of volume and BSP cost, p = 2 and p = 64
+(PaToH preset, relative to LB).
+
+Paper values for reference:
+
+=====  ==  =====  =====  =====  =====  =====  =====
+metric p    LB    LB+IR   MG    MG+IR   FG    FG+IR
+Vol     2  1.00   0.81   0.76   0.67   0.71   0.67
+Cost    2  1.00   0.82   0.78   0.69   0.73   0.69
+Vol    64  1.00   0.86   0.89   0.80   0.87   0.80
+Cost   64  1.00   0.78   0.75   0.68   0.72   0.68
+=====  ==  =====  =====  =====  =====  =====  =====
+
+Reading: the refined 2D methods (MG+IR, FG+IR) are tied-best on both
+metrics at both p; the BSP-cost ranking mirrors the volume ranking.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_table2_geomeans
+from repro.eval.geomean import normalized_geomeans
+
+
+@pytest.fixture(scope="module")
+def report(patoh_sweep, patoh_sweep_p64, results_dir):
+    rep = run_table2_geomeans(patoh_sweep, patoh_sweep_p64)
+    rep.write(results_dir)
+    return rep
+
+
+def _means(data, metric):
+    values = data.mean_metric(metric)
+    means, _ = normalized_geomeans(values, "LB")
+    return means
+
+
+def test_table2_renders(report):
+    print()
+    print(report.text)
+    rows = report.tables["geomeans"]
+    assert {r[0] for r in rows[1:]} == {"Vol", "Cost"}
+
+
+def test_p2_refined_2d_methods_lead_volume(patoh_sweep):
+    means = _means(patoh_sweep, "volume")
+    best = min(means.values())
+    # The paper's Table II finds MG+IR/FG+IR tied-best; a stochastic
+    # reproduction can land a few percent either side of the other
+    # refined methods, so assert a 5%-of-best envelope plus strict
+    # dominance over unrefined localbest.
+    assert means["MG+IR"] <= best * 1.05
+    assert means["MG+IR"] < means["LB"]
+    assert means["MG+IR"] <= means["MG"] + 1e-9
+
+
+def test_p2_bsp_ranking_mirrors_volume(patoh_sweep):
+    """The method ordering under BSP cost matches the volume ordering for
+    the refined methods (paper: identical boldface pattern)."""
+    vol = _means(patoh_sweep, "volume")
+    cost = _means(patoh_sweep, "bsp")
+    assert cost["MG+IR"] < cost["LB"]
+    assert (vol["MG+IR"] < vol["FG"]) == (cost["MG+IR"] < cost["FG"]) or (
+        abs(cost["MG+IR"] - cost["FG"]) < 0.1
+    )
+
+
+def test_p64_ir_still_pays(patoh_sweep_p64):
+    means = _means(patoh_sweep_p64, "volume")
+    for base in ("LB", "MG", "FG"):
+        assert means[f"{base}+IR"] <= means[base] + 1e-9
+
+
+def test_p64_bsp_refined_2d_lead(patoh_sweep_p64):
+    means = _means(patoh_sweep_p64, "bsp")
+    best = min(means.values())
+    assert means["MG+IR"] <= best * 1.1
+
+
+@pytest.mark.benchmark(group="artifacts")
+def test_table2_regenerate(
+    benchmark, patoh_sweep, patoh_sweep_p64, results_dir
+):
+    """Regenerate and print the Table II artifact under any bench mode."""
+    rep = benchmark.pedantic(
+        lambda: run_table2_geomeans(patoh_sweep, patoh_sweep_p64),
+        iterations=1,
+        rounds=1,
+    )
+    rep.write(results_dir)
+    print()
+    print(rep.text)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artifact is regenerated from one of three method sweeps, which
+are expensive; they are computed once per session here and shared across
+the bench modules.  Scale knobs (environment variables):
+
+``REPRO_BENCH_TIER``
+    ``small`` / ``medium`` / ``large`` — the *maximum* collection tier
+    included (default ``medium``; ``large`` reproduces at the biggest
+    built-in scale and takes tens of minutes in pure Python).
+``REPRO_BENCH_NRUNS``
+    Runs per (instance, method) to average, default 2 (the paper uses 10).
+``REPRO_BENCH_SEED``
+    Root seed, default 2014.
+
+Artifacts (text reports + CSV series) are written to ``results/`` in the
+repository root.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments import collect_paper_runs
+
+BENCH_TIER = os.environ.get("REPRO_BENCH_TIER", "medium")
+BENCH_NRUNS = int(os.environ.get("REPRO_BENCH_NRUNS", "2"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2014"))
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: p = 64 needs enough nonzeros per part to be meaningful; the paper's
+#: smallest matrices (500 nnz) are only used at p = 2.
+P64_MIN_NNZ = int(os.environ.get("REPRO_BENCH_P64_MIN_NNZ", "6400"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def internal_sweep():
+    """Six methods, Mondriaan-internal preset, p = 2 (Figs. 4-5, Table I)."""
+    return collect_paper_runs(
+        max_tier=BENCH_TIER,
+        nruns=BENCH_NRUNS,
+        config="mondriaan",
+        base_seed=BENCH_SEED,
+        progress=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def patoh_sweep():
+    """Six methods, PaToH preset, p = 2, with BSP cost (Fig. 6a, Table II)."""
+    return collect_paper_runs(
+        max_tier=BENCH_TIER,
+        nruns=BENCH_NRUNS,
+        config="patoh",
+        base_seed=BENCH_SEED,
+        with_bsp=True,
+        progress=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def patoh_sweep_p64():
+    """Six methods, PaToH preset, p = 64 (Fig. 6b, Table II)."""
+    return collect_paper_runs(
+        max_tier=BENCH_TIER,
+        nruns=1,
+        nparts=64,
+        config="patoh",
+        base_seed=BENCH_SEED,
+        with_bsp=True,
+        min_nnz=P64_MIN_NNZ,
+        progress=True,
+    )

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 3 walk-through, step by step.
+
+Reproduces the medium-grain pipeline on the gd97-like matrix (the built-in
+stand-in for the UF matrix ``gd97_b``: 47 x 47, 264 nonzeros, symmetric):
+
+1. Algorithm-1 split ``A = Ar + Ac``;
+2. the composite matrix ``B`` of eqn (4) (dummies included) and the reduced
+   hypergraph actually partitioned;
+3. hypergraph bipartitioning and the eqn-(5) mapping back to nonzeros;
+4. comparison of the best volumes found by the row-net, column-net,
+   fine-grain, and medium-grain methods over many runs, as in the Fig. 3
+   caption.
+
+Run:  python examples/gd97_demo.py
+"""
+
+import numpy as np
+
+from repro import bipartition, communication_volume
+from repro.core.medium_grain import assemble_b_matrix, build_medium_grain
+from repro.core.split import initial_split
+from repro.hypergraph.metrics import connectivity_volume
+from repro.partitioner import bipartition_hypergraph
+from repro.sparse.generators import gd97_like
+from repro.utils.rng import spawn_seeds
+
+RUNS = 40  # the paper uses 100; 40 keeps the demo quick
+
+
+def main() -> None:
+    a = gd97_like()
+    print(f"A: {a.nrows} x {a.ncols}, {a.nnz} nonzeros (gd97_b-like)")
+
+    # -- step 1: Algorithm 1 ------------------------------------------- #
+    split = initial_split(a, seed=7)
+    n_ar = int(split.ar_mask.sum())
+    print(f"\nAlgorithm-1 split: |Ar| = {n_ar}, |Ac| = {a.nnz - n_ar}")
+
+    # -- step 2: the composite matrix B and its hypergraph -------------- #
+    b = assemble_b_matrix(split)
+    inst = build_medium_grain(split)
+    h = inst.hypergraph
+    print(f"B (eqn 4): {b.nrows} x {b.ncols}, {b.nnz} entries "
+          f"({a.nnz} real + {b.nnz - a.nnz} dummy diagonal)")
+    print(f"medium-grain hypergraph: {h.nverts} vertices, {h.nnets} nets "
+          f"(vs m + n = {a.nrows + a.ncols}, "
+          f"vs fine-grain's N = {a.nnz} vertices)")
+
+    # -- step 3: partition B's columns, map back to A -------------------- #
+    hres = bipartition_hypergraph(h, eps=0.03, seed=7)
+    parts = inst.nonzero_parts(hres.parts)
+    vol = communication_volume(a, parts)
+    print(f"\none medium-grain run: hypergraph cut = {hres.cut}, "
+          f"matrix volume = {vol} (equal by eqn (6))")
+    assert hres.cut == vol
+    sizes = np.bincount(parts, minlength=2)
+    print(f"part sizes = {sizes.tolist()} (eps = 0.03 allows "
+          f"max {int(1.03 * a.nnz / 2)})")
+
+    # -- step 4: method comparison, best of RUNS ------------------------ #
+    print(f"\nbest volume over {RUNS} runs (cf. the paper's Fig. 3 caption,"
+          " where medium-grain found the optimum 11 for gd97_b while the"
+          " 1D models found 31):")
+    seeds = spawn_seeds(1997, RUNS)
+    for method in ("rownet", "colnet", "finegrain", "mediumgrain"):
+        vols = [
+            bipartition(a, method=method, seed=s).volume for s in seeds
+        ]
+        vols_ir = [
+            bipartition(a, method=method, refine=True, seed=s).volume
+            for s in seeds
+        ]
+        print(f"  {method:12s} best = {min(vols):3d}  "
+              f"(mean {np.mean(vols):6.2f})   "
+              f"+IR best = {min(vols_ir):3d}  "
+              f"(mean {np.mean(vols_ir):6.2f})")
+
+
+if __name__ == "__main__":
+    main()

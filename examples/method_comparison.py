@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's main experiment (Fig. 4 / Table I).
+
+Runs the six methods (LB, LB+IR, MG, MG+IR, FG, FG+IR) over the small tier
+of the built-in collection, prints the normalized geometric means and an
+ASCII Dolan–Moré performance profile — the same analysis pipeline the
+benchmark harness uses at full scale.
+
+Run:  python examples/method_comparison.py          (~30 s)
+"""
+
+from repro.eval.geomean import normalized_geomeans
+from repro.eval.profiles import performance_profile
+from repro.eval.report import ascii_profile_chart
+from repro.eval.runner import PAPER_METHODS, run_methods
+from repro.sparse.collection import build_collection
+
+
+def main() -> None:
+    entries = build_collection(tier="small")
+    print(f"running {len(PAPER_METHODS)} methods x {len(entries)} matrices "
+          f"(small tier) x 2 runs ...")
+    data = run_methods(entries, PAPER_METHODS, nruns=2, base_seed=2014)
+
+    volumes = data.mean_metric("volume")
+    times = data.mean_metric("seconds")
+
+    vol_means, n = normalized_geomeans(volumes, "LB")
+    time_means, _ = normalized_geomeans(times, "LB")
+    print(f"\nnormalized geometric means over {n} matrices "
+          f"(LB = 1.00, lower is better):")
+    print(f"{'method':>7s} {'volume':>8s} {'time':>7s}")
+    for label in volumes:
+        print(f"{label:>7s} {vol_means[label]:8.2f} "
+              f"{time_means[label]:7.2f}")
+
+    profile = performance_profile(volumes, max_tau=2.0)
+    print()
+    print(ascii_profile_chart(
+        profile, "Communication volume relative to best (small tier)"
+    ))
+    print("\nThe paper's ordering (MG+IR lowest volume, MG fastest) should")
+    print("be visible even at this miniature scale; the benchmarks under")
+    print("benchmarks/ run the same pipeline on the full collection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Why partitioning matters: simulate parallel SpMV under different
+partitionings of the same matrix.
+
+Takes an arrow matrix (dense first row + column — the classic hard case
+for 1D methods), partitions it four ways (naive block split, row-net,
+localbest, medium-grain + IR), and simulates the 4-step BSP SpMV for each,
+reporting words moved, message counts, BSP cost, and the verified result.
+
+Run:  python examples/spmv_simulation.py
+"""
+
+import numpy as np
+
+from repro import bipartition, communication_volume
+from repro.sparse.generators import arrow
+from repro.spmv import simulate_spmv
+
+
+def naive_block_parts(matrix) -> np.ndarray:
+    """Split the nonzeros by column index (a 1D block distribution with no
+    intelligence at all)."""
+    return (matrix.cols >= matrix.ncols // 2).astype(np.int64)
+
+
+def main() -> None:
+    matrix = arrow(400, 1, seed=3)
+    print(f"arrow matrix: {matrix.nrows} x {matrix.ncols}, "
+          f"nnz = {matrix.nnz}\n")
+    v = np.linspace(1.0, 2.0, matrix.ncols)
+    reference = matrix.matvec(v)
+
+    candidates = {}
+    candidates["naive-block"] = naive_block_parts(matrix)
+    for method, refine in (
+        ("rownet", False),
+        ("localbest", False),
+        ("mediumgrain", True),
+    ):
+        res = bipartition(matrix, method=method, refine=refine, seed=5)
+        candidates[res.method] = res.parts
+
+    print(f"{'partitioning':18s} {'volume':>7s} {'fan-out':>8s} "
+          f"{'fan-in':>7s} {'msgs':>5s} {'BSP h':>6s}")
+    for name, parts in candidates.items():
+        report = simulate_spmv(matrix, parts, 2, v)
+        assert np.allclose(report.result, reference)  # verified every time
+        assert report.volume == communication_volume(matrix, parts)
+        msgs = report.messages_fanout + report.messages_fanin
+        print(f"{name:18s} {report.volume:7d} {report.words_fanout:8d} "
+              f"{report.words_fanin:7d} {msgs:5d} {report.bsp.cost:6d}")
+
+    print("\nAll four simulations produced the exact sequential result;")
+    print("the 2D medium-grain partitioning moves far fewer words than")
+    print("any 1D split of this matrix — the paper's motivating effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+This environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) fail while preparing metadata.
+This shim enables the legacy editable path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of Pelt & Bisseling (IPDPS 2014):
+*A medium-grain method for fast 2D bipartitioning of sparse matrices*.
+
+The package implements, from scratch:
+
+* the medium-grain composite hypergraph model, its Algorithm-1 initial
+  split, and Algorithm-2 iterative refinement (:mod:`repro.core`);
+* the classic row-net / column-net / fine-grain models
+  (:mod:`repro.hypergraph`);
+* a multilevel FM hypergraph bipartitioner with two presets substituting
+  for Mondriaan's internal partitioner and PaToH
+  (:mod:`repro.partitioner`);
+* recursive bisection to ``p`` parts, a BSP SpMV simulator with vector
+  distribution (:mod:`repro.spmv`), a synthetic stand-in for the
+  University of Florida test collection (:mod:`repro.sparse`), and the
+  Dolan–Moré evaluation harness regenerating every table and figure of
+  the paper (:mod:`repro.eval`).
+
+Quickstart
+----------
+>>> from repro import bipartition, load_instance
+>>> a = load_instance("sym_gd97_like")
+>>> result = bipartition(a, method="mediumgrain", refine=True, seed=0)
+>>> result.volume <= a.nnz
+True
+"""
+
+from repro.core import (
+    BipartitionResult,
+    ExactResult,
+    FullIterativeResult,
+    PartitionResult,
+    ascii_spy,
+    bipartition,
+    communication_volume,
+    exact_bipartition,
+    full_iterative_bipartition,
+    imbalance,
+    initial_split,
+    iterative_refine,
+    partition,
+    sbd_order,
+    vcycle_refine_bipartition,
+)
+from repro.sparse import (
+    SparseMatrix,
+    build_collection,
+    classify_matrix,
+    load_instance,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "bipartition",
+    "partition",
+    "iterative_refine",
+    "full_iterative_bipartition",
+    "FullIterativeResult",
+    "vcycle_refine_bipartition",
+    "exact_bipartition",
+    "ExactResult",
+    "sbd_order",
+    "ascii_spy",
+    "initial_split",
+    "communication_volume",
+    "imbalance",
+    "BipartitionResult",
+    "PartitionResult",
+    "SparseMatrix",
+    "load_instance",
+    "build_collection",
+    "classify_matrix",
+    "read_matrix_market",
+    "write_matrix_market",
+]

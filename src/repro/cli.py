@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+Two subcommands:
+
+``partition``
+    Partition a MatrixMarket file (or a named collection instance) with
+    any of the paper's methods and print volume / balance / timing —
+    the Mondriaan-binary-style workflow.
+
+``experiment``
+    Regenerate a paper artifact (fig3, fig4, fig5, table1, fig6, table2,
+    or ``all``) and write text + CSV reports to an output directory.
+
+Examples
+--------
+.. code-block:: shell
+
+    repro-partition partition --instance sym_grid2d_m --method mediumgrain \
+        --refine --nparts 4 --seed 7
+    repro-partition experiment fig4 --max-tier small --nruns 1 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.methods import METHOD_NAMES, bipartition
+from repro.core.recursive import partition
+from repro.eval import experiments as exp
+from repro.sparse.collection import collection_names, load_instance
+from repro.sparse.io_mm import read_matrix_market
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description=(
+            "Medium-grain sparse matrix partitioning "
+            "(reproduction of Pelt & Bisseling, IPDPS 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_part = sub.add_parser("partition", help="partition one matrix")
+    src = p_part.add_mutually_exclusive_group(required=True)
+    src.add_argument("--file", help="MatrixMarket file to partition")
+    src.add_argument(
+        "--instance",
+        help=f"named collection instance (one of {len(collection_names())})",
+    )
+    p_part.add_argument(
+        "--method",
+        default="mediumgrain",
+        choices=METHOD_NAMES,
+    )
+    p_part.add_argument("--nparts", type=int, default=2)
+    p_part.add_argument("--eps", type=float, default=0.03)
+    p_part.add_argument("--refine", action="store_true",
+                        help="apply Algorithm-2 iterative refinement")
+    p_part.add_argument("--config", default="mondriaan",
+                        choices=("mondriaan", "patoh"))
+    p_part.add_argument("--seed", type=int, default=None)
+    p_part.add_argument(
+        "--save-parts",
+        help="write the nonzero part vector to this file (one id per line)",
+    )
+    p_part.add_argument(
+        "--save-dist",
+        metavar="PREFIX",
+        help=(
+            "write Mondriaan-style artifacts: PREFIX-P<p>.mtx "
+            "(distributed matrix), PREFIX-v<p>.mtx / PREFIX-u<p>.mtx "
+            "(input/output vector distributions)"
+        ),
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument(
+        "artifact",
+        choices=("fig3", "fig4", "fig5", "table1", "fig6", "table2", "all"),
+    )
+    p_exp.add_argument("--max-tier", default="medium",
+                       choices=("small", "medium", "large"))
+    p_exp.add_argument("--nruns", type=int, default=2)
+    p_exp.add_argument("--seed", type=int, default=2014)
+    p_exp.add_argument("--out", default="results")
+    p_exp.add_argument("--progress", action="store_true")
+    return parser
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.instance:
+        matrix = load_instance(args.instance)
+        name = args.instance
+    else:
+        matrix = read_matrix_market(args.file)
+        name = Path(args.file).name
+    print(f"matrix {name}: {matrix.nrows} x {matrix.ncols}, "
+          f"nnz = {matrix.nnz}")
+    if args.nparts == 2:
+        res = bipartition(
+            matrix,
+            method=args.method,
+            eps=args.eps,
+            refine=args.refine,
+            config=args.config,
+            seed=args.seed,
+        )
+        parts = res.parts
+        print(f"method            : {res.method}")
+        print(f"communication vol : {res.volume}")
+        print(f"max part size     : {res.max_part}")
+        print(f"imbalance         : {res.imbalance:.4f} (eps = {args.eps})")
+        print(f"feasible          : {res.feasible}")
+        print(f"time              : {res.seconds:.3f} s")
+        if res.refinement is not None:
+            print(f"IR volume trace   : {res.refinement.volumes}")
+    else:
+        res = partition(
+            matrix,
+            args.nparts,
+            method=args.method,
+            eps=args.eps,
+            refine=args.refine,
+            config=args.config,
+            seed=args.seed,
+        )
+        parts = res.parts
+        print(f"method            : {res.method} (recursive bisection)")
+        print(f"nparts            : {res.nparts}")
+        print(f"communication vol : {res.volume}")
+        print(f"max part size     : {res.max_part}")
+        print(f"imbalance         : {res.imbalance:.4f} (eps = {args.eps})")
+        print(f"feasible          : {res.feasible}")
+        print(f"time              : {res.seconds:.3f} s")
+    if args.save_parts:
+        Path(args.save_parts).write_text(
+            "\n".join(str(int(p)) for p in parts) + "\n", encoding="utf-8"
+        )
+        print(f"part vector saved : {args.save_parts}")
+    if args.save_dist:
+        from repro.sparse.io_dist import (
+            write_distributed_matrix_market,
+            write_vector_distribution,
+        )
+        from repro.spmv.vector_dist import distribute_vectors
+
+        p = args.nparts
+        dist = distribute_vectors(matrix, parts, p)
+        prefix = Path(args.save_dist)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        mpath = Path(f"{prefix}-P{p}.mtx")
+        write_distributed_matrix_market(matrix, parts, p, mpath)
+        write_vector_distribution(
+            dist.input_owner, p, Path(f"{prefix}-v{p}.mtx")
+        )
+        write_vector_distribution(
+            dist.output_owner, p, Path(f"{prefix}-u{p}.mtx")
+        )
+        print(f"distributed output: {mpath} (+ -v{p}/-u{p} vectors)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    wanted = args.artifact
+    reports: list[exp.ExperimentReport] = []
+    if wanted in ("fig3", "all"):
+        reports.append(exp.run_fig3_demo())
+    if wanted in ("fig4", "fig5", "table1", "all"):
+        data = exp.collect_paper_runs(
+            max_tier=args.max_tier,
+            nruns=args.nruns,
+            base_seed=args.seed,
+            progress=args.progress,
+        )
+        if wanted in ("fig4", "all"):
+            reports.append(exp.run_fig4_profiles(data))
+        if wanted in ("fig5", "all"):
+            reports.append(exp.run_fig5_time_profile(data))
+        if wanted in ("table1", "all"):
+            reports.append(exp.run_table1_geomeans(data))
+    if wanted in ("fig6", "table2", "all"):
+        data_p2 = exp.collect_paper_runs(
+            max_tier=args.max_tier,
+            nruns=args.nruns,
+            config="patoh",
+            base_seed=args.seed,
+            with_bsp=True,
+            progress=args.progress,
+        )
+        data_p64 = exp.collect_paper_runs(
+            max_tier=args.max_tier,
+            nruns=1,
+            nparts=64,
+            config="patoh",
+            base_seed=args.seed,
+            with_bsp=True,
+            min_nnz=6400,
+            progress=args.progress,
+        )
+        if wanted in ("fig6", "all"):
+            reports.append(exp.run_fig6_profiles(data_p2, data_p64))
+        if wanted in ("table2", "all"):
+            reports.append(exp.run_table2_geomeans(data_p2, data_p64))
+    for report in reports:
+        report.write(out)
+        print(report.text)
+        print()
+        print(f"[written to {out / (report.name + '.txt')}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (also exposed as the ``repro-partition`` script)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""The paper's contribution: the medium-grain method and its surroundings.
+
+Modules:
+
+* :mod:`repro.core.volume` — communication volume / load-balance metrics
+  (paper eqns (1)–(3));
+* :mod:`repro.core.split` — Algorithm 1, the initial split ``A = Ar + Ac``;
+* :mod:`repro.core.medium_grain` — the composite matrix ``B`` (eqn (4)), the
+  medium-grain hypergraph, and the partition mapping (eqn (5));
+* :mod:`repro.core.refine` — Algorithm 2, iterative refinement;
+* :mod:`repro.core.methods` — the six experiment methods (LB/FG/MG ± IR)
+  behind one `bipartition` entry point;
+* :mod:`repro.core.recursive` — recursive bisection into ``p`` parts.
+"""
+
+from repro.core.volume import (
+    communication_volume,
+    imbalance,
+    max_part_size,
+    part_sizes,
+    row_col_lambdas,
+    volume_breakdown,
+)
+from repro.core.split import Split, initial_split, split_from_bipartition
+from repro.core.medium_grain import (
+    MediumGrainInstance,
+    assemble_b_matrix,
+    build_medium_grain,
+)
+from repro.core.refine import (
+    RefinementTrace,
+    iterative_refine,
+    vcycle_refine_bipartition,
+)
+from repro.core.iterate import (
+    FullIterativeResult,
+    full_iterative_bipartition,
+)
+from repro.core.exact import ExactResult, exact_bipartition
+from repro.core.sbd import ascii_spy, sbd_order
+from repro.core.methods import (
+    METHOD_NAMES,
+    BipartitionResult,
+    bipartition,
+)
+from repro.core.recursive import PartitionResult, partition
+
+__all__ = [
+    "communication_volume",
+    "row_col_lambdas",
+    "volume_breakdown",
+    "part_sizes",
+    "max_part_size",
+    "imbalance",
+    "Split",
+    "initial_split",
+    "split_from_bipartition",
+    "MediumGrainInstance",
+    "build_medium_grain",
+    "assemble_b_matrix",
+    "iterative_refine",
+    "RefinementTrace",
+    "full_iterative_bipartition",
+    "FullIterativeResult",
+    "vcycle_refine_bipartition",
+    "exact_bipartition",
+    "ExactResult",
+    "sbd_order",
+    "ascii_spy",
+    "bipartition",
+    "BipartitionResult",
+    "METHOD_NAMES",
+    "partition",
+    "PartitionResult",
+]

@@ -1,0 +1,264 @@
+"""The bipartitioning methods compared in the paper.
+
+Six labelled methods appear in the experiments (Figs. 4–6, Tables I–II):
+
+==========  ==========================================================
+``LB``      *localbest* — run both 1D models (row-net and column-net)
+            and keep the lower-volume result; Mondriaan's default up to
+            version 3.11.
+``FG``      fine-grain — the 2D state of the art prior to this paper.
+``MG``      medium-grain — the paper's method: Algorithm-1 split,
+            composite hypergraph, multilevel bipartitioning, eqn-(5)
+            mapping.
+``*+IR``    any of the above followed by Algorithm-2 iterative
+            refinement.
+==========  ==========================================================
+
+The pure 1D models (``rownet``, ``colnet``) are also exposed — the paper
+uses them in the Fig. 3 walk-through.
+
+:func:`bipartition` is the single entry point; it measures wall-clock
+partitioning time (the paper's second metric) and returns a
+:class:`BipartitionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.medium_grain import build_medium_grain
+from repro.core.refine import RefinementTrace, iterative_refine
+from repro.core.split import initial_split
+from repro.core.volume import (
+    communication_volume,
+    imbalance,
+    max_part_size,
+)
+from repro.errors import PartitioningError
+from repro.hypergraph.models import (
+    HypergraphModel,
+    column_net_model,
+    fine_grain_model,
+    row_net_model,
+)
+from repro.partitioner.bipartition import bipartition_hypergraph
+from repro.partitioner.config import PartitionerConfig, get_config
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.balance import max_allowed_part_size
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Timer
+from repro.utils.validation import check_eps
+
+__all__ = ["METHOD_NAMES", "BipartitionResult", "bipartition"]
+
+METHOD_NAMES = (
+    "rownet",
+    "colnet",
+    "localbest",
+    "finegrain",
+    "mediumgrain",
+)
+
+
+@dataclass
+class BipartitionResult:
+    """Outcome of one bipartitioning run.
+
+    Attributes
+    ----------
+    parts:
+        Part id (0/1) per canonical nonzero of the matrix.
+    volume:
+        Communication volume ``V`` (eqn (3)).
+    method:
+        Method name, with ``"+ir"`` appended when refinement ran.
+    max_part:
+        ``max(|A_0|, |A_1|)``.
+    feasible:
+        Whether the eqn-(1) constraint holds for the ceilings used.
+    imbalance:
+        Achieved ``max_k |A_k| / (N/2) - 1``.
+    seconds:
+        Wall-clock partitioning time, including the model build, the
+        multilevel run, the mapping back, and (when enabled) iterative
+        refinement — matching what the paper times.
+    refinement:
+        The Algorithm-2 trace when ``refine=True``, else ``None``.
+    details:
+        Free-form diagnostics (e.g. which 1D model localbest chose).
+    """
+
+    parts: np.ndarray
+    volume: int
+    method: str
+    max_part: int
+    feasible: bool
+    imbalance: float
+    seconds: float
+    refinement: Optional[RefinementTrace] = None
+    details: dict = field(default_factory=dict)
+
+
+def bipartition(
+    matrix: SparseMatrix,
+    method: str = "mediumgrain",
+    eps: float = 0.03,
+    refine: bool = False,
+    config: PartitionerConfig | str = "mondriaan",
+    seed: SeedLike = None,
+    *,
+    max_weights: tuple[int, int] | None = None,
+) -> BipartitionResult:
+    """Bipartition a sparse matrix with one of the paper's methods.
+
+    Parameters
+    ----------
+    matrix:
+        Matrix to bipartition.
+    method:
+        One of :data:`METHOD_NAMES`.
+    eps:
+        Load-imbalance fraction (paper default 0.03).
+    refine:
+        Apply Algorithm-2 iterative refinement afterwards (the ``+IR``
+        variants).
+    config:
+        Partitioner preset (``"mondriaan"`` or ``"patoh"``) or an explicit
+        :class:`~repro.partitioner.config.PartitionerConfig`.
+    seed:
+        Seed or generator; a single seed fixes the entire run.
+    max_weights:
+        Optional per-side nonzero ceilings overriding ``eps`` (recursive
+        bisection uses this).
+
+    Returns
+    -------
+    BipartitionResult
+    """
+    if method not in METHOD_NAMES:
+        raise PartitioningError(
+            f"unknown method {method!r}; expected one of {METHOD_NAMES}"
+        )
+    cfg = get_config(config)
+    rng = as_generator(seed)
+    if max_weights is None:
+        check_eps(eps)
+        ceiling = max_allowed_part_size(matrix.nnz, 2, eps)
+        max_weights = (ceiling, ceiling)
+
+    details: dict = {}
+    timer = Timer()
+    with timer:
+        if method == "localbest":
+            parts = _run_localbest(matrix, eps, cfg, rng, max_weights, details)
+        elif method == "mediumgrain":
+            parts = _run_medium_grain(matrix, eps, cfg, rng, max_weights, details)
+        else:
+            model = _build_model(matrix, method)
+            parts = _partition_model(model, eps, cfg, rng, max_weights)
+        trace: Optional[RefinementTrace] = None
+        if refine:
+            parts, trace = iterative_refine(
+                matrix,
+                parts,
+                eps,
+                cfg,
+                rng,
+                max_weights=max_weights,
+            )
+
+    volume = communication_volume(matrix, parts)
+    biggest = max_part_size(matrix, parts, 2)
+    return BipartitionResult(
+        parts=parts,
+        volume=volume,
+        method=method + ("+ir" if refine else ""),
+        max_part=biggest,
+        feasible=biggest <= max(max_weights)
+        and _side_feasible(matrix, parts, max_weights),
+        imbalance=imbalance(matrix, parts, 2),
+        seconds=timer.elapsed,
+        refinement=trace,
+        details=details,
+    )
+
+
+def _side_feasible(
+    matrix: SparseMatrix, parts: np.ndarray, max_weights: tuple[int, int]
+) -> bool:
+    n1 = int(parts.sum())
+    n0 = matrix.nnz - n1
+    return n0 <= max_weights[0] and n1 <= max_weights[1]
+
+
+def _build_model(matrix: SparseMatrix, method: str) -> HypergraphModel:
+    if method == "rownet":
+        return row_net_model(matrix)
+    if method == "colnet":
+        return column_net_model(matrix)
+    if method == "finegrain":
+        return fine_grain_model(matrix)
+    raise PartitioningError(f"no hypergraph model for method {method!r}")
+
+
+def _partition_model(
+    model: HypergraphModel,
+    eps: float,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    max_weights: tuple[int, int],
+) -> np.ndarray:
+    result = bipartition_hypergraph(
+        model.hypergraph, eps, cfg, rng, max_weights=max_weights
+    )
+    return model.nonzero_parts(result.parts)
+
+
+def _run_localbest(
+    matrix: SparseMatrix,
+    eps: float,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    max_weights: tuple[int, int],
+    details: dict,
+) -> np.ndarray:
+    """Row-net and column-net, keep the lower communication volume
+    (ties: better balance, then row-net)."""
+    best_parts: np.ndarray | None = None
+    best_key: tuple | None = None
+    for name in ("rownet", "colnet"):
+        model = _build_model(matrix, name)
+        parts = _partition_model(model, eps, cfg, rng, max_weights)
+        key = (
+            communication_volume(matrix, parts),
+            max_part_size(matrix, parts, 2),
+        )
+        if best_key is None or key < best_key:
+            best_parts, best_key = parts, key
+            details["localbest_choice"] = name
+            details["localbest_volume"] = key[0]
+    assert best_parts is not None
+    return best_parts
+
+
+def _run_medium_grain(
+    matrix: SparseMatrix,
+    eps: float,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    max_weights: tuple[int, int],
+    details: dict,
+) -> np.ndarray:
+    """Algorithm-1 split, composite hypergraph, multilevel bipartitioning,
+    eqn-(5) mapping back to the nonzeros."""
+    split = initial_split(matrix, rng)
+    instance = build_medium_grain(split)
+    details["mg_vertices"] = instance.hypergraph.nverts
+    details["mg_nets"] = instance.hypergraph.nnets
+    result = bipartition_hypergraph(
+        instance.hypergraph, eps, cfg, rng, max_weights=max_weights
+    )
+    return instance.nonzero_parts(result.parts)

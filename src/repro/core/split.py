@@ -1,0 +1,232 @@
+"""Algorithm 1: the initial split ``A = Ar + Ac``.
+
+Every nonzero is assigned to either a *row group* (``Ar`` — it will stick
+with the other ``Ar`` nonzeros of its row) or a *column group* (``Ac``).
+The split determines which 2D partitionings the medium-grain hypergraph can
+express, so the paper drives it with a per-line score — the number of
+nonzeros, ``sr(i) = nzr(i)`` and ``sc(j) = nzc(j)`` — and lets the smaller
+line win each nonzero: small rows/columns are the ones a good partitioning
+keeps uncut.
+
+Rules reproduced from Algorithm 1 and the surrounding text:
+
+1. singleton columns (``nzc(j) == 1``) send their nonzero to ``Ar``;
+2. singleton rows send theirs to ``Ac``;
+3. otherwise ``sr(i) < sc(j)`` → ``Ar``;  ``sr(i) > sc(j)`` → ``Ac``;
+4. ties go to the globally preferred side: ``Ar`` if ``m > n``, ``C`` if
+   ``m < n``, a random side for square matrices;
+5. post-pass: a row with all nonzeros in ``Ar`` except exactly one pulls
+   that nonzero in (the row then cannot cause volume); dually, a column
+   with all nonzeros in ``Ac`` except one pulls that one into ``Ac``.
+
+The split is represented by a boolean mask over the canonical nonzeros
+(:class:`Split`), never by materialized matrices — ``Ar``/``Ac`` views are
+available for tests and the B-matrix demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SplitError
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Split", "initial_split", "split_from_bipartition"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """A disjoint split ``A = Ar + Ac`` of the nonzeros of ``matrix``.
+
+    Attributes
+    ----------
+    matrix:
+        The source matrix.
+    in_row_group:
+        Boolean per canonical nonzero: ``True`` → the nonzero belongs to
+        ``Ar`` (grouped with its row), ``False`` → ``Ac`` (grouped with its
+        column).
+    """
+
+    matrix: SparseMatrix
+    in_row_group: np.ndarray
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.in_row_group)
+        if mask.dtype != bool or mask.shape != (self.matrix.nnz,):
+            raise SplitError(
+                "in_row_group must be a boolean mask over the canonical "
+                f"nonzeros (expected shape ({self.matrix.nnz},) bool, got "
+                f"{mask.shape} {mask.dtype})"
+            )
+        object.__setattr__(self, "in_row_group", mask)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ar_mask(self) -> np.ndarray:
+        """Mask of nonzeros in ``Ar``."""
+        return self.in_row_group
+
+    @property
+    def ac_mask(self) -> np.ndarray:
+        """Mask of nonzeros in ``Ac``."""
+        return ~self.in_row_group
+
+    def ar_matrix(self) -> SparseMatrix:
+        """Materialize ``Ar`` (same shape as ``A``)."""
+        return self.matrix.select(self.ar_mask)
+
+    def ac_matrix(self) -> SparseMatrix:
+        """Materialize ``Ac`` (same shape as ``A``)."""
+        return self.matrix.select(self.ac_mask)
+
+    def row_group_sizes(self) -> np.ndarray:
+        """Nonzeros of ``Ar`` per row (the row-group vertex weights)."""
+        return np.bincount(
+            self.matrix.rows[self.ar_mask], minlength=self.matrix.nrows
+        ).astype(np.int64)
+
+    def col_group_sizes(self) -> np.ndarray:
+        """Nonzeros of ``Ac`` per column (the column-group vertex weights)."""
+        return np.bincount(
+            self.matrix.cols[self.ac_mask], minlength=self.matrix.ncols
+        ).astype(np.int64)
+
+
+def initial_split(
+    matrix: SparseMatrix,
+    seed: SeedLike = None,
+    *,
+    score: str = "nnz",
+    tie_side: str | None = None,
+    post_pass: bool = True,
+) -> Split:
+    """Algorithm 1 (plus the single-nonzero post-pass).
+
+    Parameters
+    ----------
+    matrix:
+        Matrix to split.
+    seed:
+        Used only to pick the globally preferred tie side for square
+        matrices.
+    score:
+        Line score; ``"nnz"`` is the paper's choice.  ``"uniform"`` (all
+        lines equal — every nonzero is a tie) and ``"sqrt_nnz"`` are
+        provided for the ablation benchmark of the paper's "different
+        initial split algorithm" discussion (Section V).
+    tie_side:
+        Force the tie side to ``"r"`` or ``"c"`` (overrides the
+        shape/random rule); used by tests and ablations.
+    post_pass:
+        Apply rule 5 (default true, as in the paper).
+
+    Returns
+    -------
+    Split
+    """
+    rows, cols = matrix.rows, matrix.cols
+    m, n = matrix.shape
+    nzr = matrix.nnz_per_row()
+    nzc = matrix.nnz_per_col()
+
+    if score == "nnz":
+        sr_line = nzr.astype(np.float64)
+        sc_line = nzc.astype(np.float64)
+    elif score == "sqrt_nnz":
+        sr_line = np.sqrt(nzr.astype(np.float64))
+        sc_line = np.sqrt(nzc.astype(np.float64))
+    elif score == "uniform":
+        sr_line = np.zeros(m)
+        sc_line = np.zeros(n)
+    else:
+        raise SplitError(f"unknown score {score!r}")
+
+    if tie_side is None:
+        if m > n:
+            tie_side = "r"
+        elif m < n:
+            tie_side = "c"
+        else:
+            tie_side = "r" if as_generator(seed).random() < 0.5 else "c"
+    if tie_side not in ("r", "c"):
+        raise SplitError(f"tie_side must be 'r' or 'c', got {tie_side!r}")
+    tie_to_ar = tie_side == "r"
+
+    sr = sr_line[rows]
+    sc = sc_line[cols]
+    # Rules 3/4: smaller score wins; ties to the preferred side.
+    in_ar = np.where(sr < sc, True, np.where(sr > sc, False, tie_to_ar))
+    # Rules 1/2 override: singleton columns -> Ar, then singleton rows -> Ac
+    # (Algorithm 1 checks nzc(j) == 1 first, so a 1x1 intersection of a
+    # singleton row and singleton column lands in Ar).
+    singleton_row = nzr[rows] == 1
+    singleton_col = nzc[cols] == 1
+    in_ar = np.where(singleton_row, False, in_ar)
+    in_ar = np.where(singleton_col, True, in_ar)
+    in_ar = in_ar.astype(bool)
+
+    if post_pass:
+        in_ar = _single_nonzero_post_pass(matrix, in_ar)
+    return Split(matrix, in_ar)
+
+
+def _single_nonzero_post_pass(
+    matrix: SparseMatrix, in_ar: np.ndarray
+) -> np.ndarray:
+    """Rule 5: absorb lone strays into otherwise-pure lines.
+
+    First rows: any row with >= 2 nonzeros, exactly one of which sits in
+    ``Ac``, pulls it into ``Ar``.  Then columns on the updated state: any
+    column with >= 2 nonzeros and exactly one in ``Ar`` pulls it into
+    ``Ac``.  One sweep each, rows before columns, as in the paper.
+    """
+    rows, cols = matrix.rows, matrix.cols
+    nzr = matrix.nnz_per_row()
+    nzc = matrix.nnz_per_col()
+
+    in_ar = in_ar.copy()
+    ac_per_row = np.bincount(
+        rows[~in_ar], minlength=matrix.nrows
+    )
+    fix_rows = (nzr >= 2) & (ac_per_row == 1)
+    if fix_rows.any():
+        move = fix_rows[rows] & ~in_ar
+        in_ar[move] = True
+
+    ar_per_col = np.bincount(cols[in_ar], minlength=matrix.ncols)
+    fix_cols = (nzc >= 2) & (ar_per_col == 1)
+    if fix_cols.any():
+        move = fix_cols[cols] & in_ar
+        in_ar[move] = False
+    return in_ar
+
+
+def split_from_bipartition(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    direction: int,
+) -> Split:
+    """Re-encode a bipartitioning as a split (Algorithm 2, lines 7–12).
+
+    ``direction == 0`` places the part-0 nonzeros in ``Ar`` and part-1 in
+    ``Ac``; ``direction == 1`` swaps the roles.  Every row group of the
+    resulting split is then pure part-0 (direction 0) and every column
+    group pure part-1, so the bipartitioning survives the round trip with
+    identical volume and balance.
+    """
+    parts = np.asarray(parts)
+    if parts.shape != (matrix.nnz,):
+        raise SplitError(
+            f"parts must have shape ({matrix.nnz},), got {parts.shape}"
+        )
+    parts = parts.astype(np.int64, copy=False)
+    if parts.size and (parts.min() < 0 or parts.max() > 1):
+        raise SplitError("split_from_bipartition expects a 0/1 part vector")
+    if direction not in (0, 1):
+        raise SplitError(f"direction must be 0 or 1, got {direction}")
+    in_ar = parts == 0 if direction == 0 else parts == 1
+    return Split(matrix, in_ar)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+subclasses mirror the major subsystems: sparse-matrix handling, hypergraph
+construction, partitioning, and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SparseFormatError",
+    "MatrixMarketError",
+    "HypergraphError",
+    "PartitioningError",
+    "BalanceError",
+    "SplitError",
+    "SimulationError",
+    "EvaluationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix argument is malformed (bad shape, dtype, indices...)."""
+
+
+class MatrixMarketError(SparseFormatError):
+    """A MatrixMarket file or stream could not be parsed or written."""
+
+
+class HypergraphError(ReproError):
+    """A hypergraph is structurally invalid (bad CSR arrays, pin ids...)."""
+
+
+class PartitioningError(ReproError):
+    """The partitioner failed to produce a valid partitioning."""
+
+
+class BalanceError(PartitioningError):
+    """No partitioning satisfying the load-balance constraint exists/was found."""
+
+
+class SplitError(ReproError):
+    """Algorithm 1 produced or was given an invalid split ``A = Ar + Ac``."""
+
+
+class SimulationError(ReproError):
+    """The distributed SpMV simulation detected an inconsistency."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness was misconfigured or given inconsistent data."""

@@ -1,0 +1,145 @@
+"""Dolan–Moré performance profiles (paper Section IV, Figs. 4–6).
+
+For a set of methods evaluated on a common set of instances, the
+performance ratio of method ``m`` on instance ``i`` is
+
+.. code-block:: text
+
+    r[i, m] = value[i, m] / min_m' value[i, m']
+
+and the profile of ``m`` is the fraction of instances with
+``r[i, m] <= tau`` as a function of ``tau >= 1``.  Higher curves are
+better; the value at ``tau = 1`` is the fraction of instances where the
+method is (tied-)best.
+
+Following the paper, instances whose best value is 0 are removed (their
+ratio is undefined); a method with value 0 on such an instance would have
+been best anyway.  For the *time* profiles no removal ever triggers since
+wall-clock times are positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = ["PerformanceProfile", "performance_ratios", "performance_profile"]
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """A computed profile.
+
+    Attributes
+    ----------
+    taus:
+        Factor axis (``>= 1``).
+    fractions:
+        ``fractions[label]`` is an array parallel to ``taus`` with the
+        fraction of instances within that factor of the best.
+    n_instances:
+        Number of instances after the zero-best removal.
+    dropped:
+        Instance indices removed because every method scored 0.
+    """
+
+    taus: np.ndarray
+    fractions: dict[str, np.ndarray]
+    n_instances: int
+    dropped: tuple[int, ...]
+
+    def auc(self, label: str) -> float:
+        """Area under the profile curve (for scalar ranking in tests)."""
+        return float(np.trapezoid(self.fractions[label], self.taus))
+
+    def fraction_at(self, label: str, tau: float) -> float:
+        """Profile value of ``label`` at factor ``tau``."""
+        idx = int(np.searchsorted(self.taus, tau, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return float(self.fractions[label][idx])
+
+
+def performance_ratios(
+    values: dict[str, np.ndarray],
+) -> tuple[dict[str, np.ndarray], tuple[int, ...]]:
+    """Per-instance ratios to the best method; drops all-zero instances.
+
+    Parameters
+    ----------
+    values:
+        ``values[label][i]`` is method ``label``'s (non-negative) metric on
+        instance ``i``; all arrays must have equal length.
+
+    Returns
+    -------
+    (ratios, dropped):
+        ``ratios[label][i']`` over the surviving instances, and the indices
+        of dropped instances.
+    """
+    if not values:
+        raise EvaluationError("values must contain at least one method")
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in values.items()}
+    lengths = {a.size for a in arrays.values()}
+    if len(lengths) != 1:
+        raise EvaluationError(
+            f"all methods must cover the same instances, got sizes {lengths}"
+        )
+    (n,) = lengths
+    if n == 0:
+        raise EvaluationError("no instances given")
+    stacked = np.stack(list(arrays.values()))
+    if (stacked < 0).any():
+        raise EvaluationError("metric values must be non-negative")
+    best = stacked.min(axis=0)
+    alive = best > 0
+    dropped = tuple(int(i) for i in np.flatnonzero(~alive))
+    if not alive.any():
+        raise EvaluationError("every instance has best value 0")
+    ratios = {
+        label: arr[alive] / best[alive] for label, arr in arrays.items()
+    }
+    return ratios, dropped
+
+
+def performance_profile(
+    values: dict[str, np.ndarray],
+    taus: np.ndarray | None = None,
+    max_tau: float = 2.0,
+    n_taus: int = 101,
+) -> PerformanceProfile:
+    """Compute a Dolan–Moré profile.
+
+    Parameters
+    ----------
+    values:
+        Metric per method per instance (see :func:`performance_ratios`).
+    taus:
+        Explicit factor axis; default ``linspace(1, max_tau, n_taus)``
+        (the paper plots volume profiles on [1, 2] and time profiles on
+        [1, 6]).
+    """
+    ratios, dropped = performance_ratios(values)
+    if taus is None:
+        taus = np.linspace(1.0, float(max_tau), int(n_taus))
+    else:
+        taus = np.asarray(taus, dtype=np.float64)
+        if taus.size == 0 or (np.diff(taus) < 0).any() or taus[0] < 1.0:
+            raise EvaluationError(
+                "taus must be a non-empty non-decreasing array starting >= 1"
+            )
+    n_alive = next(iter(ratios.values())).size
+    fractions = {}
+    for label, r in ratios.items():
+        sorted_r = np.sort(r)
+        counts = np.searchsorted(sorted_r, taus, side="right")
+        fractions[label] = counts / n_alive
+    return PerformanceProfile(
+        taus=taus,
+        fractions=fractions,
+        n_instances=n_alive,
+        dropped=dropped,
+    )

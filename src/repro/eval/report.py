@@ -1,0 +1,112 @@
+"""Text rendering: ASCII profile charts, markdown tables, CSV emission.
+
+matplotlib is unavailable in the reproduction environment, so figures are
+rendered as monospace charts (one character column per tau step, one curve
+glyph per method) plus machine-readable CSV series for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.profiles import PerformanceProfile
+
+__all__ = ["ascii_profile_chart", "markdown_table", "write_csv", "format_float"]
+
+_GLYPHS = "ox+*#@%&$"
+
+
+def format_float(x: float, digits: int = 2) -> str:
+    """Fixed-point format used across the report tables."""
+    return f"{x:.{digits}f}"
+
+
+def ascii_profile_chart(
+    profile: PerformanceProfile,
+    title: str,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render a performance profile as a monospace chart.
+
+    The x-axis is the factor tau, the y-axis the fraction of test cases;
+    each method gets a glyph, with a legend underneath — the textual
+    equivalent of the paper's Figs. 4–6.
+    """
+    labels = list(profile.fractions)
+    if len(labels) > len(_GLYPHS):
+        raise EvaluationError(
+            f"too many methods to chart ({len(labels)} > {len(_GLYPHS)})"
+        )
+    taus = profile.taus
+    grid = [[" "] * width for _ in range(height)]
+    xs = np.linspace(taus[0], taus[-1], width)
+    for li, label in enumerate(labels):
+        fr = np.interp(xs, taus, profile.fractions[label])
+        for col in range(width):
+            row = height - 1 - int(round(fr[col] * (height - 1)))
+            if grid[row][col] == " ":  # first curve through a cell wins
+                grid[row][col] = _GLYPHS[li]
+    lines = [f"{title}  (n={profile.n_instances})"]
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        axis = f"{frac:4.2f} |" if r % 4 == 0 or r == height - 1 else "     |"
+        lines.append(axis + "".join(row))
+    lines.append("     +" + "-" * width)
+    tick_line = "      "
+    n_ticks = 5
+    for t in range(n_ticks):
+        pos = int(t * (width - 1) / (n_ticks - 1))
+        tick = f"{xs[pos]:.2f}"
+        tick_line = tick_line.ljust(6 + pos) + tick
+    lines.append(tick_line)
+    legend = "      legend: " + "  ".join(
+        f"{_GLYPHS[i]}={label}" for i, label in enumerate(labels)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    highlight_min: bool = False,
+) -> str:
+    """Render a markdown table; optionally bold the minimum numeric cell of
+    each row (the paper's boldface convention in Tables I–II)."""
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        cells = [str(c) for c in row]
+        if highlight_min:
+            numeric = []
+            for i, c in enumerate(row):
+                if isinstance(c, (int, float)) and not isinstance(c, bool):
+                    numeric.append((float(c), i))
+            if numeric:
+                best = min(v for v, _ in numeric)
+                for v, i in numeric:
+                    if v == best:
+                        cells[i] = f"**{cells[i]}**"
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write rows to CSV, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)

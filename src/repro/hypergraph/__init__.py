@@ -1,0 +1,34 @@
+"""Hypergraph substrate: data structure, sparse-matrix models, cut metrics.
+
+A hypergraph ``H = (V, N)`` generalizes a graph by letting each *net*
+(hyperedge) connect any number of vertices.  The sparse-matrix partitioning
+literature (and this paper) works with three classic translations of a
+matrix into a hypergraph — row-net, column-net, and fine-grain — plus the
+paper's composite medium-grain model built in :mod:`repro.core.medium_grain`.
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.models import (
+    HypergraphModel,
+    column_net_model,
+    fine_grain_model,
+    row_net_model,
+)
+from repro.hypergraph.metrics import (
+    connectivity_volume,
+    cut_net_count,
+    net_lambdas,
+    part_weights,
+)
+
+__all__ = [
+    "Hypergraph",
+    "HypergraphModel",
+    "row_net_model",
+    "column_net_model",
+    "fine_grain_model",
+    "net_lambdas",
+    "connectivity_volume",
+    "cut_net_count",
+    "part_weights",
+]

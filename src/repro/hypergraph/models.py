@@ -1,0 +1,147 @@
+"""The classic hypergraph models for sparse matrices.
+
+Section II of the paper describes three translations of an ``m x n`` matrix
+``A`` into a hypergraph (all due to Catalyurek & Aykanat):
+
+* **row-net model** — vertices are the columns of ``A``, nets are its rows;
+  partitioning the vertices yields a 1D *column* distribution of the
+  nonzeros, and the connectivity-1 cut equals the fan-in volume (rows may be
+  cut, columns never are).
+* **column-net model** — the transpose: vertices are rows, nets are columns,
+  yielding a 1D *row* distribution.
+* **fine-grain model** — one vertex per nonzero, one net per non-empty row
+  and per non-empty column; fully general 2D distributions.
+
+Each builder returns a :class:`HypergraphModel` bundling the hypergraph with
+the mapping from a vertex part vector back to a *nonzero* part vector (in
+the matrix's canonical nonzero order), so every model plugs into the same
+volume calculator and SpMV simulator.
+
+The medium-grain composite model lives in :mod:`repro.core.medium_grain`
+since it is the paper's contribution, not prior work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = [
+    "HypergraphModel",
+    "row_net_model",
+    "column_net_model",
+    "fine_grain_model",
+]
+
+
+@dataclass(frozen=True)
+class HypergraphModel:
+    """A hypergraph together with its nonzero-partition semantics.
+
+    Attributes
+    ----------
+    name:
+        Model identifier (``"row-net"``, ``"column-net"``, ``"fine-grain"``,
+        ``"medium-grain"``).
+    hypergraph:
+        The translated hypergraph.
+    matrix:
+        The source matrix (canonical nonzero order defines the output
+        indexing of :meth:`nonzero_parts`).
+    _mapper:
+        Internal function mapping vertex parts to nonzero parts.
+    """
+
+    name: str
+    hypergraph: Hypergraph
+    matrix: SparseMatrix
+    _mapper: Callable[[np.ndarray], np.ndarray] = field(repr=False)
+
+    def nonzero_parts(self, vertex_parts: np.ndarray) -> np.ndarray:
+        """Map a vertex part vector to a part per canonical nonzero of
+        the source matrix."""
+        vertex_parts = np.asarray(vertex_parts)
+        if vertex_parts.shape != (self.hypergraph.nverts,):
+            raise PartitioningError(
+                f"vertex_parts must have shape ({self.hypergraph.nverts},), "
+                f"got {vertex_parts.shape}"
+            )
+        return self._mapper(vertex_parts.astype(np.int64, copy=False))
+
+
+def _csr_from_groups(
+    group_of_pin: np.ndarray, ngroups: int, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group ``values`` by ``group_of_pin`` into CSR arrays (stable order)."""
+    counts = np.bincount(group_of_pin, minlength=ngroups)
+    xpins = np.zeros(ngroups + 1, dtype=np.int64)
+    np.cumsum(counts, out=xpins[1:])
+    order = np.argsort(group_of_pin, kind="stable")
+    return xpins, values[order]
+
+
+def row_net_model(matrix: SparseMatrix) -> HypergraphModel:
+    """Row-net model: vertices = columns, nets = rows.
+
+    Vertex ``j`` weighs ``nzc(j)`` (nonzeros in column ``j``); net ``i``
+    contains every column with a nonzero in row ``i``.  Empty rows become
+    empty nets (zero cut contribution); empty columns become isolated
+    zero-weight vertices.  The hypergraph thus has exactly ``n`` vertices
+    and ``m`` nets, as in the paper.
+    """
+    m, n = matrix.shape
+    xpins, pins = _csr_from_groups(matrix.rows, m, matrix.cols)
+    h = Hypergraph(n, xpins, pins, vwgt=matrix.nnz_per_col())
+    cols = matrix.cols
+
+    def mapper(vertex_parts: np.ndarray) -> np.ndarray:
+        return vertex_parts[cols]
+
+    return HypergraphModel("row-net", h, matrix, mapper)
+
+
+def column_net_model(matrix: SparseMatrix) -> HypergraphModel:
+    """Column-net model: vertices = rows, nets = columns (transpose of
+    :func:`row_net_model`)."""
+    m, n = matrix.shape
+    xpins, pins = _csr_from_groups(matrix.cols, n, matrix.rows)
+    h = Hypergraph(m, xpins, pins, vwgt=matrix.nnz_per_row())
+    rows = matrix.rows
+
+    def mapper(vertex_parts: np.ndarray) -> np.ndarray:
+        return vertex_parts[rows]
+
+    return HypergraphModel("column-net", h, matrix, mapper)
+
+
+def fine_grain_model(matrix: SparseMatrix) -> HypergraphModel:
+    """Fine-grain model: one unit-weight vertex per nonzero; one net per
+    row and per column (rows first: net ``i`` is row ``i``, net ``m + j``
+    is column ``j``).
+
+    The hypergraph has ``N`` vertices and ``m + n`` nets; its connectivity-1
+    cut equals the communication volume of the corresponding nonzero
+    partitioning exactly.
+    """
+    m, n = matrix.shape
+    nnz = matrix.nnz
+    ids = np.arange(nnz, dtype=np.int64)
+    # Row nets: canonical order is already row-major.
+    row_xpins = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(matrix.nnz_per_row(), out=row_xpins[1:])
+    # Column nets: group nonzero ids by column.
+    col_xpins, col_pins = _csr_from_groups(matrix.cols, n, ids)
+    xpins = np.concatenate([row_xpins, row_xpins[-1] + col_xpins[1:]])
+    pins = np.concatenate([ids, col_pins])
+    h = Hypergraph(nnz, xpins, pins, vwgt=np.ones(nnz, dtype=np.int64))
+
+    def mapper(vertex_parts: np.ndarray) -> np.ndarray:
+        return vertex_parts.copy()
+
+    return HypergraphModel("fine-grain", h, matrix, mapper)

@@ -1,0 +1,118 @@
+"""Partitioner configuration and the two named presets.
+
+The paper evaluates every method under two hypergraph partitioners
+(Mondriaan's internal one, Figs. 4–5 and Table I; and PaToH, Fig. 6 and
+Table II) to show its conclusions are partitioner-robust.  We mirror that
+with two presets of the same multilevel engine that differ in coarsening
+style, search effort, and refinement scope — genuinely different
+quality/speed trade-offs, not just different seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitioningError
+
+__all__ = ["PartitionerConfig", "get_config", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class PartitionerConfig:
+    """Tuning knobs of the multilevel bipartitioner.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier (informational).
+    coarse_target:
+        Stop coarsening once the hypergraph has at most this many vertices.
+    min_reduction:
+        Abort coarsening early if a level shrinks the vertex count by less
+        than this fraction (matching has stalled).
+    max_levels:
+        Hard cap on the number of coarsening levels.
+    matching:
+        ``"hcm"`` — heavy-connectivity matching, candidate score is the sum
+        of shared net costs; ``"absorption"`` — PaToH-style scaled score
+        ``cost / (|net| - 1)``.
+    max_net_size_matching:
+        Nets larger than this are ignored while scoring matches (dense rows
+        would otherwise make matching quadratic).
+    cluster_weight_frac:
+        A matched pair may weigh at most this fraction of the *smaller*
+        part-weight ceiling, keeping the coarsest hypergraph partitionable.
+    merge_identical_nets:
+        Merge nets with identical pin sets during contraction (costs add).
+    n_initial:
+        Number of initial-partitioning attempts at the coarsest level
+        (alternating greedy growing and random balanced); best kept.
+    fm_max_passes:
+        Maximum FM passes per refinement call.
+    fm_early_exit_frac:
+        Abort a pass after ``max(32, frac * nverts)`` consecutive moves
+        without improving on the best prefix.
+    boundary_only:
+        Seed FM's buckets with boundary vertices only (vertices on cut
+        nets), inserting interior vertices lazily when touched.
+    """
+
+    name: str = "mondriaan"
+    coarse_target: int = 144
+    min_reduction: float = 0.03
+    max_levels: int = 48
+    matching: str = "hcm"
+    max_net_size_matching: int = 400
+    cluster_weight_frac: float = 0.35
+    merge_identical_nets: bool = True
+    n_initial: int = 8
+    fm_max_passes: int = 4
+    fm_early_exit_frac: float = 0.22
+    boundary_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.matching not in ("hcm", "absorption"):
+            raise PartitioningError(
+                f"unknown matching scheme {self.matching!r}"
+            )
+        if self.coarse_target < 2:
+            raise PartitioningError("coarse_target must be at least 2")
+        if not 0.0 < self.cluster_weight_frac <= 1.0:
+            raise PartitioningError("cluster_weight_frac must be in (0, 1]")
+        if self.n_initial < 1:
+            raise PartitioningError("n_initial must be at least 1")
+        if self.fm_max_passes < 1:
+            raise PartitioningError("fm_max_passes must be at least 1")
+
+
+PRESETS: dict[str, PartitionerConfig] = {
+    "mondriaan": PartitionerConfig(name="mondriaan"),
+    "patoh": PartitionerConfig(
+        name="patoh",
+        coarse_target=72,
+        matching="absorption",
+        max_net_size_matching=256,
+        n_initial=14,
+        fm_max_passes=7,
+        fm_early_exit_frac=0.3,
+        boundary_only=True,
+    ),
+}
+
+
+def get_config(config: "PartitionerConfig | str") -> PartitionerConfig:
+    """Resolve a preset name or pass through an explicit config object."""
+    if isinstance(config, PartitionerConfig):
+        return config
+    if isinstance(config, str):
+        try:
+            return PRESETS[config]
+        except KeyError:
+            raise PartitioningError(
+                f"unknown partitioner preset {config!r}; "
+                f"available: {sorted(PRESETS)}"
+            ) from None
+    raise PartitioningError(
+        f"config must be a PartitionerConfig or preset name, got "
+        f"{type(config).__name__}"
+    )

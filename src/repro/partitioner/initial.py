@@ -1,0 +1,143 @@
+"""Initial partitioning of the coarsest hypergraph.
+
+Runs ``config.n_initial`` attempts alternating two constructions and keeps
+the FM-refined best:
+
+* **greedy net growing** — seed a random vertex in part 0 and grow the part
+  through incident nets (breadth-first over the net/pin incidence) until the
+  part-0 weight reaches its share of the total; vertices left over go to
+  part 1.  This biases towards connected, low-cut halves.
+* **random balanced** — shuffle vertices, then assign each to the side with
+  the most remaining capacity (first-fit towards per-side ceilings).
+
+Each construction is followed by FM refinement to convergence; candidates
+are ranked by (feasible, cut, balance metric).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioner.config import PartitionerConfig
+from repro.partitioner.fm import FMResult, fm_refine
+
+__all__ = ["initial_partition", "greedy_grow", "random_balanced"]
+
+
+def random_balanced(
+    h: Hypergraph,
+    max_weights: tuple[int, int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Random construction: shuffled first-fit towards the side ceilings."""
+    parts = np.zeros(h.nverts, dtype=np.int64)
+    # Target weights proportional to the ceilings (handles asymmetric splits).
+    total = h.total_weight()
+    cap0, cap1 = max_weights
+    share0 = total * (cap0 / (cap0 + cap1)) if (cap0 + cap1) else 0.0
+    w0 = 0.0
+    vw = h.vwgt
+    for v in rng.permutation(h.nverts).tolist():
+        # Assign to side 0 while it lags its proportional share.
+        if w0 < share0:
+            parts[v] = 0
+            w0 += vw[v]
+        else:
+            parts[v] = 1
+    return parts
+
+
+def greedy_grow(
+    h: Hypergraph,
+    max_weights: tuple[int, int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy net-growing construction from a random seed vertex."""
+    nverts = h.nverts
+    parts = np.ones(nverts, dtype=np.int64)
+    if nverts == 0:
+        return parts
+    total = h.total_weight()
+    cap0, cap1 = max_weights
+    target0 = total * (cap0 / (cap0 + cap1)) if (cap0 + cap1) else 0.0
+    vw = h.vwgt.tolist()
+    xnets = h.xnets.tolist()
+    vnets = h.vnets.tolist()
+    xpins = h.xpins.tolist()
+    pins = h.pins.tolist()
+
+    in0 = [False] * nverts
+    net_seen = [False] * h.nnets
+    w0 = 0
+    order = rng.permutation(nverts).tolist()
+    cursor = 0
+    frontier: deque[int] = deque()
+    while w0 < target0:
+        if not frontier:
+            # Find a fresh (possibly disconnected) seed.
+            while cursor < nverts and in0[order[cursor]]:
+                cursor += 1
+            if cursor == nverts:
+                break
+            frontier.append(order[cursor])
+        v = frontier.popleft()
+        if in0[v]:
+            continue
+        in0[v] = True
+        w0 += vw[v]
+        parts[v] = 0
+        if w0 >= target0:
+            break
+        for i in range(xnets[v], xnets[v + 1]):
+            n = vnets[i]
+            if net_seen[n]:
+                continue
+            net_seen[n] = True
+            for k in range(xpins[n], xpins[n + 1]):
+                u = pins[k]
+                if not in0[u]:
+                    frontier.append(u)
+    return parts
+
+
+def initial_partition(
+    h: Hypergraph,
+    max_weights: tuple[int, int],
+    config: PartitionerConfig,
+    rng: np.random.Generator,
+) -> FMResult:
+    """Best-of-``n_initial`` construction + FM refinement.
+
+    Returns the best :class:`~repro.partitioner.fm.FMResult`, ranked by
+    feasibility first, then cut, then balance.
+    """
+    if h.nverts == 0:
+        return FMResult(
+            parts=np.zeros(0, dtype=np.int64),
+            cut=0,
+            feasible=True,
+            passes=0,
+            improvement=0,
+        )
+    best: FMResult | None = None
+    best_key: tuple | None = None
+    for attempt in range(config.n_initial):
+        if attempt % 2 == 0:
+            parts = greedy_grow(h, max_weights, rng)
+        else:
+            parts = random_balanced(h, max_weights, rng)
+        result = fm_refine(h, parts, max_weights, config, rng)
+        w1 = int(np.dot(result.parts, h.vwgt))
+        w0 = h.total_weight() - w1
+        balance = max(
+            w0 / max_weights[0] if max_weights[0] else float(w0 > 0),
+            w1 / max_weights[1] if max_weights[1] else float(w1 > 0),
+        )
+        key = (not result.feasible, result.cut, balance)
+        if best_key is None or key < best_key:
+            best, best_key = result, key
+    assert best is not None
+    return best

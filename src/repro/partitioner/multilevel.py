@@ -1,0 +1,69 @@
+"""The multilevel V-cycle driver.
+
+Coarsen until the hypergraph is small (or matching stalls), partition the
+coarsest level with best-of-many construction + FM, then project the
+partition back up level by level, refining with FM at each level — the
+scheme shared by Mondriaan, PaToH, hMetis, and MLpart (paper Section II).
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioner.coarsen import CoarseLevel, coarsen_level
+from repro.partitioner.config import PartitionerConfig, get_config
+from repro.partitioner.fm import FMResult, fm_refine
+from repro.partitioner.initial import initial_partition
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["multilevel_bipartition"]
+
+
+def multilevel_bipartition(
+    h: Hypergraph,
+    max_weights: tuple[int, int],
+    config: PartitionerConfig | str = "mondriaan",
+    seed: SeedLike = None,
+) -> FMResult:
+    """Bipartition ``h`` under per-side weight ceilings ``max_weights``.
+
+    Returns an :class:`~repro.partitioner.fm.FMResult` for the finest level
+    (``parts`` has one entry per vertex of ``h``).
+    """
+    cfg = get_config(config)
+    rng = as_generator(seed)
+
+    # ------------------------------------------------------------------ #
+    # Coarsening phase.
+    # ------------------------------------------------------------------ #
+    # Cap cluster weights so the coarsest level stays partitionable well
+    # within the ceilings.
+    cluster_cap = max(
+        1, int(cfg.cluster_weight_frac * min(max_weights[0], max_weights[1]))
+    )
+    levels: list[CoarseLevel] = []
+    cur = h
+    while cur.nverts > cfg.coarse_target and len(levels) < cfg.max_levels:
+        level = coarsen_level(cur, cfg, rng, cluster_cap)
+        reduction = 1.0 - level.coarse.nverts / cur.nverts
+        if reduction < cfg.min_reduction:
+            break  # matching stalled; further levels would be wasted work
+        levels.append(level)
+        cur = level.coarse
+
+    # ------------------------------------------------------------------ #
+    # Initial partitioning at the coarsest level.
+    # ------------------------------------------------------------------ #
+    result = initial_partition(cur, max_weights, cfg, rng)
+    parts = result.parts
+
+    # ------------------------------------------------------------------ #
+    # Uncoarsening: project and refine at every level.
+    # ------------------------------------------------------------------ #
+    for level in reversed(levels):
+        parts = parts[level.cmap]
+        result = fm_refine(level.fine, parts, max_weights, cfg, rng)
+        parts = result.parts
+
+    if not levels:
+        return result
+    return result

@@ -1,0 +1,51 @@
+"""Sparse-matrix substrate.
+
+This subpackage provides everything the partitioning core needs from the
+sparse-matrix world, built from scratch on NumPy:
+
+* :class:`~repro.sparse.matrix.SparseMatrix` — an immutable, canonically
+  ordered COO matrix whose nonzero ordering defines the indexing of all
+  nonzero partition vectors in the package;
+* MatrixMarket I/O (:mod:`repro.sparse.io_mm`);
+* pattern statistics and classification (:mod:`repro.sparse.stats`);
+* synthetic matrix generators (:mod:`repro.sparse.generators`); and
+* the named, seeded test collection substituting for the University of
+  Florida collection used in the paper (:mod:`repro.sparse.collection`).
+"""
+
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.io_mm import read_matrix_market, write_matrix_market
+from repro.sparse.io_dist import (
+    read_distributed_matrix_market,
+    read_vector_distribution,
+    write_distributed_matrix_market,
+    write_vector_distribution,
+)
+from repro.sparse.stats import (
+    MatrixClass,
+    classify_matrix,
+    pattern_symmetry,
+)
+from repro.sparse.collection import (
+    CollectionEntry,
+    build_collection,
+    collection_names,
+    load_instance,
+)
+
+__all__ = [
+    "SparseMatrix",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_distributed_matrix_market",
+    "write_distributed_matrix_market",
+    "read_vector_distribution",
+    "write_vector_distribution",
+    "MatrixClass",
+    "classify_matrix",
+    "pattern_symmetry",
+    "CollectionEntry",
+    "build_collection",
+    "collection_names",
+    "load_instance",
+]

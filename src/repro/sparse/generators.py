@@ -1,0 +1,452 @@
+"""Synthetic sparse-matrix generators.
+
+The paper's experiments run on 2264 matrices from the University of Florida
+collection (500 to 5,000,000 nonzeros; rectangular, structurally symmetric,
+and square non-symmetric).  That collection is not available offline, so
+these generators provide a structurally diverse substitute spanning the same
+three classes: uniform random, power-law (Chung–Lu), R-MAT/Kronecker,
+grid Laplacians, banded, block-diagonal, arrow, term-by-document, and
+bipartite preferential-attachment patterns, plus symmetrization and random
+permutation transforms.  See DESIGN.md Section 2 for the substitution
+rationale.
+
+All generators are deterministic given a ``seed`` and return
+:class:`~repro.sparse.matrix.SparseMatrix` instances with values in
+``[0.5, 1.5]`` (or stencil values for the Laplacians) so the SpMV simulator
+exercises non-trivial numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_pos_int
+
+__all__ = [
+    "erdos_renyi",
+    "chung_lu",
+    "rmat",
+    "grid2d_laplacian",
+    "grid3d_laplacian",
+    "banded",
+    "block_diagonal",
+    "arrow",
+    "term_document",
+    "bipartite_preferential",
+    "symmetrize",
+    "random_permute",
+    "gd97_like",
+]
+
+
+def _random_values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Nonzero values uniform in [0.5, 1.5]; never exactly zero."""
+    return 0.5 + rng.random(n)
+
+
+def _dedupe_exact(
+    rng: np.random.Generator,
+    m: int,
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    nnz: int,
+    sampler,
+    max_rounds: int = 30,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicate coordinates and top up to exactly ``nnz`` distinct entries.
+
+    ``sampler(rng, k) -> (rows, cols)`` draws ``k`` fresh candidate
+    coordinates.  If the space is too small or sampling keeps colliding, the
+    result may fall short of ``nnz``; callers accept the achieved count.
+    """
+    keys = rows * n + cols
+    keys = np.unique(keys)
+    nnz = min(nnz, m * n)
+    rounds = 0
+    while keys.size < nnz and rounds < max_rounds:
+        need = nnz - keys.size
+        extra_r, extra_c = sampler(rng, max(2 * need, 16))
+        keys = np.unique(np.concatenate([keys, extra_r * n + extra_c]))
+        rounds += 1
+    if keys.size > nnz:
+        keys = rng.choice(keys, size=nnz, replace=False)
+    return keys // n, keys % n
+
+
+def erdos_renyi(
+    m: int, n: int, nnz: int, seed: SeedLike = None
+) -> SparseMatrix:
+    """Uniform random pattern with (exactly, when feasible) ``nnz`` nonzeros."""
+    m, n = check_pos_int(m, "m"), check_pos_int(n, "n")
+    nnz = check_pos_int(nnz, "nnz")
+    if nnz > m * n:
+        raise SparseFormatError(f"nnz={nnz} exceeds m*n={m * n}")
+    rng = as_generator(seed)
+
+    def sampler(r, k):
+        return r.integers(0, m, size=k), r.integers(0, n, size=k)
+
+    rows, cols = sampler(rng, nnz)
+    rows, cols = _dedupe_exact(rng, m, n, rows, cols, nnz, sampler)
+    return SparseMatrix((m, n), rows, cols, _random_values(rng, rows.size))
+
+
+def chung_lu(
+    m: int,
+    n: int,
+    nnz: int,
+    seed: SeedLike = None,
+    *,
+    row_exponent: float = 2.2,
+    col_exponent: float = 2.2,
+) -> SparseMatrix:
+    """Power-law pattern: coordinate ``(i, j)`` drawn with probability
+    proportional to ``w_r[i] * w_c[j]`` with Zipf-like weights.
+
+    Mimics the skewed degree distributions of web/social matrices in the UF
+    collection, which are the instances where 2D methods shine.
+    """
+    m, n = check_pos_int(m, "m"), check_pos_int(n, "n")
+    nnz = check_pos_int(nnz, "nnz")
+    rng = as_generator(seed)
+    wr = (np.arange(1, m + 1, dtype=np.float64)) ** (-1.0 / (row_exponent - 1.0))
+    wc = (np.arange(1, n + 1, dtype=np.float64)) ** (-1.0 / (col_exponent - 1.0))
+    pr = wr / wr.sum()
+    pc = wc / wc.sum()
+    # Shuffle identities so heavy rows/cols are not clustered at low indices.
+    rp = rng.permutation(m)
+    cp = rng.permutation(n)
+
+    def sampler(r, k):
+        return rp[r.choice(m, size=k, p=pr)], cp[r.choice(n, size=k, p=pc)]
+
+    rows, cols = sampler(rng, nnz)
+    rows, cols = _dedupe_exact(rng, m, n, rows, cols, nnz, sampler)
+    return SparseMatrix((m, n), rows, cols, _random_values(rng, rows.size))
+
+
+def rmat(
+    scale: int,
+    nnz: int,
+    seed: SeedLike = None,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> SparseMatrix:
+    """R-MAT (recursive Kronecker) square pattern of size ``2**scale``.
+
+    The default ``(a, b, c, d)`` parameters are the Graph500 values, yielding
+    the heavy-tailed, non-symmetric patterns typical of network matrices.
+    """
+    scale = check_pos_int(scale, "scale")
+    nnz = check_pos_int(nnz, "nnz")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("rmat probabilities must be non-negative and sum <= 1")
+    size = 1 << scale
+    rng = as_generator(seed)
+    p = np.array([a, b, c, d])
+
+    def sampler(r, k):
+        rows = np.zeros(k, dtype=np.int64)
+        cols = np.zeros(k, dtype=np.int64)
+        for _ in range(scale):
+            quad = r.choice(4, size=k, p=p)
+            rows = (rows << 1) | (quad >> 1)
+            cols = (cols << 1) | (quad & 1)
+        return rows, cols
+
+    rows, cols = sampler(rng, nnz)
+    rows, cols = _dedupe_exact(rng, size, size, rows, cols, nnz, sampler)
+    return SparseMatrix(
+        (size, size), rows, cols, _random_values(rng, rows.size)
+    )
+
+
+def grid2d_laplacian(nx: int, ny: int) -> SparseMatrix:
+    """5-point Laplacian on an ``nx x ny`` grid (structurally symmetric).
+
+    The canonical PDE matrix; partitioners should find low-volume splits.
+    """
+    nx, ny = check_pos_int(nx, "nx"), check_pos_int(ny, "ny")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    vals = [np.full(nx * ny, 4.0)]
+    # Horizontal and vertical neighbor pairs, both directions.
+    for src, dst in (
+        (idx[:, :-1], idx[:, 1:]),
+        (idx[:-1, :], idx[1:, :]),
+    ):
+        s, t = src.ravel(), dst.ravel()
+        rows += [s, t]
+        cols += [t, s]
+        vals += [np.full(s.size, -1.0), np.full(s.size, -1.0)]
+    return SparseMatrix(
+        (nx * ny, nx * ny),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+    )
+
+
+def grid3d_laplacian(nx: int, ny: int, nz: int) -> SparseMatrix:
+    """7-point Laplacian on an ``nx x ny x nz`` grid (structurally symmetric)."""
+    nx, ny, nz = (
+        check_pos_int(nx, "nx"),
+        check_pos_int(ny, "ny"),
+        check_pos_int(nz, "nz"),
+    )
+    n = nx * ny * nz
+    idx = np.arange(n, dtype=np.int64).reshape(nx, ny, nz)
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    vals = [np.full(n, 6.0)]
+    for src, dst in (
+        (idx[:, :, :-1], idx[:, :, 1:]),
+        (idx[:, :-1, :], idx[:, 1:, :]),
+        (idx[:-1, :, :], idx[1:, :, :]),
+    ):
+        s, t = src.ravel(), dst.ravel()
+        rows += [s, t]
+        cols += [t, s]
+        vals += [np.full(s.size, -1.0), np.full(s.size, -1.0)]
+    return SparseMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def banded(
+    n: int, bandwidth: int, fill: float, seed: SeedLike = None
+) -> SparseMatrix:
+    """Random pattern restricted to ``|i - j| <= bandwidth``, density ``fill``
+    within the band, plus a guaranteed full diagonal.
+    """
+    n = check_pos_int(n, "n")
+    bandwidth = check_pos_int(bandwidth, "bandwidth")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError(f"fill must be in (0, 1], got {fill}")
+    rng = as_generator(seed)
+    offsets = np.arange(-bandwidth, bandwidth + 1)
+    rows_list = [np.arange(n, dtype=np.int64)]
+    cols_list = [np.arange(n, dtype=np.int64)]
+    for off in offsets:
+        if off == 0:
+            continue
+        i0, i1 = max(0, -off), min(n, n - off)
+        if i1 <= i0:
+            continue
+        cand = np.arange(i0, i1, dtype=np.int64)
+        keep = rng.random(cand.size) < fill
+        rows_list.append(cand[keep])
+        cols_list.append(cand[keep] + off)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return SparseMatrix((n, n), rows, cols, _random_values(rng, rows.size))
+
+
+def block_diagonal(
+    nblocks: int,
+    block_size: int,
+    fill: float,
+    noise_nnz: int = 0,
+    seed: SeedLike = None,
+) -> SparseMatrix:
+    """Block-diagonal pattern with ``nblocks`` dense-ish blocks plus optional
+    uniform off-block "noise" nonzeros.
+
+    With zero noise this is perfectly partitionable (volume 0 for ``p <=
+    nblocks``); noise makes the partitioning problem non-trivial while
+    keeping obvious cluster structure — a common shape in circuit matrices.
+    """
+    nblocks = check_pos_int(nblocks, "nblocks")
+    block_size = check_pos_int(block_size, "block_size")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError(f"fill must be in (0, 1], got {fill}")
+    rng = as_generator(seed)
+    n = nblocks * block_size
+    rows_list = []
+    cols_list = []
+    for b in range(nblocks):
+        base = b * block_size
+        local = rng.random((block_size, block_size)) < fill
+        np.fill_diagonal(local, True)
+        r, c = np.nonzero(local)
+        rows_list.append(base + r)
+        cols_list.append(base + c)
+    if noise_nnz > 0:
+        rows_list.append(rng.integers(0, n, size=noise_nnz))
+        cols_list.append(rng.integers(0, n, size=noise_nnz))
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return SparseMatrix((n, n), rows, cols, _random_values(rng, rows.size))
+
+
+def arrow(n: int, bandwidth: int = 1, seed: SeedLike = None) -> SparseMatrix:
+    """Symmetric arrow matrix: banded core plus dense first row and column.
+
+    Arrow matrices are the classic worst case for 1D partitioning (the dense
+    row/column must be cut) and a showcase for 2D methods — the paper's
+    motivation for fine/medium-grain models.
+    """
+    n = check_pos_int(n, "n")
+    bandwidth = check_pos_int(bandwidth, "bandwidth")
+    rng = as_generator(seed)
+    rows_list = [np.arange(n, dtype=np.int64)]
+    cols_list = [np.arange(n, dtype=np.int64)]
+    for off in range(1, bandwidth + 1):
+        cand = np.arange(0, n - off, dtype=np.int64)
+        rows_list += [cand, cand + off]
+        cols_list += [cand + off, cand]
+    border = np.arange(1, n, dtype=np.int64)
+    rows_list += [np.zeros(n - 1, dtype=np.int64), border]
+    cols_list += [border, np.zeros(n - 1, dtype=np.int64)]
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return SparseMatrix((n, n), rows, cols, _random_values(rng, rows.size))
+
+
+def term_document(
+    n_terms: int,
+    n_docs: int,
+    n_topics: int,
+    nnz: int,
+    seed: SeedLike = None,
+    *,
+    topic_spread: float = 0.1,
+) -> SparseMatrix:
+    """Rectangular term-by-document pattern with latent topic clusters.
+
+    Each document belongs to one topic; terms are drawn mostly from the
+    topic's term block with probability ``1 - topic_spread`` and uniformly
+    otherwise — the clustered rectangular shape of LSI matrices in the UF
+    collection.
+    """
+    n_terms = check_pos_int(n_terms, "n_terms")
+    n_docs = check_pos_int(n_docs, "n_docs")
+    n_topics = check_pos_int(n_topics, "n_topics")
+    nnz = check_pos_int(nnz, "nnz")
+    rng = as_generator(seed)
+    doc_topic = rng.integers(0, n_topics, size=n_docs)
+    # Term blocks: contiguous slices of roughly equal size per topic.
+    bounds = np.linspace(0, n_terms, n_topics + 1).astype(np.int64)
+
+    def sampler(r, k):
+        docs = r.integers(0, n_docs, size=k)
+        topics = doc_topic[docs]
+        lo, hi = bounds[topics], bounds[topics + 1]
+        span = np.maximum(hi - lo, 1)
+        in_topic = r.random(k) >= topic_spread
+        terms = np.where(
+            in_topic,
+            lo + (r.random(k) * span).astype(np.int64),
+            r.integers(0, n_terms, size=k),
+        )
+        return terms, docs
+
+    rows, cols = sampler(rng, nnz)
+    rows, cols = _dedupe_exact(rng, n_terms, n_docs, rows, cols, nnz, sampler)
+    return SparseMatrix(
+        (n_terms, n_docs), rows, cols, _random_values(rng, rows.size)
+    )
+
+
+def bipartite_preferential(
+    m: int, n: int, nnz: int, seed: SeedLike = None
+) -> SparseMatrix:
+    """Rectangular preferential-attachment pattern.
+
+    Nonzeros are added one batch at a time; within a batch, row endpoints are
+    drawn proportional to (1 + current row degree), column endpoints
+    uniformly.  Produces a few very heavy rows — the shape where the
+    medium-grain score heuristic ("small rows and columns stay uncut") has
+    real work to do.
+    """
+    m, n = check_pos_int(m, "m"), check_pos_int(n, "n")
+    nnz = check_pos_int(nnz, "nnz")
+    rng = as_generator(seed)
+    deg = np.ones(m, dtype=np.float64)
+    rows_parts = []
+    cols_parts = []
+    remaining = nnz
+    batch = max(nnz // 20, 16)
+    while remaining > 0:
+        k = min(batch, remaining)
+        p = deg / deg.sum()
+        r = rng.choice(m, size=k, p=p)
+        c = rng.integers(0, n, size=k)
+        rows_parts.append(r)
+        cols_parts.append(c)
+        np.add.at(deg, r, 1.0)
+        remaining -= k
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+
+    def sampler(r_, k):
+        p = deg / deg.sum()
+        return r_.choice(m, size=k, p=p), r_.integers(0, n, size=k)
+
+    rows, cols = _dedupe_exact(rng, m, n, rows, cols, nnz, sampler)
+    return SparseMatrix((m, n), rows, cols, _random_values(rng, rows.size))
+
+
+def symmetrize(matrix: SparseMatrix) -> SparseMatrix:
+    """Return the structurally symmetric pattern ``A + A^T`` (values summed).
+
+    Used to build the symmetric class of the synthetic collection from
+    non-symmetric generators.
+    """
+    m, n = matrix.shape
+    if m != n:
+        raise SparseFormatError("can only symmetrize a square matrix")
+    rows = np.concatenate([matrix.rows, matrix.cols])
+    cols = np.concatenate([matrix.cols, matrix.rows])
+    vals = np.concatenate([matrix.vals, matrix.vals])
+    return SparseMatrix((m, n), rows, cols, vals)
+
+
+def random_permute(matrix: SparseMatrix, seed: SeedLike = None) -> SparseMatrix:
+    """Apply independent random row and column permutations.
+
+    Destroys banded/block layout while preserving the partitioning problem's
+    difficulty, diversifying the collection.  Note this in general breaks
+    *pattern* symmetry, so it is applied only to non-symmetric instances.
+    """
+    rng = as_generator(seed)
+    m, n = matrix.shape
+    return matrix.permuted(rng.permutation(m), rng.permutation(n))
+
+
+def gd97_like(seed: SeedLike = 1997) -> SparseMatrix:
+    """A 47 x 47 structurally symmetric matrix with 264 nonzeros.
+
+    Stand-in for the ``gd97_b`` graph-drawing matrix of the paper's Fig. 3
+    (47 x 47, 264 nonzeros): the adjacency matrix of a small-world graph on
+    47 nodes — a ring plus random chords, exactly 132 edges in total —
+    matching the original's size, nonzero count, and symmetry while being
+    hard enough for 1D models that the 2D methods' advantage shows, as in
+    the paper's walk-through.
+    """
+    rng = as_generator(seed)
+    npts = 47
+    target_edges = 132  # 2 * 132 = 264 nonzeros
+    idx = np.arange(npts, dtype=np.int64)
+    ring = {(int(i), int((i + 1) % npts)) for i in idx}
+    edges = {(min(e), max(e)) for e in ring}
+    while len(edges) < target_edges:
+        i, j = rng.integers(0, npts, size=2)
+        if i == j:
+            continue
+        edges.add((int(min(i, j)), int(max(i, j))))
+    arr = np.array(sorted(edges), dtype=np.int64)
+    r, c = arr[:, 0], arr[:, 1]
+    rows = np.concatenate([r, c])
+    cols = np.concatenate([c, r])
+    return SparseMatrix(
+        (npts, npts), rows, cols, _random_values(rng, rows.size)
+    )

@@ -1,0 +1,235 @@
+"""Distributed-matrix and vector-distribution file I/O.
+
+Mondriaan (the paper's host software) emits its partitionings in an
+extended MatrixMarket dialect so downstream SpMV codes can load them:
+
+* ``<name>-P<p>``: a ``distributed-matrix`` file — the usual coordinate
+  entries grouped by owning processor, preceded by a ``Pstart`` index
+  giving each processor's first entry;
+* ``<name>-u<p>`` / ``<name>-v<p>``: the output/input vector
+  distributions, one ``index owner`` pair per line.
+
+This module reads and writes both, so partitionings produced here can be
+consumed by Mondriaan-compatible tooling and vice versa.
+
+Format written (and accepted) for a matrix distributed over ``p`` parts::
+
+    %%MatrixMarket distributed-matrix coordinate real general
+    m n nnz p
+    Pstart_0        <- always 0
+    ...
+    Pstart_p        <- always nnz
+    i j v           <- nnz entries, grouped by part, 1-based
+
+and for a vector distribution over ``p`` parts::
+
+    %%MatrixMarket distributed-vector array integer general
+    n p
+    index owner     <- 1-based component index, 1-based owner
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import MatrixMarketError, PartitioningError
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.validation import check_pos_int
+
+
+def _check_parts(
+    matrix: SparseMatrix, parts: np.ndarray, nparts: int
+) -> np.ndarray:
+    """Local part-vector validation (kept here to avoid importing
+    :mod:`repro.core`, which would cycle back into this package)."""
+    parts = np.asarray(parts)
+    if parts.shape != (matrix.nnz,):
+        raise PartitioningError(
+            f"parts must have shape ({matrix.nnz},), got {parts.shape}"
+        )
+    parts = parts.astype(np.int64, copy=False)
+    if parts.size and (int(parts.min()) < 0 or int(parts.max()) >= nparts):
+        raise PartitioningError("part ids out of range")
+    return parts
+
+__all__ = [
+    "write_distributed_matrix_market",
+    "read_distributed_matrix_market",
+    "write_vector_distribution",
+    "read_vector_distribution",
+]
+
+_DM_BANNER = "%%MatrixMarket distributed-matrix coordinate real general"
+_DV_BANNER = "%%MatrixMarket distributed-vector array integer general"
+
+
+def write_distributed_matrix_market(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    nparts: int,
+    target: Union[str, Path, TextIO],
+) -> None:
+    """Write a partitioned matrix in the distributed MatrixMarket dialect.
+
+    Entries are grouped by part (part 0 first), each group internally in
+    canonical order; the ``Pstart`` block gives 0-based group offsets.
+    """
+    nparts = check_pos_int(nparts, "nparts")
+    parts = _check_parts(matrix, parts, nparts)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            _write_dm(matrix, parts, nparts, fh)
+    else:
+        _write_dm(matrix, parts, nparts, target)
+
+
+def _write_dm(
+    matrix: SparseMatrix, parts: np.ndarray, nparts: int, fh: TextIO
+) -> None:
+    m, n = matrix.shape
+    fh.write(_DM_BANNER + "\n")
+    fh.write(f"{m} {n} {matrix.nnz} {nparts}\n")
+    order = np.argsort(parts, kind="stable")
+    counts = np.bincount(parts, minlength=nparts)
+    pstart = np.zeros(nparts + 1, dtype=np.int64)
+    np.cumsum(counts, out=pstart[1:])
+    for s in pstart.tolist():
+        fh.write(f"{s}\n")
+    rows = matrix.rows[order]
+    cols = matrix.cols[order]
+    vals = matrix.vals[order]
+    for i, j, v in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+        fh.write(f"{i + 1} {j + 1} {v!r}\n")
+
+
+def read_distributed_matrix_market(
+    source: Union[str, Path, TextIO],
+) -> tuple[SparseMatrix, np.ndarray, int]:
+    """Read a distributed MatrixMarket file.
+
+    Returns ``(matrix, parts, nparts)`` with ``parts`` aligned to the
+    matrix's canonical nonzero order (duplicate coordinates are rejected
+    since their ownership would be ambiguous).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _read_dm(fh)
+    return _read_dm(source)
+
+
+def _read_dm(fh: TextIO) -> tuple[SparseMatrix, np.ndarray, int]:
+    banner = fh.readline().strip()
+    if banner != _DM_BANNER:
+        raise MatrixMarketError(
+            f"expected distributed-matrix banner, got {banner[:60]!r}"
+        )
+    fields = _next_data_line(fh).split()
+    if len(fields) != 4:
+        raise MatrixMarketError("size line must be 'm n nnz p'")
+    m, n, nnz, nparts = (int(x) for x in fields)
+    if m <= 0 or n <= 0 or nnz < 0 or nparts <= 0:
+        raise MatrixMarketError("invalid distributed-matrix size line")
+    pstart = [int(_next_data_line(fh)) for _ in range(nparts + 1)]
+    if pstart[0] != 0 or pstart[-1] != nnz or any(
+        a > b for a, b in zip(pstart, pstart[1:])
+    ):
+        raise MatrixMarketError("invalid Pstart block")
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    file_parts = np.empty(nnz, dtype=np.int64)
+    part = 0
+    for k in range(nnz):
+        while part < nparts - 1 and k >= pstart[part + 1]:
+            part += 1
+        entry = _next_data_line(fh).split()
+        if len(entry) < 3:
+            raise MatrixMarketError(f"malformed entry line {entry!r}")
+        i, j, v = int(entry[0]), int(entry[1]), float(entry[2])
+        if not (1 <= i <= m and 1 <= j <= n):
+            raise MatrixMarketError(f"entry ({i}, {j}) out of bounds")
+        rows[k] = i - 1
+        cols[k] = j - 1
+        vals[k] = v
+        file_parts[k] = part
+    matrix = SparseMatrix((m, n), rows, cols, vals, sum_duplicates=False)
+    # Map the file's entry order to canonical order: order[t] is the file
+    # index of the t-th canonical nonzero.
+    order = np.lexsort((cols, rows))
+    canonical_parts = file_parts[order]
+    return matrix, canonical_parts, nparts
+
+
+def _next_data_line(fh: TextIO) -> str:
+    for line in fh:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            return stripped
+    raise MatrixMarketError("unexpected end of file")
+
+
+def write_vector_distribution(
+    owner: np.ndarray,
+    nparts: int,
+    target: Union[str, Path, TextIO],
+) -> None:
+    """Write a vector distribution (``index owner`` pairs, 1-based)."""
+    nparts = check_pos_int(nparts, "nparts")
+    owner = np.asarray(owner, dtype=np.int64).ravel()
+    if owner.size and (owner.min() < 0 or owner.max() >= nparts):
+        raise MatrixMarketError("vector owners out of range")
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            _write_dv(owner, nparts, fh)
+    else:
+        _write_dv(owner, nparts, target)
+
+
+def _write_dv(owner: np.ndarray, nparts: int, fh: TextIO) -> None:
+    fh.write(_DV_BANNER + "\n")
+    fh.write(f"{owner.size} {nparts}\n")
+    for idx, p in enumerate(owner.tolist(), start=1):
+        fh.write(f"{idx} {p + 1}\n")
+
+
+def read_vector_distribution(
+    source: Union[str, Path, TextIO],
+) -> tuple[np.ndarray, int]:
+    """Read a vector distribution; returns ``(owner, nparts)`` 0-based."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _read_dv(fh)
+    return _read_dv(source)
+
+
+def _read_dv(fh: TextIO) -> tuple[np.ndarray, int]:
+    banner = fh.readline().strip()
+    if banner != _DV_BANNER:
+        raise MatrixMarketError(
+            f"expected distributed-vector banner, got {banner[:60]!r}"
+        )
+    fields = _next_data_line(fh).split()
+    if len(fields) != 2:
+        raise MatrixMarketError("size line must be 'n p'")
+    n, nparts = int(fields[0]), int(fields[1])
+    if n < 0 or nparts <= 0:
+        raise MatrixMarketError("invalid distributed-vector size line")
+    owner = np.empty(n, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    for _ in range(n):
+        entry = _next_data_line(fh).split()
+        if len(entry) != 2:
+            raise MatrixMarketError(f"malformed vector line {entry!r}")
+        idx, p = int(entry[0]), int(entry[1])
+        if not (1 <= idx <= n):
+            raise MatrixMarketError(f"vector index {idx} out of range")
+        if not (1 <= p <= nparts):
+            raise MatrixMarketError(f"vector owner {p} out of range")
+        if seen[idx - 1]:
+            raise MatrixMarketError(f"duplicate vector index {idx}")
+        seen[idx - 1] = True
+        owner[idx - 1] = p - 1
+    return owner, nparts

@@ -1,0 +1,130 @@
+"""Pattern statistics and matrix classification.
+
+The paper splits its test set into three classes (Section IV):
+
+* **rectangular** matrices (``m != n``),
+* **structurally symmetric** matrices (square, nonzero-pattern symmetry
+  exactly one), and
+* **square non-symmetric** matrices (square, pattern symmetry below one).
+
+:func:`classify_matrix` reproduces that classification, and
+:func:`pattern_symmetry` computes the UF-collection-style pattern-symmetry
+score it relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.matrix import SparseMatrix
+
+__all__ = [
+    "MatrixClass",
+    "classify_matrix",
+    "pattern_symmetry",
+    "MatrixStats",
+    "matrix_stats",
+]
+
+
+class MatrixClass(enum.Enum):
+    """The paper's three test-set categories."""
+
+    RECTANGULAR = "rectangular"
+    SYMMETRIC = "symmetric"
+    SQUARE_NONSYMMETRIC = "square_nonsymmetric"
+
+    @property
+    def short(self) -> str:
+        """The paper's table abbreviation (Rec / Sym / Sqr)."""
+        return {
+            MatrixClass.RECTANGULAR: "Rec",
+            MatrixClass.SYMMETRIC: "Sym",
+            MatrixClass.SQUARE_NONSYMMETRIC: "Sqr",
+        }[self]
+
+
+def pattern_symmetry(matrix: SparseMatrix) -> float:
+    """Nonzero-pattern symmetry score in ``[0, 1]``.
+
+    Defined as the fraction of *off-diagonal* nonzeros ``(i, j)`` whose
+    transposed position ``(j, i)`` is also a nonzero — the definition used by
+    the UF sparse matrix collection.  A matrix with no off-diagonal nonzeros
+    scores 1.  Rectangular matrices score 0 by convention.
+    """
+    m, n = matrix.shape
+    if m != n:
+        return 0.0
+    off = matrix.rows != matrix.cols
+    n_off = int(np.count_nonzero(off))
+    if n_off == 0:
+        return 1.0
+    # Encode positions as scalar keys; membership via sorted search.
+    keys = matrix.rows[off] * n + matrix.cols[off]
+    tkeys = matrix.cols[off] * n + matrix.rows[off]
+    keys_sorted = np.sort(keys)
+    pos = np.searchsorted(keys_sorted, tkeys)
+    pos = np.minimum(pos, keys_sorted.size - 1)
+    matched = keys_sorted[pos] == tkeys
+    return float(np.count_nonzero(matched)) / n_off
+
+
+def classify_matrix(matrix: SparseMatrix) -> MatrixClass:
+    """Classify a matrix into the paper's Rec / Sym / Sqr categories."""
+    m, n = matrix.shape
+    if m != n:
+        return MatrixClass.RECTANGULAR
+    if pattern_symmetry(matrix) == 1.0:
+        return MatrixClass.SYMMETRIC
+    return MatrixClass.SQUARE_NONSYMMETRIC
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of a sparse matrix pattern."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    density: float
+    pattern_symmetry: float
+    matrix_class: MatrixClass
+    min_row_degree: int
+    max_row_degree: int
+    mean_row_degree: float
+    min_col_degree: int
+    max_col_degree: int
+    mean_col_degree: float
+    empty_rows: int
+    empty_cols: int
+    diagonal_nnz: int
+
+
+def matrix_stats(matrix: SparseMatrix) -> MatrixStats:
+    """Compute :class:`MatrixStats` for ``matrix``."""
+    m, n = matrix.shape
+    nzr = matrix.nnz_per_row()
+    nzc = matrix.nnz_per_col()
+    diag = 0
+    if m == n:
+        diag = int(np.count_nonzero(matrix.rows == matrix.cols))
+    return MatrixStats(
+        nrows=m,
+        ncols=n,
+        nnz=matrix.nnz,
+        density=matrix.nnz / (m * n),
+        pattern_symmetry=pattern_symmetry(matrix),
+        matrix_class=classify_matrix(matrix),
+        min_row_degree=int(nzr.min(initial=0)),
+        max_row_degree=int(nzr.max(initial=0)),
+        mean_row_degree=float(nzr.mean()) if m else 0.0,
+        min_col_degree=int(nzc.min(initial=0)),
+        max_col_degree=int(nzc.max(initial=0)),
+        mean_col_degree=float(nzc.mean()) if n else 0.0,
+        empty_rows=int(np.count_nonzero(nzr == 0)),
+        empty_cols=int(np.count_nonzero(nzc == 0)),
+        diagonal_nnz=diag,
+    )

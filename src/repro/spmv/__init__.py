@@ -1,0 +1,33 @@
+"""Parallel sparse matrix–vector multiplication substrate.
+
+The paper's Section I motivates matrix partitioning with the four-step BSP
+SpMV: (1) fan-out of input-vector entries, (2) local multiplication,
+(3) fan-in of partial sums, (4) summation.  This subpackage provides:
+
+* vector distribution — assigning an owner to every input/output vector
+  component (:mod:`repro.spmv.vector_dist`);
+* the BSP cost model used in Table II (:mod:`repro.spmv.bsp`);
+* a full simulator that executes the four steps on a partitioned matrix,
+  counts every communicated word, and verifies the distributed result
+  against the sequential product (:mod:`repro.spmv.simulate`) — the
+  ground-truth check that the volume of eqn (3) is really what a parallel
+  run would communicate.
+"""
+
+from repro.spmv.vector_dist import (
+    VectorDistribution,
+    distribute_vectors,
+    expected_phase_words,
+)
+from repro.spmv.bsp import BSPCost, bsp_cost
+from repro.spmv.simulate import SimulationReport, simulate_spmv
+
+__all__ = [
+    "VectorDistribution",
+    "distribute_vectors",
+    "expected_phase_words",
+    "BSPCost",
+    "bsp_cost",
+    "SimulationReport",
+    "simulate_spmv",
+]

@@ -1,0 +1,171 @@
+"""The BSP communication-cost metric of Table II.
+
+The paper defines the BSP cost as "the sum of the maximum number of data
+words that are sent or received by a single processor during the fan-in
+and fan-out phase": with per-processor word counts ``send_s``/``recv_s``
+in each phase,
+
+.. code-block:: text
+
+    cost = max_s max(send_s, recv_s) |fanout  +  max_s max(send_s, recv_s) |fanin
+
+i.e. the h-relation of each communication superstep, summed.  Unlike the
+total volume ``V`` this metric penalizes concentrating traffic on one
+processor, which is where the vector distribution matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.volume import check_nonzero_parts
+from repro.sparse.matrix import SparseMatrix
+from repro.spmv.vector_dist import VectorDistribution, distribute_vectors
+from repro.utils.validation import check_pos_int
+
+__all__ = ["BSPCost", "bsp_cost", "phase_loads"]
+
+
+@dataclass(frozen=True)
+class BSPCost:
+    """Per-phase communication loads and the scalar BSP cost.
+
+    Attributes
+    ----------
+    fanout_send, fanout_recv:
+        Words sent/received per part during fan-out (length ``nparts``).
+    fanin_send, fanin_recv:
+        Likewise for fan-in.
+    """
+
+    fanout_send: np.ndarray
+    fanout_recv: np.ndarray
+    fanin_send: np.ndarray
+    fanin_recv: np.ndarray
+
+    @property
+    def h_fanout(self) -> int:
+        """h-relation of the fan-out superstep."""
+        return int(
+            max(
+                self.fanout_send.max(initial=0),
+                self.fanout_recv.max(initial=0),
+            )
+        )
+
+    @property
+    def h_fanin(self) -> int:
+        """h-relation of the fan-in superstep."""
+        return int(
+            max(
+                self.fanin_send.max(initial=0),
+                self.fanin_recv.max(initial=0),
+            )
+        )
+
+    @property
+    def cost(self) -> int:
+        """The Table-II BSP cost: ``h_fanout + h_fanin``."""
+        return self.h_fanout + self.h_fanin
+
+    @property
+    def total_words(self) -> int:
+        """Total words over both phases (equals the volume ``V`` whenever
+        owners lie inside the touching part sets)."""
+        return int(self.fanout_send.sum() + self.fanin_send.sum())
+
+    @property
+    def per_processor_volume(self) -> np.ndarray:
+        """Words sent plus received by each processor over both phases —
+        the per-processor communication volume whose maximum UMPa (paper
+        ref. [2]) minimizes."""
+        return (
+            self.fanout_send
+            + self.fanout_recv
+            + self.fanin_send
+            + self.fanin_recv
+        )
+
+    @property
+    def max_per_processor_volume(self) -> int:
+        """``max_s (sent_s + received_s)`` — the UMPa bottleneck metric.
+
+        The paper's Section I names this as one of the "other
+        communication metrics" outside its scope; it is provided here for
+        completeness of the evaluation harness.
+        """
+        return int(self.per_processor_volume.max(initial=0))
+
+
+def phase_loads(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    nparts: int,
+    dist: VectorDistribution,
+) -> BSPCost:
+    """Compute per-part send/receive word counts for both phases.
+
+    Fan-out: the owner of ``v_j`` sends one word to every *other* part
+    with a nonzero in column ``j``; if the owner itself holds no nonzero
+    in the column it still must send to all of them (and receives
+    nothing — it already has the value).  Fan-in: every non-owner part
+    with a nonzero in row ``i`` sends one partial sum to the owner of
+    ``u_i``.
+    """
+    parts = check_nonzero_parts(matrix, parts, nparts)
+    m, n = matrix.shape
+
+    fanout_send = np.zeros(nparts, dtype=np.int64)
+    fanout_recv = np.zeros(nparts, dtype=np.int64)
+    fanin_send = np.zeros(nparts, dtype=np.int64)
+    fanin_recv = np.zeros(nparts, dtype=np.int64)
+
+    # Distinct (line, part) incidences per axis.
+    for axis, owner, send, recv in (
+        ("col", dist.input_owner, fanout_send, fanout_recv),
+        ("row", dist.output_owner, fanin_send, fanin_recv),
+    ):
+        index = matrix.cols if axis == "col" else matrix.rows
+        if index.size == 0:
+            continue
+        order = np.lexsort((parts, index))
+        si, sp = index[order], parts[order]
+        keep = np.empty(si.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = (si[1:] != si[:-1]) | (sp[1:] != sp[:-1])
+        li, lp = si[keep], sp[keep]  # one entry per (line, part) incidence
+        own = owner[li]
+        foreign = lp != own
+        if axis == "col":
+            # Owner sends one word per foreign incidence; the foreign part
+            # receives it.
+            np.add.at(send, own[foreign], 1)
+            np.add.at(recv, lp[foreign], 1)
+        else:
+            # Each foreign part sends its partial sum to the owner.
+            np.add.at(send, lp[foreign], 1)
+            np.add.at(recv, own[foreign], 1)
+    return BSPCost(
+        fanout_send=fanout_send,
+        fanout_recv=fanout_recv,
+        fanin_send=fanin_send,
+        fanin_recv=fanin_recv,
+    )
+
+
+def bsp_cost(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    nparts: int,
+    dist: VectorDistribution | None = None,
+) -> BSPCost:
+    """BSP cost of a partitioning; computes a greedy vector distribution
+    when ``dist`` is not supplied."""
+    nparts = check_pos_int(nparts, "nparts")
+    if dist is None:
+        dist = distribute_vectors(matrix, parts, nparts)
+    else:
+        dist.validate_against(matrix)
+    return phase_loads(matrix, parts, nparts, dist)

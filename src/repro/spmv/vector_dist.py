@@ -1,0 +1,255 @@
+"""Input/output vector distribution for parallel SpMV.
+
+After the nonzeros are partitioned, every input component ``v_j`` and
+output component ``u_i`` needs an owner processor.  The total volume is
+fixed by the matrix partitioning as long as each owner is chosen *inside*
+the set of parts touching that column/row (then column ``j`` costs exactly
+``lambda_j - 1`` fan-out words and row ``i`` costs ``lambda_i - 1`` fan-in
+words — eqn (2)).  The freedom that remains is *which* member of the set
+owns the component, which only affects the per-processor (BSP) balance of
+Table II.
+
+:func:`distribute_vectors` implements a greedy balancer: components are
+processed in decreasing connectivity order and each is assigned to the
+candidate part that minimizes the phase's tentative bottleneck — the
+standard greedy used for Mondriaan-style vector distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.volume import check_nonzero_parts
+from repro.errors import SimulationError
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.validation import check_pos_int
+
+__all__ = ["VectorDistribution", "distribute_vectors"]
+
+
+@dataclass(frozen=True)
+class VectorDistribution:
+    """Owners of the vector components.
+
+    Attributes
+    ----------
+    input_owner:
+        Part owning ``v_j`` for each column ``j`` (length ``n``).
+    output_owner:
+        Part owning ``u_i`` for each row ``i`` (length ``m``).
+    nparts:
+        Number of parts.
+    """
+
+    input_owner: np.ndarray
+    output_owner: np.ndarray
+    nparts: int
+
+    def validate_against(self, matrix: SparseMatrix) -> None:
+        """Sanity-check array lengths and part ranges for ``matrix``."""
+        m, n = matrix.shape
+        if self.input_owner.shape != (n,):
+            raise SimulationError(
+                f"input_owner must have length {n}, got "
+                f"{self.input_owner.shape}"
+            )
+        if self.output_owner.shape != (m,):
+            raise SimulationError(
+                f"output_owner must have length {m}, got "
+                f"{self.output_owner.shape}"
+            )
+        for name, arr in (
+            ("input_owner", self.input_owner),
+            ("output_owner", self.output_owner),
+        ):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.nparts):
+                raise SimulationError(f"{name} contains out-of-range parts")
+
+
+def _axis_part_sets(
+    index: np.ndarray, parts: np.ndarray, extent: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR lists of the distinct parts touching each row/column index.
+
+    Returns ``(ptr, flat)`` with the parts of line ``i`` in
+    ``flat[ptr[i]:ptr[i+1]]``.
+    """
+    if index.size == 0:
+        return np.zeros(extent + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    order = np.lexsort((parts, index))
+    si, sp = index[order], parts[order]
+    keep = np.empty(si.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = (si[1:] != si[:-1]) | (sp[1:] != sp[:-1])
+    si, sp = si[keep], sp[keep]
+    counts = np.bincount(si, minlength=extent)
+    ptr = np.zeros(extent + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    return ptr, sp
+
+
+def _greedy_owners(
+    ptr: np.ndarray,
+    flat: np.ndarray,
+    extent: int,
+    nparts: int,
+    fallback_balance: np.ndarray,
+) -> np.ndarray:
+    """Greedy owner assignment for one phase.
+
+    The owner of a component with candidate set ``P`` (size ``lam``) sends
+    ``lam - 1`` words; every other member receives one word.  Components
+    are processed in decreasing ``lam``; each picks the candidate whose
+    tentative ``max(send, recv)`` after the assignment is smallest.
+
+    Components with an empty candidate set (empty line) round-robin over
+    ``fallback_balance`` — they cause no traffic, only storage.
+    """
+    owners = np.full(extent, -1, dtype=np.int64)
+    lam = np.diff(ptr)
+    send = [0] * nparts
+    recv = [0] * nparts
+    ptr_l = ptr.tolist()
+    flat_l = flat.tolist()
+    order = np.argsort(-lam, kind="stable").tolist()
+    for line in order:
+        lo, hi = ptr_l[line], ptr_l[line + 1]
+        k = hi - lo
+        if k == 0:
+            continue  # handled by fallback below
+        if k == 1:
+            owners[line] = flat_l[lo]
+            continue
+        best_s = -1
+        best_cost = None
+        for t in range(lo, hi):
+            s = flat_l[t]
+            cost = max(send[s] + k - 1, recv[s])
+            if best_cost is None or cost < best_cost:
+                best_s, best_cost = s, cost
+        owners[line] = best_s
+        send[best_s] += k - 1
+        for t in range(lo, hi):
+            s = flat_l[t]
+            if s != best_s:
+                recv[s] += 1
+    empty = owners < 0
+    if empty.any():
+        idx = np.flatnonzero(empty)
+        owners[idx] = fallback_balance[np.arange(idx.size) % nparts]
+    return owners
+
+
+def distribute_vectors(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    nparts: int,
+    *,
+    equal: bool = False,
+) -> VectorDistribution:
+    """Assign owners to all input/output vector components.
+
+    With ``equal=False`` (default) owners always lie inside the part set
+    touching the component's column/row (when non-empty), so the simulated
+    word count equals the communication volume of eqn (3).
+
+    With ``equal=True`` (square matrices only) the input and output
+    distributions are forced identical — ``owner(v_j) == owner(u_j)`` —
+    the constraint iterative solvers impose and that the enhanced models
+    of Ucar & Aykanat (paper ref. [7]) optimize for.  The owner of index
+    ``j`` is drawn from the intersection of the column-``j`` and
+    row-``j`` part sets when possible; otherwise from their union, which
+    costs extra communicated words exactly as the paper notes ("may cause
+    extra communication for matrices with zeros on the main diagonal").
+    Use :func:`expected_phase_words` to account for the surplus.
+    """
+    nparts = check_pos_int(nparts, "nparts")
+    parts = check_nonzero_parts(matrix, parts, nparts)
+    m, n = matrix.shape
+    col_ptr, col_parts = _axis_part_sets(matrix.cols, parts, n)
+    row_ptr, row_parts = _axis_part_sets(matrix.rows, parts, m)
+    fallback = np.arange(nparts, dtype=np.int64)
+    if equal:
+        if m != n:
+            raise SimulationError(
+                "equal input/output distribution requires a square matrix"
+            )
+        owner = _greedy_equal_owners(
+            col_ptr, col_parts, row_ptr, row_parts, n, nparts, fallback
+        )
+        dist = VectorDistribution(
+            input_owner=owner, output_owner=owner.copy(), nparts=nparts
+        )
+    else:
+        input_owner = _greedy_owners(col_ptr, col_parts, n, nparts, fallback)
+        output_owner = _greedy_owners(row_ptr, row_parts, m, nparts, fallback)
+        dist = VectorDistribution(
+            input_owner=input_owner,
+            output_owner=output_owner,
+            nparts=nparts,
+        )
+    dist.validate_against(matrix)
+    return dist
+
+
+def _greedy_equal_owners(
+    col_ptr: np.ndarray,
+    col_flat: np.ndarray,
+    row_ptr: np.ndarray,
+    row_flat: np.ndarray,
+    extent: int,
+    nparts: int,
+    fallback_balance: np.ndarray,
+) -> np.ndarray:
+    """One common owner per index, minimizing surplus words first, load
+    second.
+
+    Choosing owner ``s`` for index ``j`` costs ``|P_j \\ {s}|`` fan-out
+    sends plus ``|R_j \\ {s}|`` fan-in receives; any ``s`` in the
+    intersection achieves the eqn-(3) minimum for that index.
+    """
+    owners = np.full(extent, -1, dtype=np.int64)
+    load = [0] * nparts
+    for j in range(extent):
+        cols = set(col_flat[col_ptr[j] : col_ptr[j + 1]].tolist())
+        rows = set(row_flat[row_ptr[j] : row_ptr[j + 1]].tolist())
+        both = cols & rows
+        candidates = both or (cols | rows)
+        if not candidates:
+            continue
+        s = min(candidates, key=lambda p: (load[p], p))
+        owners[j] = s
+        load[s] += len(cols - {s}) + len(rows - {s})
+    empty = owners < 0
+    if empty.any():
+        idx = np.flatnonzero(empty)
+        owners[idx] = fallback_balance[np.arange(idx.size) % nparts]
+    return owners
+
+
+def expected_phase_words(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    dist: VectorDistribution,
+) -> tuple[int, int]:
+    """Exact fan-out/fan-in word counts implied by a vector distribution.
+
+    For any (not necessarily sets-respecting) distribution: column ``j``
+    moves ``|P_j \\ {owner(v_j)}|`` words in fan-out and row ``i`` moves
+    ``|R_i \\ {owner(u_i)}|`` words in fan-in.  Equals the eqn-(3)
+    breakdown whenever owners lie inside the touching sets.
+    """
+    parts = check_nonzero_parts(matrix, parts, dist.nparts)
+    m, n = matrix.shape
+    totals = []
+    for index, owner, extent in (
+        (matrix.cols, dist.input_owner, n),
+        (matrix.rows, dist.output_owner, m),
+    ):
+        ptr, flat = _axis_part_sets(index, parts, extent)
+        line_of = np.repeat(np.arange(extent), np.diff(ptr))
+        foreign = flat != owner[line_of]
+        totals.append(int(np.count_nonzero(foreign)))
+    return totals[0], totals[1]

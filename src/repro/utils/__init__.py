@@ -1,0 +1,22 @@
+"""Shared utilities: RNG discipline, timing, balance math, validation."""
+
+from repro.utils.balance import max_allowed_part_size
+from repro.utils.rng import as_generator, spawn_seeds
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_axis_pair,
+    check_eps,
+    check_nonneg_int,
+    check_pos_int,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_seeds",
+    "Timer",
+    "max_allowed_part_size",
+    "check_axis_pair",
+    "check_eps",
+    "check_nonneg_int",
+    "check_pos_int",
+]

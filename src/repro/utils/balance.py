@@ -1,0 +1,29 @@
+"""Load-balance ceiling arithmetic (paper eqn (1)).
+
+Lives in :mod:`repro.utils` because both the hypergraph partitioner and the
+matrix-level core need it; keeping it here avoids an import cycle between
+those packages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_eps, check_pos_int
+
+__all__ = ["max_allowed_part_size"]
+
+
+def max_allowed_part_size(total: int, nparts: int, eps: float) -> int:
+    """The integer load ceiling implied by ``max_k w_k <= (1+eps) * W / p``.
+
+    ``floor((1 + eps) * W / p)``, clamped from below by ``ceil(W / p)`` so
+    the constraint is always satisfiable — a perfectly balanced integer
+    partitioning must be legal (the same clamp Mondriaan applies).
+    """
+    total = int(total)
+    nparts = check_pos_int(nparts, "nparts")
+    eps = check_eps(eps)
+    ceiling = int(np.floor((1.0 + eps) * total / nparts + 1e-9))
+    perfect = -(-total // nparts)  # ceil division
+    return max(ceiling, perfect)

@@ -1,0 +1,59 @@
+"""Lightweight argument validation shared across the package.
+
+These helpers centralize the error messages so tests can assert on them and
+the public API fails fast with actionable diagnostics instead of deep NumPy
+index errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["check_pos_int", "check_nonneg_int", "check_eps", "check_axis_pair"]
+
+
+def check_pos_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonneg_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_eps(eps: Any, name: str = "eps") -> float:
+    """Validate a load-imbalance fraction (``eps >= 0``), returning a float.
+
+    The paper uses ``eps = 0.03`` throughout; any non-negative value is
+    accepted (``eps = 0`` demands perfect balance, which may be infeasible
+    for odd total weights and is handled by the ceiling in the constraint).
+    """
+    try:
+        eps = float(eps)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a float, got {eps!r}") from exc
+    if not np.isfinite(eps) or eps < 0.0:
+        raise ValueError(f"{name} must be finite and >= 0, got {eps}")
+    return eps
+
+
+def check_axis_pair(shape: Any) -> tuple[int, int]:
+    """Validate a matrix ``shape`` as a pair of positive integers."""
+    try:
+        m, n = shape
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"shape must be a pair (m, n), got {shape!r}") from exc
+    return check_pos_int(m, "m"), check_pos_int(n, "n")

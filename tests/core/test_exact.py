@@ -1,0 +1,144 @@
+"""Tests for the exact branch-and-bound bipartitioner."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_bipartition
+from repro.core.methods import bipartition
+from repro.core.volume import (
+    communication_volume,
+    max_allowed_part_size,
+    max_part_size,
+)
+from repro.errors import PartitioningError
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import sparse_matrices
+
+
+def enumerate_optimum(matrix, eps):
+    """Reference: literally try all 2^N assignments."""
+    n = matrix.nnz
+    ceiling = max_allowed_part_size(n, 2, eps)
+    best = None
+    for bits in itertools.product((0, 1), repeat=n):
+        ones = sum(bits)
+        if ones > ceiling or n - ones > ceiling:
+            continue
+        v = communication_volume(matrix, np.array(bits, dtype=np.int64))
+        best = v if best is None else min(best, v)
+    return best
+
+
+class TestExactBipartition:
+    def test_matches_enumeration_small(self):
+        a = SparseMatrix(
+            (3, 3),
+            np.array([0, 0, 1, 1, 2, 2, 0, 2]),
+            np.array([0, 1, 1, 2, 0, 2, 2, 1]),
+        )
+        res = exact_bipartition(a, eps=0.1)
+        assert res.optimal
+        assert res.volume == enumerate_optimum(a, 0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(sparse_matrices(max_rows=4, max_cols=4, max_nnz=9, min_nnz=2))
+    def test_matches_enumeration_property(self, a):
+        res = exact_bipartition(a, eps=0.2)
+        assert res.optimal
+        assert res.volume == enumerate_optimum(a, 0.2)
+        # The returned parts achieve the reported volume and are balanced.
+        assert communication_volume(a, res.parts) == res.volume
+        ceiling = max_allowed_part_size(a.nnz, 2, 0.2)
+        assert max_part_size(a, res.parts, 2) <= ceiling
+
+    def test_heuristics_never_beat_exact(self):
+        rng = np.random.default_rng(5)
+        for trial in range(4):
+            m = int(rng.integers(4, 7))
+            n = int(rng.integers(4, 7))
+            k = int(rng.integers(6, 14))
+            cells = set()
+            while len(cells) < k:
+                cells.add((int(rng.integers(0, m)), int(rng.integers(0, n))))
+            a = SparseMatrix(
+                (m, n),
+                np.array([c[0] for c in cells]),
+                np.array([c[1] for c in cells]),
+            )
+            opt = exact_bipartition(a, eps=0.1)
+            for method in ("localbest", "finegrain", "mediumgrain"):
+                h = bipartition(a, method=method, refine=True, eps=0.1,
+                                seed=trial)
+                assert h.volume >= opt.volume
+
+    def test_incumbent_seeding_does_not_change_optimum(self):
+        rng = np.random.default_rng(9)
+        a = SparseMatrix(
+            (5, 5), rng.integers(0, 5, 14), rng.integers(0, 5, 14)
+        )
+        cold = exact_bipartition(a, eps=0.1)
+        seed_parts = bipartition(a, method="mediumgrain", eps=0.1,
+                                 seed=0).parts
+        warm = exact_bipartition(
+            a, eps=0.1, initial_incumbent=seed_parts
+        )
+        assert warm.volume == cold.volume
+        assert warm.nodes <= cold.nodes  # the bound can only help
+
+    def test_empty_matrix(self):
+        a = SparseMatrix((2, 2), [], [])
+        res = exact_bipartition(a)
+        assert res.volume == 0 and res.optimal
+
+    def test_single_nonzero(self):
+        a = SparseMatrix((2, 2), [0], [1])
+        res = exact_bipartition(a, eps=0.0)
+        assert res.volume == 0
+
+    def test_perfectly_separable(self):
+        # Two independent 2x2 dense blocks: optimal volume 0.
+        rows = [0, 0, 1, 1, 2, 2, 3, 3]
+        cols = [0, 1, 0, 1, 2, 3, 2, 3]
+        a = SparseMatrix((4, 4), np.array(rows), np.array(cols))
+        res = exact_bipartition(a, eps=0.0)
+        assert res.volume == 0
+
+    def test_dense_block_forced_cut(self):
+        # A fully dense 2x2 must be cut when eps = 0: volume >= 2... the
+        # best split puts 2 nonzeros per side; e.g. by rows: 2 columns cut.
+        a = SparseMatrix((2, 2), [0, 0, 1, 1], [0, 1, 0, 1])
+        res = exact_bipartition(a, eps=0.0)
+        assert res.volume == 2
+
+    def test_size_cap_enforced(self):
+        rng = np.random.default_rng(1)
+        a = SparseMatrix(
+            (30, 30), rng.integers(0, 30, 100), rng.integers(0, 30, 100)
+        )
+        with pytest.raises(PartitioningError, match="refuses"):
+            exact_bipartition(a)
+
+    def test_time_limit_returns_incumbent(self):
+        rng = np.random.default_rng(2)
+        cells = set()
+        while len(cells) < 40:
+            cells.add((int(rng.integers(0, 12)), int(rng.integers(0, 12))))
+        a = SparseMatrix(
+            (12, 12),
+            np.array([c[0] for c in cells]),
+            np.array([c[1] for c in cells]),
+        )
+        res = exact_bipartition(a, eps=0.03, time_limit=0.05)
+        # Either it finished in time (optimal) or returned an incumbent.
+        assert res.volume == communication_volume(a, res.parts)
+        if not res.optimal:
+            assert res.nodes > 0
+
+    def test_bad_incumbent_shape(self):
+        a = SparseMatrix((2, 2), [0, 1], [0, 1])
+        with pytest.raises(PartitioningError):
+            exact_bipartition(a, initial_incumbent=np.zeros(5))

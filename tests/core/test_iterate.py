@@ -1,0 +1,91 @@
+"""Tests for the full iterative method (paper Section V extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterate import full_iterative_bipartition
+from repro.core.methods import bipartition
+from repro.core.volume import (
+    communication_volume,
+    max_allowed_part_size,
+    max_part_size,
+)
+from repro.errors import PartitioningError
+from repro.sparse.generators import chung_lu, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return chung_lu(120, 120, 800, seed=31)
+
+
+class TestFullIterative:
+    def test_best_so_far_monotone(self, matrix):
+        res = full_iterative_bipartition(matrix, iterations=3, seed=1)
+        v = res.volumes
+        assert all(v[i + 1] <= v[i] for i in range(len(v) - 1))
+        assert len(v) == 4
+        assert len(res.attempt_volumes) == 4
+
+    def test_volume_matches_parts(self, matrix):
+        res = full_iterative_bipartition(matrix, iterations=2, seed=2)
+        assert res.volume == communication_volume(matrix, res.parts)
+        assert res.volume == res.volumes[-1]
+
+    def test_feasible(self, matrix):
+        res = full_iterative_bipartition(matrix, iterations=2, seed=3)
+        assert res.feasible
+        ceiling = max_allowed_part_size(matrix.nnz, 2, 0.03)
+        assert max_part_size(matrix, res.parts, 2) <= ceiling
+
+    def test_zero_iterations_is_plain_mg(self, matrix):
+        res = full_iterative_bipartition(
+            matrix, iterations=0, seed=4, refine_each=False
+        )
+        assert len(res.volumes) == 1
+        plain = bipartition(matrix, method="mediumgrain", seed=4)
+        # Same seed, same pipeline: identical volume.
+        assert res.volume == plain.volume
+
+    def test_never_worse_than_single_run(self, matrix):
+        """More iterations can only keep or improve the best volume."""
+        one = full_iterative_bipartition(matrix, iterations=0, seed=5)
+        many = full_iterative_bipartition(matrix, iterations=4, seed=5)
+        assert many.volume <= one.volume
+
+    def test_quality_improves_on_average(self):
+        """Across several seeds, 4 extra iterations must strictly help on
+        at least one (the method has real search power)."""
+        m = erdos_renyi(100, 100, 700, seed=32)
+        improved = 0
+        for seed in range(5):
+            base = full_iterative_bipartition(m, iterations=0, seed=seed)
+            it = full_iterative_bipartition(m, iterations=4, seed=seed)
+            assert it.volume <= base.volume
+            if it.volume < base.volume:
+                improved += 1
+        assert improved >= 1
+
+    def test_negative_iterations_rejected(self, matrix):
+        with pytest.raises(PartitioningError):
+            full_iterative_bipartition(matrix, iterations=-1)
+
+    def test_deterministic(self, matrix):
+        r1 = full_iterative_bipartition(matrix, iterations=2, seed=7)
+        r2 = full_iterative_bipartition(matrix, iterations=2, seed=7)
+        np.testing.assert_array_equal(r1.parts, r2.parts)
+
+    def test_explicit_max_weights(self, matrix):
+        cap = matrix.nnz // 2 + 30
+        res = full_iterative_bipartition(
+            matrix, iterations=1, seed=8, max_weights=(cap, cap)
+        )
+        sizes = np.bincount(res.parts, minlength=2)
+        assert sizes.max() <= cap
+
+    def test_without_refine_each(self, matrix):
+        res = full_iterative_bipartition(
+            matrix, iterations=2, seed=9, refine_each=False
+        )
+        assert res.feasible
+        assert res.volume == communication_volume(matrix, res.parts)

@@ -1,0 +1,146 @@
+"""Tests for the six paper methods behind `bipartition`."""
+
+import numpy as np
+import pytest
+
+from repro.core.methods import METHOD_NAMES, bipartition
+from repro.core.volume import (
+    communication_volume,
+    max_allowed_part_size,
+    max_part_size,
+    row_col_lambdas,
+)
+from repro.errors import PartitioningError
+from repro.sparse.generators import arrow, erdos_renyi, grid2d_laplacian
+
+
+@pytest.fixture(scope="module")
+def er():
+    return erdos_renyi(80, 80, 500, seed=11)
+
+
+class TestAllMethods:
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_valid_feasible_bipartition(self, er, method):
+        res = bipartition(er, method=method, eps=0.03, seed=1)
+        assert set(np.unique(res.parts).tolist()) <= {0, 1}
+        assert res.feasible
+        assert res.volume == communication_volume(er, res.parts)
+        ceiling = max_allowed_part_size(er.nnz, 2, 0.03)
+        assert res.max_part <= ceiling
+        assert res.seconds > 0
+        assert res.method == method
+
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_with_refinement_never_worse(self, er, method):
+        plain = bipartition(er, method=method, eps=0.03, seed=2)
+        refined = bipartition(
+            er, method=method, eps=0.03, refine=True, seed=2
+        )
+        # Same seed drives the same base partitioning; IR only improves.
+        assert refined.volume <= plain.volume
+        assert refined.method == method + "+ir"
+        assert refined.refinement is not None
+        assert refined.refinement.final_volume == refined.volume
+
+    def test_unknown_method(self, er):
+        with pytest.raises(PartitioningError, match="unknown method"):
+            bipartition(er, method="hypercube")
+
+
+class TestMethodSemantics:
+    def test_rownet_never_cuts_columns(self, er):
+        res = bipartition(er, method="rownet", seed=3)
+        _, col_l = row_col_lambdas(er, res.parts)
+        assert (col_l <= 1).all()
+
+    def test_colnet_never_cuts_rows(self, er):
+        res = bipartition(er, method="colnet", seed=3)
+        row_l, _ = row_col_lambdas(er, res.parts)
+        assert (row_l <= 1).all()
+
+    def test_localbest_at_most_min_of_1d(self, er):
+        lb = bipartition(er, method="localbest", seed=4)
+        rn = bipartition(er, method="rownet", seed=4)
+        cn = bipartition(er, method="colnet", seed=4)
+        assert lb.volume <= max(rn.volume, cn.volume)
+        assert lb.details["localbest_choice"] in ("rownet", "colnet")
+
+    def test_localbest_picks_reported_volume(self, er):
+        lb = bipartition(er, method="localbest", seed=5)
+        assert lb.details["localbest_volume"] == lb.volume
+
+    def test_mediumgrain_records_model_size(self, er):
+        mg = bipartition(er, method="mediumgrain", seed=6)
+        m, n = er.shape
+        assert 0 < mg.details["mg_vertices"] <= m + n
+        assert 0 < mg.details["mg_nets"] <= m + n
+
+    def test_mediumgrain_is_2d_on_arrow(self):
+        """On an arrow matrix a good 2D method cuts both rows and columns
+        while 1D methods force all volume into one dimension."""
+        a = arrow(150, 1, seed=0)
+        mg = bipartition(a, method="mediumgrain", refine=True, seed=7)
+        rn = bipartition(a, method="rownet", seed=7)
+        assert mg.volume < rn.volume
+
+    def test_finegrain_full_freedom(self, er):
+        fg = bipartition(er, method="finegrain", seed=8)
+        assert fg.feasible
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, er):
+        r1 = bipartition(er, method="mediumgrain", refine=True, seed=99)
+        r2 = bipartition(er, method="mediumgrain", refine=True, seed=99)
+        np.testing.assert_array_equal(r1.parts, r2.parts)
+        assert r1.volume == r2.volume
+
+    def test_different_seeds_usually_differ(self, er):
+        vols = {
+            bipartition(er, method="mediumgrain", seed=s).volume
+            for s in range(6)
+        }
+        assert len(vols) > 1
+
+
+class TestMaxWeightsOverride:
+    def test_asymmetric_split(self, er):
+        cap0 = er.nnz // 4 + 20
+        cap1 = er.nnz - er.nnz // 4 + 20
+        res = bipartition(
+            er, method="mediumgrain", seed=9, max_weights=(cap0, cap1)
+        )
+        sizes = np.bincount(res.parts, minlength=2)
+        assert sizes[0] <= cap0
+        assert sizes[1] <= cap1
+
+    def test_grid_structured(self):
+        g = grid2d_laplacian(14, 14)
+        res = bipartition(g, method="mediumgrain", refine=True, seed=10)
+        assert res.feasible
+        # The grid has an excellent 2D bipartitioning; demand quality.
+        assert res.volume <= 40
+
+
+class TestPatohPresetMethods:
+    """The second partitioner preset must serve every method, since the
+    paper's Fig. 6 / Table II rerun the whole comparison under it."""
+
+    @pytest.mark.parametrize("method", ("localbest", "mediumgrain"))
+    def test_patoh_preset_feasible(self, er, method):
+        res = bipartition(er, method=method, config="patoh", seed=31)
+        assert res.feasible
+        assert res.volume == communication_volume(er, res.parts)
+
+    def test_presets_generally_differ(self, er):
+        """Different engines explore differently: across several seeds the
+        two presets should not produce identical volumes everywhere."""
+        diffs = 0
+        for s in range(4):
+            a = bipartition(er, method="mediumgrain", config="mondriaan",
+                            seed=s).volume
+            b = bipartition(er, method="mediumgrain", config="patoh",
+                            seed=s).volume
+            diffs += a != b
+        assert diffs >= 1

@@ -1,0 +1,134 @@
+"""Tests for SBD reordering and the ASCII spy plot."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recursive import partition
+from repro.core.sbd import ascii_spy, sbd_order
+from repro.core.volume import communication_volume, row_col_lambdas
+from repro.errors import PartitioningError
+from repro.sparse.generators import block_diagonal, erdos_renyi
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import matrices_with_parts
+
+
+class TestSbdOrder:
+    def test_permutations_valid(self, rng):
+        a = erdos_renyi(20, 30, 150, seed=1)
+        parts = rng.integers(0, 2, size=a.nnz)
+        rp, cp = sbd_order(a, parts, 2)
+        assert sorted(rp.tolist()) == list(range(20))
+        assert sorted(cp.tolist()) == list(range(30))
+
+    def test_volume_invariant_under_sbd(self, rng):
+        a = erdos_renyi(25, 25, 180, seed=2)
+        parts = rng.integers(0, 4, size=a.nnz)
+        rp, cp = sbd_order(a, parts, 4)
+        b = a.permuted(rp, cp)
+        # Permutation preserves the partitioning problem: map parts along.
+        order = np.lexsort((cp[a.cols], rp[a.rows]))
+        assert communication_volume(b, parts[order]) == (
+            communication_volume(a, parts)
+        )
+
+    def test_two_part_block_structure(self):
+        """Pure part-0 rows come first, cut rows in the middle, part-1
+        rows after (the separator sandwich)."""
+        a = block_diagonal(2, 8, 0.6, noise_nnz=6, seed=3)
+        parts = (a.rows >= 8).astype(np.int64)
+        rp, cp = sbd_order(a, parts, 2)
+        row_l, _ = row_col_lambdas(a, parts)
+        kinds = np.full(a.nrows, -1)
+        for i in range(a.nrows):
+            touching = set(parts[a.rows == i].tolist())
+            if touching == {0}:
+                kinds[i] = 0
+            elif touching == {1}:
+                kinds[i] = 2
+            elif touching:
+                kinds[i] = 1
+        order = np.argsort(rp)  # original row ids in new order
+        seq = [int(kinds[i]) for i in order if kinds[i] >= 0]
+        assert seq == sorted(seq)
+
+    def test_separator_columns_between_blocks(self):
+        a = block_diagonal(2, 8, 0.6, noise_nnz=6, seed=4)
+        parts = (a.cols >= 8).astype(np.int64)
+        _, cp = sbd_order(a, parts, 2)
+        kinds = {}
+        for j in range(a.ncols):
+            touching = set(parts[a.cols == j].tolist())
+            kinds[j] = (
+                0 if touching == {0} else 2 if touching == {1} else 1
+            )
+        seq = [kinds[j] for j in np.argsort(cp)]
+        assert seq == sorted(seq)
+
+    def test_p4_recursive_nesting(self, rng):
+        """With 4 parts, lines private to parts {0,1} precede all lines
+        private to parts {2,3}."""
+        a = erdos_renyi(40, 40, 400, seed=5)
+        res = partition(a, 4, method="mediumgrain", seed=6)
+        rp, _ = sbd_order(a, res.parts, 4)
+        halves = np.full(a.nrows, -1)
+        for i in range(a.nrows):
+            touching = set(res.parts[a.rows == i].tolist())
+            if touching and touching <= {0, 1}:
+                halves[i] = 0
+            elif touching and touching <= {2, 3}:
+                halves[i] = 1
+        new_pos = {i: rp[i] for i in range(a.nrows)}
+        left = [new_pos[i] for i in range(a.nrows) if halves[i] == 0]
+        right = [new_pos[i] for i in range(a.nrows) if halves[i] == 1]
+        if left and right:
+            # Private-left lines all precede private-right lines except
+            # where the top-level separator sits (which contains neither).
+            assert max(left) < max(right)
+            assert min(left) < min(right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices_with_parts())
+    def test_always_a_permutation(self, case):
+        matrix, parts, nparts = case
+        rp, cp = sbd_order(matrix, parts, nparts)
+        assert sorted(rp.tolist()) == list(range(matrix.nrows))
+        assert sorted(cp.tolist()) == list(range(matrix.ncols))
+
+
+class TestAsciiSpy:
+    def test_dimensions(self):
+        a = erdos_renyi(50, 80, 300, seed=7)
+        art = ascii_spy(a, width=40, height=20)
+        lines = art.splitlines()
+        assert len(lines) == 20
+        assert all(len(ln) == 40 for ln in lines)
+
+    def test_unpartitioned_uses_star(self):
+        a = SparseMatrix((2, 2), [0], [0])
+        art = ascii_spy(a, width=2, height=2)
+        assert art.splitlines()[0][0] == "*"
+        assert "." in art
+
+    def test_part_digits(self):
+        a = SparseMatrix((2, 2), [0, 1], [0, 1])
+        art = ascii_spy(a, parts=np.array([0, 1]), width=2, height=2)
+        assert art.splitlines()[0][0] == "0"
+        assert art.splitlines()[1][1] == "1"
+
+    def test_mixed_cell_marker(self):
+        # Two nonzeros in the same display cell with different parts.
+        a = SparseMatrix((2, 2), [0, 0], [0, 1])
+        art = ascii_spy(a, parts=np.array([0, 1]), width=1, height=1)
+        assert art == "#"
+
+    def test_empty_matrix(self):
+        a = SparseMatrix((4, 4), [], [])
+        art = ascii_spy(a, width=4, height=4)
+        assert set(art.replace("\n", "")) == {"."}
+
+    def test_too_many_parts_rejected(self):
+        a = SparseMatrix((2, 2), [0], [0])
+        with pytest.raises(PartitioningError):
+            ascii_spy(a, parts=np.array([0]), nparts=12)

@@ -1,0 +1,207 @@
+"""Tests for Algorithm 1 (initial split) and split re-encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.split import Split, initial_split, split_from_bipartition
+from repro.errors import SplitError
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import sparse_matrices
+
+
+class TestSplitDataclass:
+    def test_masks_partition_nonzeros(self, tiny_square):
+        mask = np.zeros(tiny_square.nnz, dtype=bool)
+        mask[::2] = True
+        s = Split(tiny_square, mask)
+        assert (s.ar_mask ^ s.ac_mask).all()
+
+    def test_materialized_matrices_disjoint_union(self, tiny_square):
+        mask = np.zeros(tiny_square.nnz, dtype=bool)
+        mask[:5] = True
+        s = Split(tiny_square, mask)
+        ar, ac = s.ar_matrix(), s.ac_matrix()
+        assert ar.nnz + ac.nnz == tiny_square.nnz
+        np.testing.assert_allclose(
+            ar.to_dense() + ac.to_dense(), tiny_square.to_dense()
+        )
+
+    def test_group_sizes(self, tiny_square):
+        mask = np.ones(tiny_square.nnz, dtype=bool)
+        s = Split(tiny_square, mask)
+        np.testing.assert_array_equal(
+            s.row_group_sizes(), tiny_square.nnz_per_row()
+        )
+        assert s.col_group_sizes().sum() == 0
+
+    def test_bad_mask_shape(self, tiny_square):
+        with pytest.raises(SplitError):
+            Split(tiny_square, np.zeros(3, dtype=bool))
+
+    def test_bad_mask_dtype(self, tiny_square):
+        with pytest.raises(SplitError):
+            Split(tiny_square, np.zeros(tiny_square.nnz, dtype=np.int64))
+
+
+class TestAlgorithm1:
+    def test_singleton_rows_go_to_ac(self):
+        # Row 0 has one nonzero in a column with 2 nonzeros.
+        a = SparseMatrix((2, 2), [0, 1, 1], [0, 0, 1])
+        s = initial_split(a, seed=0, post_pass=False)
+        k = np.flatnonzero((a.rows == 0) & (a.cols == 0))[0]
+        assert not s.in_row_group[k]  # Ac
+
+    def test_singleton_cols_go_to_ar(self):
+        a = SparseMatrix((2, 2), [0, 0, 1], [0, 1, 0])
+        s = initial_split(a, seed=0, post_pass=False)
+        k = np.flatnonzero((a.rows == 0) & (a.cols == 1))[0]
+        assert s.in_row_group[k]  # Ar
+
+    def test_singleton_col_beats_singleton_row(self):
+        """Algorithm 1 checks nzc == 1 first: an isolated nonzero -> Ar."""
+        a = SparseMatrix((2, 2), [0], [1])
+        s = initial_split(a, seed=0, post_pass=False)
+        assert s.in_row_group[0]
+
+    def test_smaller_row_wins(self):
+        # Row 0 has 2 nonzeros; its columns have 3 nonzeros each.
+        rows = [0, 0, 1, 1, 2, 2]
+        cols = [0, 1, 0, 1, 0, 1]
+        a = SparseMatrix((3, 2), np.array(rows), np.array(cols))
+        s = initial_split(a, seed=0, post_pass=False)
+        # every row (size 2) is smaller than every column (size 3) -> Ar
+        assert s.in_row_group.all()
+
+    def test_smaller_col_wins(self):
+        a = SparseMatrix(
+            (2, 3), np.array([0, 0, 0, 1, 1, 1]), np.array([0, 1, 2, 0, 1, 2])
+        )
+        s = initial_split(a, seed=0, post_pass=False)
+        assert (~s.in_row_group).all()
+
+    def test_tie_side_from_shape_tall(self):
+        # 3x2 all-dense-ish would tie only if scores equal; build a tie:
+        # every row has 2 nonzeros, every column has 2 nonzeros.
+        a = SparseMatrix((4, 4), np.array([0, 0, 1, 1, 2, 2, 3, 3]),
+                         np.array([0, 1, 1, 2, 2, 3, 3, 0]))
+        s_r = initial_split(a, tie_side="r", post_pass=False)
+        assert s_r.in_row_group.all()
+        s_c = initial_split(a, tie_side="c", post_pass=False)
+        assert (~s_c.in_row_group).all()
+
+    def test_tall_matrix_prefers_ar(self):
+        # m > n: ties go to Ar.  Build a 4x2 matrix where all scores tie.
+        a = SparseMatrix((4, 2), np.array([0, 0, 1, 1, 2, 2, 3, 3]),
+                         np.array([0, 1, 0, 1, 0, 1, 0, 1]))
+        # rows have 2 nonzeros, columns 4 -> rows win anyway; check tie rule
+        # via the uniform score instead:
+        s = initial_split(a, score="uniform", post_pass=False)
+        assert s.in_row_group.all()
+
+    def test_wide_matrix_prefers_ac(self):
+        a = SparseMatrix((2, 4), np.array([0, 0, 0, 0, 1, 1, 1, 1]),
+                         np.array([0, 1, 2, 3, 0, 1, 2, 3]))
+        s = initial_split(a, score="uniform", post_pass=False)
+        assert (~s.in_row_group).all()
+
+    def test_square_tie_is_seeded_random(self):
+        a = SparseMatrix((4, 4), np.array([0, 0, 1, 1, 2, 2, 3, 3]),
+                         np.array([0, 1, 1, 2, 2, 3, 3, 0]))
+        sides = {
+            bool(initial_split(a, seed=s, post_pass=False).in_row_group[0])
+            for s in range(20)
+        }
+        assert sides == {True, False}  # both directions occur
+
+    def test_invalid_tie_side(self, tiny_square):
+        with pytest.raises(SplitError):
+            initial_split(tiny_square, tie_side="x")
+
+    def test_invalid_score(self, tiny_square):
+        with pytest.raises(SplitError):
+            initial_split(tiny_square, score="degree^2")
+
+    def test_deterministic_given_seed(self, tiny_square):
+        s1 = initial_split(tiny_square, seed=5)
+        s2 = initial_split(tiny_square, seed=5)
+        np.testing.assert_array_equal(s1.in_row_group, s2.in_row_group)
+
+
+class TestPostPass:
+    def test_row_with_single_stray_absorbed(self):
+        """A row that is fully Ar except one nonzero pulls it in."""
+        # Construct: row 0 = 3 nonzeros.  Columns of first two are
+        # singletons (-> Ar); third column has 3 nonzeros and row 0 has 3,
+        # tie -> with tie_side='c' it goes to Ac, leaving one stray.
+        rows = [0, 0, 0, 1, 2, 1, 2]
+        cols = [0, 1, 2, 2, 2, 3, 4]
+        a = SparseMatrix((3, 5), np.array(rows), np.array(cols))
+        base = initial_split(a, tie_side="c", post_pass=False)
+        k = np.flatnonzero((a.rows == 0) & (a.cols == 2))[0]
+        if not base.in_row_group[k] and (
+            base.in_row_group[(a.rows == 0) & (a.cols != 2)].all()
+        ):
+            fixed = initial_split(a, tie_side="c", post_pass=True)
+            assert fixed.in_row_group[k]
+
+    def test_post_pass_never_creates_new_strays_in_rows(self, rng):
+        """After the row sweep, no row has exactly one Ac nonzero among
+        >= 2 (columns may still, since the column sweep runs after)."""
+        from repro.sparse.generators import erdos_renyi
+
+        a = erdos_renyi(30, 30, 200, seed=3)
+        s = initial_split(a, seed=1, post_pass=True)
+        nzc = a.nnz_per_col()
+        ar_per_col = np.bincount(a.cols[s.ar_mask], minlength=a.ncols)
+        # Column rule: no column with >= 2 nonzeros has exactly one in Ar.
+        bad = (nzc >= 2) & (ar_per_col == 1)
+        assert not bad.any()
+
+    @given(sparse_matrices())
+    def test_split_is_partition(self, a):
+        s = initial_split(a, seed=0)
+        assert s.in_row_group.shape == (a.nnz,)
+        assert int(s.ar_matrix().nnz + s.ac_matrix().nnz) == a.nnz
+
+    @given(sparse_matrices())
+    def test_singleton_rules_after_postpass(self, a):
+        """Singletons stay put: a singleton column's nonzero is in Ar
+        unless the column rule moved it (it cannot: the column has one
+        nonzero, so 'all but one in Ac' never fires for it)."""
+        s = initial_split(a, seed=0)
+        nzc = a.nnz_per_col()
+        nzr = a.nnz_per_row()
+        singleton_col = nzc[a.cols] == 1
+        singleton_row = nzr[a.rows] == 1
+        both = singleton_col & singleton_row
+        only_col = singleton_col & ~singleton_row
+        # Pure singleton columns (in rows with >= 2 nonzeros) are Ar, and
+        # the row post-pass can only *add* to Ar.
+        assert s.in_row_group[only_col | both].all()
+
+
+class TestSplitFromBipartition:
+    def test_direction0(self, tiny_square):
+        parts = (np.arange(tiny_square.nnz) % 2).astype(np.int64)
+        s = split_from_bipartition(tiny_square, parts, 0)
+        np.testing.assert_array_equal(s.in_row_group, parts == 0)
+
+    def test_direction1(self, tiny_square):
+        parts = (np.arange(tiny_square.nnz) % 2).astype(np.int64)
+        s = split_from_bipartition(tiny_square, parts, 1)
+        np.testing.assert_array_equal(s.in_row_group, parts == 1)
+
+    def test_rejects_kway(self, tiny_square):
+        parts = np.arange(tiny_square.nnz)
+        with pytest.raises(SplitError):
+            split_from_bipartition(tiny_square, parts, 0)
+
+    def test_rejects_bad_direction(self, tiny_square):
+        parts = np.zeros(tiny_square.nnz, dtype=np.int64)
+        with pytest.raises(SplitError):
+            split_from_bipartition(tiny_square, parts, 2)
+
+    def test_rejects_bad_shape(self, tiny_square):
+        with pytest.raises(SplitError):
+            split_from_bipartition(tiny_square, np.zeros(2), 0)

@@ -1,0 +1,43 @@
+"""Tests for the shared sweep collector used by the benchmark harness."""
+
+import pytest
+
+from repro.eval.experiments import collect_paper_runs, _sweep_cache
+from repro.sparse.collection import build_collection, load_instance
+
+
+class TestCollectPaperRuns:
+    def test_min_nnz_filter(self):
+        """The p=64 experiments restrict to large-enough matrices; the
+        filter must drop everything below the bound."""
+        floor = 1500
+        data = collect_paper_runs(
+            tier="small",
+            max_tier=None,
+            nruns=1,
+            base_seed=555,
+            min_nnz=floor,
+        )
+        for name in data.instances():
+            assert load_instance(name).nnz >= floor
+        # And it did not drop everything.
+        n_all = len(build_collection(tier="small"))
+        assert 0 < len(data.instances()) < n_all
+
+    def test_cache_key_includes_config(self):
+        d1 = collect_paper_runs(
+            tier="small", max_tier=None, nruns=1, base_seed=556,
+            min_nnz=2000,
+        )
+        d2 = collect_paper_runs(
+            tier="small", max_tier=None, nruns=1, base_seed=556,
+            min_nnz=2000, config="patoh",
+        )
+        assert d1 is not d2
+
+    def test_records_cover_six_methods(self):
+        data = collect_paper_runs(
+            tier="small", max_tier=None, nruns=1, base_seed=557,
+            min_nnz=1500,
+        )
+        assert data.methods() == ["LB", "LB+IR", "MG", "MG+IR", "FG", "FG+IR"]

@@ -1,0 +1,83 @@
+"""Tests for normalized geometric means."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.geomean import geometric_mean, normalized_geomeans
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_singleton(self):
+        assert geometric_mean(np.array([3.0])) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            geometric_mean(np.array([]))
+
+    def test_zero_rejected(self):
+        with pytest.raises(EvaluationError):
+            geometric_mean(np.array([0.0, 1.0]))
+
+    def test_log_stability_large_values(self):
+        v = np.full(1000, 1e12)
+        assert geometric_mean(v) == pytest.approx(1e12, rel=1e-9)
+
+
+class TestNormalizedGeomeans:
+    def test_reference_is_one(self):
+        means, n = normalized_geomeans(
+            {"ref": np.array([2.0, 4.0]), "x": np.array([1.0, 8.0])},
+            reference="ref",
+        )
+        assert means["ref"] == pytest.approx(1.0)
+        assert n == 2
+
+    def test_better_method_below_one(self):
+        means, _ = normalized_geomeans(
+            {"ref": np.array([4.0, 4.0]), "x": np.array([2.0, 2.0])},
+            reference="ref",
+        )
+        assert means["x"] == pytest.approx(0.5)
+
+    def test_zero_reference_instances_dropped(self):
+        means, n = normalized_geomeans(
+            {"ref": np.array([0.0, 2.0]), "x": np.array([5.0, 1.0])},
+            reference="ref",
+        )
+        assert n == 1
+        assert means["x"] == pytest.approx(0.5)
+
+    def test_zero_value_clamped_not_crash(self):
+        means, _ = normalized_geomeans(
+            {"ref": np.array([2.0]), "x": np.array([0.0])},
+            reference="ref",
+        )
+        assert 0 < means["x"] < 0.01
+
+    def test_unknown_reference(self):
+        with pytest.raises(EvaluationError, match="reference"):
+            normalized_geomeans({"a": np.array([1.0])}, reference="b")
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            normalized_geomeans(
+                {"ref": np.array([1.0]), "x": np.array([1.0, 2.0])},
+                reference="ref",
+            )
+
+    def test_reference_choice_invariance_of_ratios(self):
+        """Geomean ratios are consistent: gm_x / gm_y is the same under
+        any reference (the property that makes geometric means the right
+        summary for normalized data)."""
+        data = {
+            "a": np.array([2.0, 3.0, 4.0]),
+            "b": np.array([1.0, 6.0, 2.0]),
+            "c": np.array([4.0, 3.0, 8.0]),
+        }
+        m_a, _ = normalized_geomeans(data, reference="a")
+        m_b, _ = normalized_geomeans(data, reference="b")
+        assert m_a["b"] / m_a["c"] == pytest.approx(m_b["b"] / m_b["c"])

@@ -1,0 +1,130 @@
+"""Tests for Dolan–Moré performance profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.profiles import performance_profile, performance_ratios
+
+
+class TestRatios:
+    def test_basic(self):
+        ratios, dropped = performance_ratios(
+            {"a": np.array([2.0, 4.0]), "b": np.array([4.0, 2.0])}
+        )
+        np.testing.assert_allclose(ratios["a"], [1.0, 2.0])
+        np.testing.assert_allclose(ratios["b"], [2.0, 1.0])
+        assert dropped == ()
+
+    def test_zero_best_dropped(self):
+        ratios, dropped = performance_ratios(
+            {"a": np.array([0.0, 2.0]), "b": np.array([0.0, 4.0])}
+        )
+        assert dropped == (0,)
+        assert ratios["a"].size == 1
+
+    def test_zero_loser_survives(self):
+        # Method b scores 0 where a scores 3: instance kept (best is 0 ->
+        # dropped actually). Both zero -> dropped; only-one-zero -> best=0
+        # -> dropped too, per the paper's removal rule.
+        ratios, dropped = performance_ratios(
+            {"a": np.array([3.0, 2.0]), "b": np.array([0.0, 1.0])}
+        )
+        assert dropped == (0,)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(EvaluationError):
+            performance_ratios(
+                {"a": np.array([1.0]), "b": np.array([1.0, 2.0])}
+            )
+
+    def test_empty(self):
+        with pytest.raises(EvaluationError):
+            performance_ratios({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(EvaluationError):
+            performance_ratios({"a": np.array([-1.0])})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(EvaluationError):
+            performance_ratios({"a": np.array([0.0])})
+
+
+class TestProfile:
+    def test_fraction_at_one_counts_winners(self):
+        p = performance_profile(
+            {"a": np.array([1.0, 2.0, 3.0]), "b": np.array([1.0, 1.0, 2.0])}
+        )
+        # best = [1, 1, 2]: a ties-best on instance 0 only; b on all three.
+        assert p.fraction_at("a", 1.0) == pytest.approx(1 / 3)
+        assert p.fraction_at("b", 1.0) == pytest.approx(1.0)
+
+    def test_monotone_non_decreasing(self):
+        p = performance_profile(
+            {"a": np.array([1.0, 5.0, 2.0]), "b": np.array([2.0, 1.0, 1.0])}
+        )
+        for fr in p.fractions.values():
+            assert (np.diff(fr) >= 0).all()
+
+    def test_dominant_method_reaches_one(self):
+        p = performance_profile(
+            {"a": np.array([1.0, 1.0]), "b": np.array([1.5, 1.9])},
+            max_tau=2.0,
+        )
+        assert p.fraction_at("a", 1.0) == 1.0
+        assert p.fraction_at("b", 2.0) == 1.0
+
+    def test_method_beyond_max_tau_stays_below_one(self):
+        p = performance_profile(
+            {"a": np.array([1.0]), "b": np.array([10.0])}, max_tau=2.0
+        )
+        assert p.fraction_at("b", 2.0) == 0.0
+
+    def test_custom_taus(self):
+        taus = np.array([1.0, 1.5, 3.0])
+        p = performance_profile(
+            {"a": np.array([1.0, 2.0]), "b": np.array([2.0, 1.0])},
+            taus=taus,
+        )
+        np.testing.assert_array_equal(p.taus, taus)
+
+    def test_bad_taus(self):
+        with pytest.raises(EvaluationError):
+            performance_profile(
+                {"a": np.array([1.0])}, taus=np.array([0.5, 1.0])
+            )
+
+    def test_auc_ranks_better_method_higher(self):
+        p = performance_profile(
+            {
+                "good": np.array([1.0, 1.0, 1.1]),
+                "bad": np.array([1.8, 1.9, 1.7]),
+            }
+        )
+        assert p.auc("good") > p.auc("bad")
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 100, allow_nan=False),
+                st.floats(0.1, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_pointwise_best_method_dominates(self, pairs):
+        """A method equal to the per-instance minimum dominates both."""
+        a = np.array([p[0] for p in pairs])
+        b = np.array([p[1] for p in pairs])
+        best = np.minimum(a, b)
+        p = performance_profile({"a": a, "b": b, "best": best})
+        for label in ("a", "b"):
+            assert (
+                p.fractions["best"] >= p.fractions[label] - 1e-12
+            ).all()
+        assert p.fraction_at("best", 1.0) == 1.0

@@ -1,0 +1,95 @@
+"""Tests for text/CSV rendering."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.profiles import performance_profile
+from repro.eval.report import (
+    ascii_profile_chart,
+    format_float,
+    markdown_table,
+    write_csv,
+)
+
+
+@pytest.fixture
+def profile():
+    return performance_profile(
+        {
+            "MG": np.array([1.0, 1.0, 1.3]),
+            "LB": np.array([1.2, 1.5, 1.0]),
+        }
+    )
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self, profile):
+        chart = ascii_profile_chart(profile, "Volume")
+        assert "Volume" in chart
+        assert "o=MG" in chart and "x=LB" in chart
+
+    def test_consistent_line_widths(self, profile):
+        chart = ascii_profile_chart(profile, "t", width=40, height=10)
+        body = [
+            ln for ln in chart.splitlines() if ln.startswith(("     |", "0."))
+            or "|" in ln
+        ]
+        widths = {len(ln) for ln in body if "|" in ln}
+        assert len(widths) == 1
+
+    def test_axis_labels_present(self, profile):
+        chart = ascii_profile_chart(profile, "t")
+        assert "1.00" in chart  # both y=1.0 tick and tau=1.0 tick
+        assert "2.00" in chart
+
+    def test_too_many_methods(self):
+        values = {f"m{i}": np.array([1.0 + i, 2.0]) for i in range(12)}
+        p = performance_profile(values)
+        with pytest.raises(EvaluationError):
+            ascii_profile_chart(p, "t")
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_highlight_min(self):
+        md = markdown_table(
+            ["m", "x", "y"], [["vol", 2.0, 1.0]], highlight_min=True
+        )
+        assert "**1.0**" in md
+        assert "**2.0**" not in md
+
+    def test_highlight_handles_non_numeric(self):
+        md = markdown_table(["a"], [["text"]], highlight_min=True)
+        assert "text" in md
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "data.csv"
+        write_csv(path, ["x", "y"], [[1, 2.5], [3, 4.0]])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_creates_parents(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.csv"
+        write_csv(path, ["h"], [])
+        assert path.exists()
+
+
+class TestFormatFloat:
+    def test_default_two_digits(self):
+        assert format_float(0.12345) == "0.12"
+
+    def test_custom_digits(self):
+        assert format_float(1 / 3, 4) == "0.3333"

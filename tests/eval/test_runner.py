@@ -1,0 +1,120 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.runner import (
+    PAPER_METHODS,
+    ExperimentData,
+    MethodSpec,
+    RunRecord,
+    run_methods,
+)
+from repro.sparse.collection import build_collection
+
+
+FAST_METHODS = (
+    MethodSpec("LB", "localbest", False),
+    MethodSpec("MG", "mediumgrain", False),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    entries = build_collection(tier="small")[:3]
+    return run_methods(entries, FAST_METHODS, nruns=2, base_seed=7)
+
+
+class TestRunMethods:
+    def test_record_count(self, tiny_sweep):
+        # 3 instances x 2 methods x 2 runs
+        assert len(tiny_sweep.records) == 12
+
+    def test_metadata_populated(self, tiny_sweep):
+        r = tiny_sweep.records[0]
+        assert r.matrix_class in ("Rec", "Sym", "Sqr")
+        assert r.volume >= 0
+        assert r.seconds > 0
+        assert r.nparts == 2
+        assert r.bsp is None
+
+    def test_all_runs_feasible(self, tiny_sweep):
+        assert tiny_sweep.feasible_fraction() == 1.0
+
+    def test_deterministic(self):
+        entries = build_collection(tier="small")[:1]
+        d1 = run_methods(entries, FAST_METHODS, nruns=1, base_seed=3)
+        d2 = run_methods(entries, FAST_METHODS, nruns=1, base_seed=3)
+        assert [r.volume for r in d1.records] == [
+            r.volume for r in d2.records
+        ]
+
+    def test_with_bsp(self):
+        entries = build_collection(tier="small")[:1]
+        data = run_methods(
+            entries, FAST_METHODS, nruns=1, base_seed=1, with_bsp=True
+        )
+        assert all(r.bsp is not None and r.bsp >= 0 for r in data.records)
+
+    def test_pway(self):
+        entries = build_collection(tier="small")[:1]
+        data = run_methods(
+            entries, FAST_METHODS[:1], nruns=1, nparts=4, base_seed=2
+        )
+        assert all(r.nparts == 4 for r in data.records)
+
+    def test_bad_nruns(self):
+        with pytest.raises(EvaluationError):
+            run_methods([], FAST_METHODS, nruns=0)
+
+    def test_paper_methods_table(self):
+        labels = [m.label for m in PAPER_METHODS]
+        assert labels == ["LB", "LB+IR", "MG", "MG+IR", "FG", "FG+IR"]
+
+
+class TestExperimentData:
+    def test_mean_metric_averages_runs(self, tiny_sweep):
+        vols = tiny_sweep.mean_metric("volume")
+        assert set(vols) == {"LB", "MG"}
+        assert all(v.shape == (3,) for v in vols.values())
+
+    def test_mean_metric_matches_manual(self, tiny_sweep):
+        vols = tiny_sweep.mean_metric("volume")
+        inst = tiny_sweep.instances()[0]
+        manual = np.mean(
+            [
+                r.volume
+                for r in tiny_sweep.records
+                if r.instance == inst and r.method == "LB"
+            ]
+        )
+        assert vols["LB"][0] == pytest.approx(manual)
+
+    def test_subset_by_class(self, tiny_sweep):
+        for cls in ("Rec", "Sym", "Sqr"):
+            sub = tiny_sweep.subset(cls)
+            assert all(r.matrix_class == cls for r in sub.records)
+
+    def test_unknown_metric(self, tiny_sweep):
+        with pytest.raises(EvaluationError):
+            tiny_sweep.mean_metric("energy")
+
+    def test_missing_bsp_metric_raises(self, tiny_sweep):
+        with pytest.raises(EvaluationError, match="lacks"):
+            tiny_sweep.mean_metric("bsp")
+
+    def test_missing_method_coverage_detected(self):
+        data = ExperimentData(
+            [
+                RunRecord("i1", "Sym", "LB", 0, 2, 5, 0.1, True),
+                RunRecord("i2", "Sym", "LB", 0, 2, 5, 0.1, True),
+                RunRecord("i1", "Sym", "MG", 0, 2, 5, 0.1, True),
+            ]
+        )
+        with pytest.raises(EvaluationError, match="no runs"):
+            data.mean_metric("volume")
+
+    def test_instances_ordered(self, tiny_sweep):
+        names = tiny_sweep.instances()
+        assert len(names) == len(set(names)) == 3

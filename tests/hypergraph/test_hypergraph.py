@@ -1,0 +1,106 @@
+"""Tests for the CSR hypergraph structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def small_h() -> Hypergraph:
+    """4 vertices; nets {0,1}, {1,2,3}, {0,3}."""
+    return Hypergraph.from_net_lists(4, [[0, 1], [1, 2, 3], [0, 3]])
+
+
+class TestConstruction:
+    def test_basic(self, small_h):
+        assert small_h.nverts == 4
+        assert small_h.nnets == 3
+        assert small_h.npins == 7
+
+    def test_net_sizes(self, small_h):
+        assert small_h.net_sizes().tolist() == [2, 3, 2]
+
+    def test_net_pins(self, small_h):
+        assert small_h.net_pins(1).tolist() == [1, 2, 3]
+
+    def test_default_weights_and_costs(self, small_h):
+        assert small_h.vwgt.tolist() == [1, 1, 1, 1]
+        assert small_h.ncost.tolist() == [1, 1, 1]
+        assert small_h.total_weight() == 4
+
+    def test_custom_weights(self):
+        h = Hypergraph.from_net_lists(2, [[0, 1]], vwgt=[5, 7])
+        assert h.total_weight() == 12
+
+    def test_empty_nets_allowed(self):
+        h = Hypergraph.from_net_lists(3, [[], [0, 1]])
+        assert h.net_sizes().tolist() == [0, 2]
+
+    def test_isolated_vertices_allowed(self):
+        h = Hypergraph.from_net_lists(5, [[0, 1]])
+        assert h.vertex_degrees().tolist() == [1, 1, 0, 0, 0]
+
+    def test_no_nets(self):
+        h = Hypergraph(3, np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert h.nnets == 0
+
+    def test_duplicate_pin_rejected(self):
+        with pytest.raises(HypergraphError, match="duplicate"):
+            Hypergraph.from_net_lists(3, [[0, 0, 1]])
+
+    def test_pin_out_of_range(self):
+        with pytest.raises(HypergraphError, match="out of range"):
+            Hypergraph.from_net_lists(2, [[0, 5]])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(HypergraphError, match="non-negative"):
+            Hypergraph.from_net_lists(2, [[0, 1]], vwgt=[1, -1])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(HypergraphError, match="non-negative"):
+            Hypergraph.from_net_lists(2, [[0, 1]], ncost=[-2])
+
+    def test_bad_xpins_monotonicity(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(2, np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_bad_xpins_terminal(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(2, np.array([0, 1]), np.array([0, 1]))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(HypergraphError, match="vwgt"):
+            Hypergraph.from_net_lists(3, [[0, 1]], vwgt=[1, 1])
+
+    def test_cost_length_mismatch(self):
+        with pytest.raises(HypergraphError, match="ncost"):
+            Hypergraph.from_net_lists(3, [[0, 1]], ncost=[1, 1])
+
+    def test_arrays_readonly(self, small_h):
+        with pytest.raises(ValueError):
+            small_h.pins[0] = 3
+
+
+class TestTranspose:
+    def test_vertex_nets(self, small_h):
+        assert sorted(small_h.vertex_nets(0).tolist()) == [0, 2]
+        assert sorted(small_h.vertex_nets(1).tolist()) == [0, 1]
+        assert sorted(small_h.vertex_nets(3).tolist()) == [1, 2]
+
+    def test_transpose_consistency(self, small_h):
+        """v in net n  <=>  n in nets-of-v."""
+        for n in range(small_h.nnets):
+            for v in small_h.net_pins(n).tolist():
+                assert n in small_h.vertex_nets(v).tolist()
+
+    def test_degrees(self, small_h):
+        assert small_h.vertex_degrees().tolist() == [2, 2, 1, 2]
+
+    def test_max_vertex_net_cost_unit(self, small_h):
+        assert small_h.max_vertex_net_cost() == 2
+
+    def test_max_vertex_net_cost_weighted(self):
+        h = Hypergraph.from_net_lists(2, [[0, 1], [0, 1]], ncost=[3, 4])
+        assert h.max_vertex_net_cost() == 7

@@ -1,0 +1,92 @@
+"""Tests for hypergraph cut metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import (
+    connectivity_volume,
+    cut_net_count,
+    net_lambdas,
+    part_weights,
+)
+
+
+@pytest.fixture
+def h() -> Hypergraph:
+    return Hypergraph.from_net_lists(
+        5, [[0, 1, 2], [2, 3], [3, 4], [0, 4]], ncost=[1, 2, 1, 3]
+    )
+
+
+class TestNetLambdas:
+    def test_all_one_part(self, h):
+        parts = np.zeros(5, dtype=np.int64)
+        assert net_lambdas(h, parts).tolist() == [1, 1, 1, 1]
+
+    def test_bipartition(self, h):
+        parts = np.array([0, 0, 1, 1, 1])
+        assert net_lambdas(h, parts).tolist() == [2, 1, 1, 2]
+
+    def test_three_parts(self, h):
+        parts = np.array([0, 1, 2, 0, 1])
+        assert net_lambdas(h, parts).tolist() == [3, 2, 2, 2]
+
+    def test_empty_net(self):
+        hh = Hypergraph.from_net_lists(2, [[], [0, 1]])
+        assert net_lambdas(hh, np.array([0, 1])).tolist() == [0, 2]
+
+    def test_wrong_shape(self, h):
+        with pytest.raises(PartitioningError):
+            net_lambdas(h, np.zeros(3, dtype=np.int64))
+
+    def test_negative_part(self, h):
+        with pytest.raises(PartitioningError):
+            net_lambdas(h, np.array([0, 0, 0, 0, -1]))
+
+
+class TestConnectivityVolume:
+    def test_uncut_is_zero(self, h):
+        assert connectivity_volume(h, np.zeros(5, dtype=np.int64)) == 0
+
+    def test_costs_weighted(self, h):
+        parts = np.array([0, 0, 1, 1, 1])
+        # nets 0 (cost 1) and 3 (cost 3) are cut
+        assert connectivity_volume(h, parts) == 4
+
+    def test_kway_lambda_minus_one(self, h):
+        parts = np.array([0, 1, 2, 0, 1])
+        # lambdas [3,2,2,2], costs [1,2,1,3] -> 2*1+1*2+1*1+1*3 = 8
+        assert connectivity_volume(h, parts) == 8
+
+    def test_cut_net_count(self, h):
+        parts = np.array([0, 0, 1, 1, 1])
+        assert cut_net_count(h, parts) == 2
+
+    @given(st.lists(st.integers(0, 2), min_size=5, max_size=5))
+    def test_volume_nonnegative(self, parts_list):
+        hh = Hypergraph.from_net_lists(
+            5, [[0, 1, 2], [2, 3], [3, 4], [0, 4]]
+        )
+        assert connectivity_volume(hh, np.array(parts_list)) >= 0
+
+
+class TestPartWeights:
+    def test_unit_weights(self, h):
+        parts = np.array([0, 0, 1, 1, 1])
+        assert part_weights(h, parts, 2).tolist() == [2, 3]
+
+    def test_custom_weights(self):
+        hh = Hypergraph.from_net_lists(3, [[0, 1, 2]], vwgt=[5, 2, 1])
+        assert part_weights(hh, np.array([1, 0, 1]), 2).tolist() == [2, 6]
+
+    def test_empty_parts_zero(self, h):
+        w = part_weights(h, np.zeros(5, dtype=np.int64), 4)
+        assert w.tolist() == [5, 0, 0, 0]
+
+    def test_part_out_of_range(self, h):
+        with pytest.raises(PartitioningError):
+            part_weights(h, np.array([0, 0, 0, 0, 5]), 2)

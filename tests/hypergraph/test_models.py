@@ -1,0 +1,155 @@
+"""Tests for the row-net, column-net, and fine-grain models.
+
+The central invariant (tested property-based): for any vertex
+partitioning, the connectivity-1 cut of the model hypergraph equals the
+communication volume of the mapped nonzero partitioning *restricted to the
+dimension(s) the model can cut*:
+
+* row-net: cut == total volume (columns are never cut by construction);
+* column-net: cut == total volume (rows never cut);
+* fine-grain: cut == total volume, always.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.volume import communication_volume, row_col_lambdas
+from repro.errors import PartitioningError
+from repro.hypergraph.metrics import connectivity_volume
+from repro.hypergraph.models import (
+    column_net_model,
+    fine_grain_model,
+    row_net_model,
+)
+from tests.conftest import sparse_matrices
+
+
+class TestRowNetModel:
+    def test_dimensions(self, paper_matrix):
+        mdl = row_net_model(paper_matrix)
+        assert mdl.hypergraph.nverts == paper_matrix.ncols  # n vertices
+        assert mdl.hypergraph.nnets == paper_matrix.nrows  # m nets
+
+    def test_vertex_weights_are_column_counts(self, paper_matrix):
+        mdl = row_net_model(paper_matrix)
+        np.testing.assert_array_equal(
+            mdl.hypergraph.vwgt, paper_matrix.nnz_per_col()
+        )
+
+    def test_net_contents(self, tiny_square):
+        mdl = row_net_model(tiny_square)
+        for i in range(tiny_square.nrows):
+            pins = set(mdl.hypergraph.net_pins(i).tolist())
+            expected = set(
+                tiny_square.cols[tiny_square.rows == i].tolist()
+            )
+            assert pins == expected
+
+    def test_mapper_column_assignment(self, paper_matrix):
+        mdl = row_net_model(paper_matrix)
+        vparts = np.arange(mdl.hypergraph.nverts) % 2
+        nz = mdl.nonzero_parts(vparts)
+        np.testing.assert_array_equal(nz, vparts[paper_matrix.cols])
+
+    def test_columns_never_cut(self, paper_matrix, rng):
+        mdl = row_net_model(paper_matrix)
+        vparts = rng.integers(0, 2, size=mdl.hypergraph.nverts)
+        nz = mdl.nonzero_parts(vparts)
+        _, col_l = row_col_lambdas(paper_matrix, nz)
+        assert (col_l <= 1).all()
+
+    def test_mapper_rejects_wrong_shape(self, paper_matrix):
+        mdl = row_net_model(paper_matrix)
+        with pytest.raises(PartitioningError):
+            mdl.nonzero_parts(np.zeros(3, dtype=np.int64))
+
+
+class TestColumnNetModel:
+    def test_dimensions(self, paper_matrix):
+        mdl = column_net_model(paper_matrix)
+        assert mdl.hypergraph.nverts == paper_matrix.nrows
+        assert mdl.hypergraph.nnets == paper_matrix.ncols
+
+    def test_transpose_duality(self, paper_matrix):
+        """column-net of A == row-net of A^T structurally."""
+        a_model = column_net_model(paper_matrix)
+        t_model = row_net_model(paper_matrix.T)
+        np.testing.assert_array_equal(
+            a_model.hypergraph.xpins, t_model.hypergraph.xpins
+        )
+        np.testing.assert_array_equal(
+            np.sort(a_model.hypergraph.pins),
+            np.sort(t_model.hypergraph.pins),
+        )
+
+    def test_rows_never_cut(self, paper_matrix, rng):
+        mdl = column_net_model(paper_matrix)
+        vparts = rng.integers(0, 2, size=mdl.hypergraph.nverts)
+        nz = mdl.nonzero_parts(vparts)
+        row_l, _ = row_col_lambdas(paper_matrix, nz)
+        assert (row_l <= 1).all()
+
+
+class TestFineGrainModel:
+    def test_dimensions(self, paper_matrix):
+        mdl = fine_grain_model(paper_matrix)
+        assert mdl.hypergraph.nverts == paper_matrix.nnz
+        assert mdl.hypergraph.nnets == (
+            paper_matrix.nrows + paper_matrix.ncols
+        )
+
+    def test_unit_weights(self, paper_matrix):
+        mdl = fine_grain_model(paper_matrix)
+        assert (mdl.hypergraph.vwgt == 1).all()
+
+    def test_every_vertex_in_two_nets(self, paper_matrix):
+        mdl = fine_grain_model(paper_matrix)
+        assert (mdl.hypergraph.vertex_degrees() == 2).all()
+
+    def test_mapper_is_identity(self, paper_matrix, rng):
+        mdl = fine_grain_model(paper_matrix)
+        vparts = rng.integers(0, 3, size=paper_matrix.nnz)
+        np.testing.assert_array_equal(mdl.nonzero_parts(vparts), vparts)
+
+
+class TestCutEqualsVolume:
+    """The load-bearing property: model cut == matrix volume."""
+
+    @given(sparse_matrices(), st.randoms(use_true_random=False))
+    def test_row_net(self, a, rnd):
+        mdl = row_net_model(a)
+        vparts = np.array(
+            [rnd.randint(0, 2) for _ in range(mdl.hypergraph.nverts)]
+        )
+        cut = connectivity_volume(mdl.hypergraph, vparts)
+        vol = communication_volume(a, mdl.nonzero_parts(vparts))
+        assert cut == vol
+
+    @given(sparse_matrices(), st.randoms(use_true_random=False))
+    def test_column_net(self, a, rnd):
+        mdl = column_net_model(a)
+        vparts = np.array(
+            [rnd.randint(0, 2) for _ in range(mdl.hypergraph.nverts)]
+        )
+        cut = connectivity_volume(mdl.hypergraph, vparts)
+        vol = communication_volume(a, mdl.nonzero_parts(vparts))
+        assert cut == vol
+
+    @given(sparse_matrices(), st.randoms(use_true_random=False))
+    def test_fine_grain(self, a, rnd):
+        mdl = fine_grain_model(a)
+        vparts = np.array([rnd.randint(0, 3) for _ in range(a.nnz)])
+        cut = connectivity_volume(mdl.hypergraph, vparts)
+        vol = communication_volume(a, mdl.nonzero_parts(vparts))
+        assert cut == vol
+
+    def test_paper_matrix_example(self, paper_matrix):
+        """Hand-checked: split columns of the 3x6 matrix in half."""
+        mdl = row_net_model(paper_matrix)
+        vparts = np.array([0, 0, 0, 1, 1, 1])
+        nz = mdl.nonzero_parts(vparts)
+        # Every row has nonzeros in both column halves -> each row cut once.
+        assert communication_volume(paper_matrix, nz) == 3
+        assert connectivity_volume(mdl.hypergraph, vparts) == 3

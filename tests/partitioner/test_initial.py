@@ -1,0 +1,111 @@
+"""Tests for initial partitioning constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import part_weights
+from repro.partitioner.config import get_config
+from repro.partitioner.initial import (
+    greedy_grow,
+    initial_partition,
+    random_balanced,
+)
+
+
+def clustered_hypergraph() -> Hypergraph:
+    """Two 5-cliques joined by one bridge net: obvious optimal split."""
+    nets = []
+    for base in (0, 5):
+        nets += [[base + i, base + j] for i in range(5) for j in range(i + 1, 5)]
+    nets.append([4, 5])
+    return Hypergraph.from_net_lists(10, nets)
+
+
+class TestRandomBalanced:
+    def test_zero_one_output(self, rng):
+        h = clustered_hypergraph()
+        parts = random_balanced(h, (5, 5), rng)
+        assert set(parts.tolist()) <= {0, 1}
+
+    def test_roughly_balanced(self, rng):
+        h = clustered_hypergraph()
+        parts = random_balanced(h, (5, 5), rng)
+        w = part_weights(h, parts, 2)
+        assert abs(int(w[0]) - int(w[1])) <= 2
+
+    def test_asymmetric_share(self, rng):
+        h = Hypergraph.from_net_lists(12, [[i, i + 1] for i in range(11)])
+        parts = random_balanced(h, (3, 9), rng)
+        w = part_weights(h, parts, 2)
+        # Side 0 should get roughly a quarter of the weight.
+        assert w[0] <= 6
+
+
+class TestGreedyGrow:
+    def test_zero_one_output(self, rng):
+        h = clustered_hypergraph()
+        parts = greedy_grow(h, (5, 5), rng)
+        assert set(parts.tolist()) <= {0, 1}
+
+    def test_growth_is_connected_on_clusters(self, rng):
+        """On the two-clique graph greedy growing should usually capture
+        one clique (check over several seeds that at least one run does)."""
+        h = clustered_hypergraph()
+        perfect = 0
+        for seed in range(10):
+            parts = greedy_grow(h, (5, 5), np.random.default_rng(seed))
+            w = part_weights(h, parts, 2)
+            side0 = frozenset(np.flatnonzero(parts == 0).tolist())
+            if side0 in (
+                frozenset(range(5)),
+                frozenset(range(5, 10)),
+            ):
+                perfect += 1
+        assert perfect >= 5
+
+    def test_disconnected_hypergraph(self, rng):
+        h = Hypergraph.from_net_lists(6, [[0, 1], [2, 3]])  # 4,5 isolated
+        parts = greedy_grow(h, (3, 3), rng)
+        assert parts.shape == (6,)
+        assert set(parts.tolist()) <= {0, 1}
+
+    def test_empty_hypergraph(self, rng):
+        h = Hypergraph(0, np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert greedy_grow(h, (0, 0), rng).size == 0
+
+
+class TestInitialPartition:
+    def test_finds_obvious_split(self, rng):
+        h = clustered_hypergraph()
+        res = initial_partition(h, (5, 5), get_config("mondriaan"), rng)
+        assert res.feasible
+        assert res.cut == 1  # only the bridge net
+
+    def test_feasibility_with_weights(self, rng):
+        h = Hypergraph.from_net_lists(
+            4, [[0, 1], [1, 2], [2, 3]], vwgt=[4, 1, 1, 4]
+        )
+        res = initial_partition(h, (6, 6), get_config("mondriaan"), rng)
+        assert res.feasible
+        w = part_weights(h, res.parts, 2)
+        assert max(w) <= 6
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_instances_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 24))
+        nets = [
+            rng.choice(n, size=int(rng.integers(2, min(n, 5) + 1)),
+                       replace=False).tolist()
+            for _ in range(int(rng.integers(2, 30)))
+        ]
+        h = Hypergraph.from_net_lists(n, nets)
+        cap = (n + 1) // 2 + 1
+        res = initial_partition(h, (cap, cap), get_config("patoh"), rng)
+        assert res.feasible
+        w = part_weights(h, res.parts, 2)
+        assert max(w) <= cap

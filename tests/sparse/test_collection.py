@@ -1,0 +1,81 @@
+"""Tests for the synthetic test-matrix collection."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.sparse.collection import (
+    TIERS,
+    build_collection,
+    collection_names,
+    load_instance,
+)
+from repro.sparse.stats import MatrixClass, classify_matrix
+
+
+class TestRegistry:
+    def test_all_three_classes_present_per_tier(self):
+        for tier in TIERS:
+            classes = {e.matrix_class for e in build_collection(tier=tier)}
+            assert classes == set(MatrixClass)
+
+    def test_names_unique(self):
+        names = collection_names()
+        assert len(names) == len(set(names))
+
+    def test_reasonable_size(self):
+        # Comparable spread to the paper's three categories.
+        assert len(build_collection()) >= 45
+
+    def test_tier_filter(self):
+        small = build_collection(tier="small")
+        assert all(e.tier == "small" for e in small)
+
+    def test_max_tier_filter(self):
+        upto = build_collection(max_tier="medium")
+        assert all(e.tier in ("small", "medium") for e in upto)
+        assert len(upto) > len(build_collection(tier="small"))
+
+    def test_class_filter(self):
+        recs = build_collection(matrix_class=MatrixClass.RECTANGULAR)
+        assert all(
+            e.matrix_class == MatrixClass.RECTANGULAR for e in recs
+        )
+
+    def test_tier_and_max_tier_exclusive(self):
+        with pytest.raises(EvaluationError):
+            build_collection(tier="small", max_tier="medium")
+
+    def test_unknown_tier(self):
+        with pytest.raises(EvaluationError, match="unknown tier"):
+            build_collection(tier="huge")
+
+
+class TestInstances:
+    def test_unknown_name(self):
+        with pytest.raises(EvaluationError, match="unknown"):
+            load_instance("no_such_matrix")
+
+    def test_deterministic_and_cached(self):
+        a = load_instance("sqr_er_s")
+        b = load_instance("sqr_er_s")
+        assert a is b  # lru_cache
+
+    @pytest.mark.parametrize(
+        "entry", build_collection(tier="small"), ids=lambda e: e.name
+    )
+    def test_small_tier_builds_and_classifies(self, entry):
+        matrix = load_instance(entry.name)
+        assert classify_matrix(matrix) == entry.matrix_class
+        assert matrix.nnz >= 200
+
+    def test_small_tier_nnz_range(self):
+        for e in build_collection(tier="small"):
+            assert load_instance(e.name).nnz <= 2500
+
+    def test_paper_nnz_floor(self):
+        """The paper uses matrices with >= 500 nonzeros; all but the Fig.3
+        demo instance respect that floor."""
+        for e in build_collection():
+            if e.name == "sym_gd97_like":
+                continue
+            assert load_instance(e.name).nnz >= 500, e.name

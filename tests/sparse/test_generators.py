@@ -1,0 +1,190 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import generators as gen
+from repro.sparse.stats import classify_matrix, MatrixClass, pattern_symmetry
+
+
+class TestErdosRenyi:
+    def test_exact_nnz(self):
+        a = gen.erdos_renyi(50, 40, 300, seed=1)
+        assert a.shape == (50, 40)
+        assert a.nnz == 300
+
+    def test_deterministic(self):
+        assert gen.erdos_renyi(30, 30, 100, seed=5) == gen.erdos_renyi(
+            30, 30, 100, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        assert gen.erdos_renyi(30, 30, 100, seed=1) != gen.erdos_renyi(
+            30, 30, 100, seed=2
+        )
+
+    def test_dense_case(self):
+        a = gen.erdos_renyi(4, 4, 16, seed=0)
+        assert a.nnz == 16
+
+    def test_nnz_too_large(self):
+        with pytest.raises(SparseFormatError):
+            gen.erdos_renyi(2, 2, 5, seed=0)
+
+    def test_values_nonzero(self):
+        a = gen.erdos_renyi(20, 20, 80, seed=3)
+        assert (a.vals != 0).all()
+
+
+class TestChungLu:
+    def test_shape_and_nnz(self):
+        a = gen.chung_lu(60, 40, 400, seed=2)
+        assert a.shape == (60, 40)
+        assert a.nnz == 400
+
+    def test_skewed_degrees(self):
+        a = gen.chung_lu(200, 200, 2000, seed=4)
+        deg = np.sort(a.nnz_per_row())[::-1]
+        # Power-law-ish: the top decile holds well over its uniform share.
+        assert deg[:20].sum() > 2 * (2000 / 10)
+
+
+class TestRmat:
+    def test_size(self):
+        a = gen.rmat(6, 300, seed=3)
+        assert a.shape == (64, 64)
+        assert a.nnz == 300
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            gen.rmat(4, 10, seed=0, a=0.9, b=0.2, c=0.2)
+
+
+class TestGrids:
+    def test_grid2d_structure(self):
+        a = gen.grid2d_laplacian(4, 5)
+        assert a.shape == (20, 20)
+        # interior vertices have 5 entries, corners 3
+        assert a.nnz == 20 + 2 * (4 * (5 - 1) + (4 - 1) * 5)
+        assert classify_matrix(a) == MatrixClass.SYMMETRIC
+
+    def test_grid2d_row_sums_zero(self):
+        a = gen.grid2d_laplacian(5, 5)
+        # Laplacian row sums: 4 - (#neighbors); only interior rows are 0... so
+        # check matvec with the constant vector is >= 0 and 0 at interior.
+        u = a.matvec(np.ones(a.ncols))
+        grid = u.reshape(5, 5)
+        assert np.allclose(grid[1:-1, 1:-1], 0.0)
+
+    def test_grid3d_structure(self):
+        a = gen.grid3d_laplacian(3, 3, 3)
+        assert a.shape == (27, 27)
+        assert classify_matrix(a) == MatrixClass.SYMMETRIC
+
+    def test_grid_1d_degenerate(self):
+        a = gen.grid2d_laplacian(1, 4)  # a path
+        assert a.nnz == 4 + 2 * 3
+
+
+class TestBandedBlockArrow:
+    def test_banded_within_band(self):
+        a = gen.banded(30, 3, 0.5, seed=1)
+        assert (np.abs(a.rows - a.cols) <= 3).all()
+
+    def test_banded_full_diagonal(self):
+        a = gen.banded(30, 2, 0.3, seed=2)
+        diag = (a.rows == a.cols).sum()
+        assert diag == 30
+
+    def test_banded_bad_fill(self):
+        with pytest.raises(ValueError):
+            gen.banded(10, 2, 0.0, seed=0)
+
+    def test_block_diagonal_blocks(self):
+        a = gen.block_diagonal(3, 10, 0.5, noise_nnz=0, seed=3)
+        assert a.shape == (30, 30)
+        # all nonzeros inside diagonal blocks
+        assert ((a.rows // 10) == (a.cols // 10)).all()
+
+    def test_block_diagonal_noise(self):
+        a = gen.block_diagonal(3, 10, 0.5, noise_nnz=50, seed=3)
+        off_block = ((a.rows // 10) != (a.cols // 10)).sum()
+        assert off_block > 0
+
+    def test_arrow_symmetric(self):
+        a = gen.arrow(50, 2, seed=5)
+        assert pattern_symmetry(a) == 1.0
+
+    def test_arrow_dense_border(self):
+        a = gen.arrow(50, 1, seed=5)
+        assert a.nnz_per_row()[0] == 50
+        assert a.nnz_per_col()[0] == 50
+
+
+class TestRectangularGenerators:
+    def test_term_document(self):
+        a = gen.term_document(100, 60, 5, 500, seed=6)
+        assert a.shape == (100, 60)
+        assert a.nnz == 500
+
+    def test_term_document_clustered(self):
+        # With zero spread every document stays inside its topic block.
+        a = gen.term_document(100, 60, 5, 500, seed=6, topic_spread=0.0)
+        bounds = np.linspace(0, 100, 6).astype(int)
+        # Count cross-topic entries: should be none.
+        doc_topic_ok = 0
+        # Every column's rows must fall inside one topic block.
+        for j in range(60):
+            rows = a.rows[a.cols == j]
+            if rows.size == 0:
+                continue
+            blocks = np.searchsorted(bounds, rows, side="right")
+            doc_topic_ok += int(len(set(blocks.tolist())) == 1)
+        assert doc_topic_ok >= 55  # allow a couple of boundary artifacts
+
+    def test_bipartite_preferential_heavy_rows(self):
+        a = gen.bipartite_preferential(100, 80, 800, seed=7)
+        assert a.nnz == 800
+        deg = np.sort(a.nnz_per_row())[::-1]
+        assert deg[0] > 8 * (800 / 100 / 8)
+
+
+class TestTransforms:
+    def test_symmetrize(self):
+        a = gen.erdos_renyi(20, 20, 60, seed=8)
+        s = gen.symmetrize(a)
+        assert pattern_symmetry(s) == 1.0
+        assert s.nnz >= a.nnz
+
+    def test_symmetrize_rejects_rectangular(self):
+        with pytest.raises(SparseFormatError):
+            gen.symmetrize(gen.erdos_renyi(3, 4, 5, seed=0))
+
+    def test_random_permute_preserves_nnz(self):
+        a = gen.banded(40, 2, 0.5, seed=9)
+        p = gen.random_permute(a, seed=10)
+        assert p.nnz == a.nnz
+        assert p.shape == a.shape
+
+    def test_random_permute_changes_pattern(self):
+        a = gen.banded(40, 2, 0.5, seed=9)
+        p = gen.random_permute(a, seed=10)
+        assert p != a
+
+
+class TestGd97Like:
+    def test_dimensions_match_paper(self):
+        a = gen.gd97_like()
+        assert a.shape == (47, 47)
+        assert a.nnz == 264  # exactly as gd97_b in the paper's Fig. 3
+
+    def test_symmetric(self):
+        assert pattern_symmetry(gen.gd97_like()) == 1.0
+
+    def test_no_diagonal(self):
+        a = gen.gd97_like()
+        assert (a.rows != a.cols).all()
+
+    def test_deterministic_default(self):
+        assert gen.gd97_like() == gen.gd97_like()

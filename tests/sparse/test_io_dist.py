@@ -1,0 +1,188 @@
+"""Tests for distributed-matrix / vector-distribution I/O."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import MatrixMarketError
+from repro.sparse.io_dist import (
+    read_distributed_matrix_market,
+    read_vector_distribution,
+    write_distributed_matrix_market,
+    write_vector_distribution,
+)
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import matrices_with_parts
+
+
+class TestDistributedMatrix:
+    def test_roundtrip(self, tiny_square, rng):
+        parts = rng.integers(0, 3, size=tiny_square.nnz)
+        buf = io.StringIO()
+        write_distributed_matrix_market(tiny_square, parts, 3, buf)
+        buf.seek(0)
+        back, back_parts, nparts = read_distributed_matrix_market(buf)
+        assert back == tiny_square
+        assert nparts == 3
+        np.testing.assert_array_equal(back_parts, parts)
+
+    def test_file_roundtrip(self, tmp_path, tiny_square, rng):
+        parts = rng.integers(0, 2, size=tiny_square.nnz)
+        path = tmp_path / "m-P2.mtx"
+        write_distributed_matrix_market(tiny_square, parts, 2, path)
+        back, back_parts, nparts = read_distributed_matrix_market(path)
+        assert back == tiny_square
+        np.testing.assert_array_equal(back_parts, parts)
+
+    def test_pstart_block_structure(self, tiny_square):
+        parts = np.zeros(tiny_square.nnz, dtype=np.int64)
+        parts[:3] = 1
+        buf = io.StringIO()
+        write_distributed_matrix_market(tiny_square, parts, 2, buf)
+        lines = buf.getvalue().splitlines()
+        assert lines[0].startswith("%%MatrixMarket distributed-matrix")
+        m, n, nnz, p = (int(x) for x in lines[1].split())
+        assert (m, n, nnz, p) == (4, 4, tiny_square.nnz, 2)
+        pstart = [int(lines[2 + i]) for i in range(3)]
+        assert pstart == [0, tiny_square.nnz - 3, tiny_square.nnz]
+
+    def test_empty_part_allowed(self, tiny_square):
+        parts = np.zeros(tiny_square.nnz, dtype=np.int64)
+        buf = io.StringIO()
+        write_distributed_matrix_market(tiny_square, parts, 4, buf)
+        buf.seek(0)
+        _, back_parts, nparts = read_distributed_matrix_market(buf)
+        assert nparts == 4
+        assert (back_parts == 0).all()
+
+    def test_values_preserved(self, rng):
+        a = SparseMatrix((3, 3), [0, 1, 2], [1, 2, 0], [0.5, -1.25, 3.0])
+        buf = io.StringIO()
+        write_distributed_matrix_market(a, np.array([0, 1, 0]), 2, buf)
+        buf.seek(0)
+        back, _, _ = read_distributed_matrix_market(buf)
+        np.testing.assert_array_equal(back.vals, a.vals)
+
+    def test_wrong_banner_rejected(self):
+        buf = io.StringIO("%%MatrixMarket matrix coordinate real general\n")
+        with pytest.raises(MatrixMarketError, match="banner"):
+            read_distributed_matrix_market(buf)
+
+    def test_bad_pstart_rejected(self):
+        text = (
+            "%%MatrixMarket distributed-matrix coordinate real general\n"
+            "2 2 2 2\n0\n5\n2\n1 1 1.0\n2 2 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError, match="Pstart"):
+            read_distributed_matrix_market(io.StringIO(text))
+
+    def test_out_of_bounds_entry_rejected(self):
+        text = (
+            "%%MatrixMarket distributed-matrix coordinate real general\n"
+            "2 2 1 1\n0\n1\n3 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError, match="bounds"):
+            read_distributed_matrix_market(io.StringIO(text))
+
+    def test_truncated_file_rejected(self):
+        text = (
+            "%%MatrixMarket distributed-matrix coordinate real general\n"
+            "2 2 2 1\n0\n2\n1 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError, match="end of file"):
+            read_distributed_matrix_market(io.StringIO(text))
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices_with_parts())
+    def test_roundtrip_property(self, case):
+        matrix, parts, nparts = case
+        buf = io.StringIO()
+        write_distributed_matrix_market(matrix, parts, nparts, buf)
+        buf.seek(0)
+        back, back_parts, back_p = read_distributed_matrix_market(buf)
+        assert back == matrix
+        assert back_p == nparts
+        np.testing.assert_array_equal(back_parts, parts)
+
+
+class TestVectorDistribution:
+    def test_roundtrip(self, rng):
+        owner = rng.integers(0, 4, size=10)
+        buf = io.StringIO()
+        write_vector_distribution(owner, 4, buf)
+        buf.seek(0)
+        back, nparts = read_vector_distribution(buf)
+        assert nparts == 4
+        np.testing.assert_array_equal(back, owner)
+
+    def test_empty_vector(self):
+        buf = io.StringIO()
+        write_vector_distribution(np.array([], dtype=np.int64), 2, buf)
+        buf.seek(0)
+        back, nparts = read_vector_distribution(buf)
+        assert back.size == 0 and nparts == 2
+
+    def test_one_based_in_file(self):
+        buf = io.StringIO()
+        write_vector_distribution(np.array([0, 1]), 2, buf)
+        lines = buf.getvalue().splitlines()
+        assert lines[2] == "1 1"
+        assert lines[3] == "2 2"
+
+    def test_owner_out_of_range_write(self):
+        with pytest.raises(MatrixMarketError):
+            write_vector_distribution(np.array([5]), 2, io.StringIO())
+
+    def test_duplicate_index_rejected(self):
+        text = (
+            "%%MatrixMarket distributed-vector array integer general\n"
+            "2 2\n1 1\n1 2\n"
+        )
+        with pytest.raises(MatrixMarketError, match="duplicate"):
+            read_vector_distribution(io.StringIO(text))
+
+    def test_owner_out_of_range_read(self):
+        text = (
+            "%%MatrixMarket distributed-vector array integer general\n"
+            "1 2\n1 3\n"
+        )
+        with pytest.raises(MatrixMarketError, match="owner"):
+            read_vector_distribution(io.StringIO(text))
+
+
+class TestEndToEnd:
+    def test_partition_write_read_simulate(self, tmp_path):
+        """Full workflow: partition, persist all artifacts, reload,
+        verify the reloaded partitioning simulates identically."""
+        from repro import bipartition
+        from repro.sparse.generators import erdos_renyi
+        from repro.spmv import distribute_vectors, simulate_spmv
+
+        a = erdos_renyi(30, 40, 240, seed=11)
+        res = bipartition(a, method="mediumgrain", refine=True, seed=2)
+        dist = distribute_vectors(a, res.parts, 2)
+        write_distributed_matrix_market(
+            a, res.parts, 2, tmp_path / "A-P2.mtx"
+        )
+        write_vector_distribution(
+            dist.input_owner, 2, tmp_path / "A-v2.mtx"
+        )
+        write_vector_distribution(
+            dist.output_owner, 2, tmp_path / "A-u2.mtx"
+        )
+        back, parts, nparts = read_distributed_matrix_market(
+            tmp_path / "A-P2.mtx"
+        )
+        vin, _ = read_vector_distribution(tmp_path / "A-v2.mtx")
+        vout, _ = read_vector_distribution(tmp_path / "A-u2.mtx")
+        from repro.spmv.vector_dist import VectorDistribution
+
+        report = simulate_spmv(
+            back,
+            parts,
+            nparts,
+            dist=VectorDistribution(vin, vout, nparts),
+        )
+        assert report.volume == res.volume

@@ -1,0 +1,176 @@
+"""Tests for MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import MatrixMarketError
+from repro.sparse.io_mm import read_matrix_market, write_matrix_market
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import sparse_matrices
+
+
+def _read_str(text: str) -> SparseMatrix:
+    return read_matrix_market(io.StringIO(text))
+
+
+class TestRead:
+    def test_basic_real(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "2 3 2\n"
+            "1 1 1.5\n"
+            "2 3 -2.0\n"
+        )
+        assert a.shape == (2, 3)
+        assert a.nnz == 2
+        assert a.to_dense()[0, 0] == 1.5
+        assert a.to_dense()[1, 2] == -2.0
+
+    def test_pattern(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 2\n2 1\n"
+        )
+        assert a.vals.tolist() == [1.0, 1.0]
+
+    def test_integer_field(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "1 1 1\n1 1 7\n"
+        )
+        assert a.to_dense()[0, 0] == 7.0
+
+    def test_symmetric_expansion(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+            "2 1 2.0\n"
+            "3 2 3.0\n"
+        )
+        d = a.to_dense()
+        assert d[0, 1] == d[1, 0] == 2.0
+        assert d[1, 2] == d[2, 1] == 3.0
+        assert a.nnz == 5  # diagonal entry not duplicated
+
+    def test_skew_symmetric_expansion(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 4.0\n"
+        )
+        d = a.to_dense()
+        assert d[1, 0] == 4.0
+        assert d[0, 1] == -4.0
+
+    def test_skew_with_diagonal_rejected(self):
+        with pytest.raises(MatrixMarketError, match="diagonal"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+                "2 2 1\n1 1 4.0\n"
+            )
+
+    def test_blank_lines_and_comments_between_entries(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "\n"
+            "1 1 1.0\n"
+            "% halfway comment\n"
+            "2 2 2.0\n"
+        )
+        assert a.nnz == 2
+
+    def test_missing_banner(self):
+        with pytest.raises(MatrixMarketError, match="banner"):
+            _read_str("1 1 1\n1 1 1.0\n")
+
+    def test_complex_rejected(self):
+        with pytest.raises(MatrixMarketError, match="field"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate complex general\n"
+                "1 1 1\n1 1 1.0 0.0\n"
+            )
+
+    def test_array_format_rejected(self):
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            _read_str("%%MatrixMarket matrix array real general\n2 2\n1\n")
+
+    def test_too_few_entries(self):
+        with pytest.raises(MatrixMarketError, match="expected 2"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 2\n1 1 1.0\n"
+            )
+
+    def test_too_many_entries(self):
+        with pytest.raises(MatrixMarketError, match="more entries"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n1 1 1.0\n2 2 2.0\n"
+            )
+
+    def test_out_of_bounds_entry(self):
+        with pytest.raises(MatrixMarketError, match="out of bounds"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n3 1 1.0\n"
+            )
+
+    def test_malformed_size_line(self):
+        with pytest.raises(MatrixMarketError, match="size line"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real general\n2 2\n"
+            )
+
+    def test_one_based_indexing(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 5.0\n"
+        )
+        assert a.rows[0] == 0 and a.cols[0] == 0
+
+
+class TestWrite:
+    def test_file_roundtrip(self, tmp_path, tiny_square):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(tiny_square, path, comment="test matrix")
+        assert read_matrix_market(path) == tiny_square
+
+    def test_pattern_output(self, tiny_square):
+        buf = io.StringIO()
+        write_matrix_market(tiny_square, buf, field="pattern")
+        text = buf.getvalue()
+        assert "pattern" in text.splitlines()[0]
+        back = _read_str(text)
+        assert back.nnz == tiny_square.nnz
+
+    def test_bad_field(self, tiny_square):
+        with pytest.raises(MatrixMarketError):
+            write_matrix_market(tiny_square, io.StringIO(), field="complex")
+
+    def test_comment_lines(self, tiny_square):
+        buf = io.StringIO()
+        write_matrix_market(tiny_square, buf, comment="line1\nline2")
+        lines = buf.getvalue().splitlines()
+        assert lines[1] == "% line1"
+        assert lines[2] == "% line2"
+
+    @given(sparse_matrices())
+    def test_roundtrip_property(self, a):
+        buf = io.StringIO()
+        write_matrix_market(a, buf)
+        buf.seek(0)
+        b = read_matrix_market(buf)
+        assert b == a
+
+    def test_values_preserved_exactly(self):
+        a = SparseMatrix((1, 2), [0, 0], [0, 1], [1 / 3, 2.5e-17])
+        buf = io.StringIO()
+        write_matrix_market(a, buf)
+        buf.seek(0)
+        b = read_matrix_market(buf)
+        np.testing.assert_array_equal(a.vals, b.vals)

@@ -1,0 +1,255 @@
+"""Tests for the canonical COO SparseMatrix."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given
+
+from repro.errors import SparseFormatError
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import sparse_matrices
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = SparseMatrix((2, 3), [0, 1], [2, 0], [1.5, -2.0])
+        assert a.shape == (2, 3)
+        assert a.nnz == 2
+
+    def test_canonical_order(self):
+        a = SparseMatrix((3, 3), [2, 0, 1, 0], [0, 2, 1, 0])
+        assert a.rows.tolist() == [0, 0, 1, 2]
+        assert a.cols.tolist() == [0, 2, 1, 0]
+
+    def test_duplicates_summed(self):
+        a = SparseMatrix((2, 2), [0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0])
+        assert a.nnz == 2
+        assert a.to_dense()[0, 1] == 5.0
+
+    def test_duplicates_rejected_when_disallowed(self):
+        with pytest.raises(SparseFormatError, match="duplicate"):
+            SparseMatrix((2, 2), [0, 0], [1, 1], sum_duplicates=False)
+
+    def test_prune_zeros(self):
+        a = SparseMatrix((2, 2), [0, 1], [0, 1], [0.0, 2.0], prune=True)
+        assert a.nnz == 1
+
+    def test_explicit_zero_kept_by_default(self):
+        a = SparseMatrix((2, 2), [0, 1], [0, 1], [0.0, 2.0])
+        assert a.nnz == 2
+
+    def test_default_values_are_ones(self):
+        a = SparseMatrix((2, 2), [0], [1])
+        assert a.vals.tolist() == [1.0]
+
+    def test_out_of_range_row(self):
+        with pytest.raises(SparseFormatError, match="row"):
+            SparseMatrix((2, 2), [2], [0])
+
+    def test_out_of_range_col(self):
+        with pytest.raises(SparseFormatError, match="column"):
+            SparseMatrix((2, 2), [0], [5])
+
+    def test_negative_index(self):
+        with pytest.raises(SparseFormatError):
+            SparseMatrix((2, 2), [-1], [0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="equal length"):
+            SparseMatrix((2, 2), [0, 1], [0])
+
+    def test_values_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="vals"):
+            SparseMatrix((2, 2), [0], [0], [1.0, 2.0])
+
+    def test_empty_matrix_allowed(self):
+        a = SparseMatrix((3, 3), [], [])
+        assert a.nnz == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            SparseMatrix((0, 3), [], [])
+
+    def test_immutability(self):
+        a = SparseMatrix((2, 2), [0], [1])
+        with pytest.raises(ValueError):
+            a.rows[0] = 1
+
+
+class TestDerivedStructure:
+    def test_nnz_per_row(self, paper_matrix):
+        assert paper_matrix.nnz_per_row().tolist() == [4, 4, 4]
+
+    def test_nnz_per_col(self, paper_matrix):
+        assert paper_matrix.nnz_per_col().tolist() == [2, 2, 2, 2, 2, 2]
+
+    def test_row_ptr_slices(self, paper_matrix):
+        ptr = paper_matrix.row_ptr()
+        for i in range(paper_matrix.nrows):
+            rows = paper_matrix.rows[ptr[i] : ptr[i + 1]]
+            assert (rows == i).all()
+
+    def test_col_order_groups_columns(self, paper_matrix):
+        order = paper_matrix.col_order()
+        ptr = paper_matrix.col_ptr()
+        for j in range(paper_matrix.ncols):
+            idx = order[ptr[j] : ptr[j + 1]]
+            assert (paper_matrix.cols[idx] == j).all()
+
+    def test_caches_are_readonly(self, paper_matrix):
+        with pytest.raises(ValueError):
+            paper_matrix.nnz_per_row()[0] = 99
+
+
+class TestConverters:
+    def test_scipy_roundtrip(self, tiny_square):
+        back = SparseMatrix.from_scipy(tiny_square.to_scipy("csr"))
+        assert back == tiny_square
+
+    def test_scipy_formats(self, tiny_square):
+        for fmt in ("csr", "csc", "coo"):
+            s = tiny_square.to_scipy(fmt)
+            assert sp.issparse(s)
+            np.testing.assert_allclose(
+                np.asarray(s.todense()), tiny_square.to_dense()
+            )
+
+    def test_to_scipy_bad_format(self, tiny_square):
+        with pytest.raises(ValueError):
+            tiny_square.to_scipy("bsr")
+
+    def test_from_dense(self):
+        d = np.array([[1.0, 0.0], [0.0, 2.0]])
+        a = SparseMatrix.from_dense(d)
+        assert a.nnz == 2
+        np.testing.assert_allclose(a.to_dense(), d)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(SparseFormatError):
+            SparseMatrix.from_dense(np.ones(3))
+
+    def test_eye(self):
+        e = SparseMatrix.eye(4)
+        np.testing.assert_allclose(e.to_dense(), np.eye(4))
+
+
+class TestTransformations:
+    def test_transpose(self, paper_matrix):
+        t = paper_matrix.T
+        assert t.shape == (6, 3)
+        np.testing.assert_allclose(t.to_dense(), paper_matrix.to_dense().T)
+
+    def test_double_transpose_identity(self, paper_matrix):
+        assert paper_matrix.T.T == paper_matrix
+
+    def test_pattern_drops_values(self):
+        a = SparseMatrix((2, 2), [0, 1], [0, 1], [3.0, 4.0])
+        assert a.pattern().vals.tolist() == [1.0, 1.0]
+
+    def test_with_values(self, tiny_square):
+        v = np.arange(tiny_square.nnz, dtype=float) + 1
+        b = tiny_square.with_values(v)
+        np.testing.assert_allclose(b.vals, v)
+
+    def test_with_values_wrong_length(self, tiny_square):
+        with pytest.raises(SparseFormatError):
+            tiny_square.with_values(np.ones(tiny_square.nnz + 1))
+
+    def test_select_boolean(self, tiny_square):
+        mask = np.zeros(tiny_square.nnz, dtype=bool)
+        mask[::2] = True
+        s = tiny_square.select(mask)
+        assert s.nnz == int(mask.sum())
+        assert s.shape == tiny_square.shape
+
+    def test_select_indices(self, tiny_square):
+        s = tiny_square.select(np.array([0, 2, 4]))
+        assert s.nnz == 3
+
+    def test_select_preserves_canonical_subset(self, tiny_square):
+        mask = np.ones(tiny_square.nnz, dtype=bool)
+        assert tiny_square.select(mask) == tiny_square
+
+    def test_select_bad_mask_length(self, tiny_square):
+        with pytest.raises(SparseFormatError):
+            tiny_square.select(np.zeros(3, dtype=bool))
+
+    def test_select_bad_index(self, tiny_square):
+        with pytest.raises(SparseFormatError):
+            tiny_square.select(np.array([999]))
+
+    def test_permuted_identity(self, tiny_square):
+        m, n = tiny_square.shape
+        p = tiny_square.permuted(np.arange(m), np.arange(n))
+        assert p == tiny_square
+
+    def test_permuted_dense_agreement(self, tiny_square, rng):
+        m, n = tiny_square.shape
+        rp = rng.permutation(m)
+        cp = rng.permutation(n)
+        p = tiny_square.permuted(rp, cp)
+        dense = np.zeros((m, n))
+        src = tiny_square.to_dense()
+        for i in range(m):
+            for j in range(n):
+                dense[rp[i], cp[j]] = src[i, j]
+        np.testing.assert_allclose(p.to_dense(), dense)
+
+    def test_permuted_rejects_non_permutation(self, tiny_square):
+        with pytest.raises(SparseFormatError, match="permutation"):
+            tiny_square.permuted(
+                np.zeros(tiny_square.nrows, dtype=int),
+                np.arange(tiny_square.ncols),
+            )
+
+    def test_matvec_matches_dense(self, paper_matrix, rng):
+        v = rng.random(paper_matrix.ncols)
+        np.testing.assert_allclose(
+            paper_matrix.matvec(v), paper_matrix.to_dense() @ v
+        )
+
+    def test_matvec_wrong_length(self, paper_matrix):
+        with pytest.raises(SparseFormatError):
+            paper_matrix.matvec(np.ones(paper_matrix.ncols + 1))
+
+
+class TestEqualityHash:
+    def test_equal_matrices(self):
+        a = SparseMatrix((2, 2), [0, 1], [1, 0])
+        b = SparseMatrix((2, 2), [1, 0], [0, 1])  # same after canonicalize
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_values_not_equal(self):
+        a = SparseMatrix((2, 2), [0], [1], [1.0])
+        b = SparseMatrix((2, 2), [0], [1], [2.0])
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        a = SparseMatrix((2, 2), [0], [1])
+        assert (a == "x") is False
+
+    def test_triplets_canonical(self, tiny_square):
+        trips = list(tiny_square.triplets())
+        assert len(trips) == tiny_square.nnz
+        assert trips == sorted(trips, key=lambda t: (t[0], t[1]))
+
+
+class TestPropertyBased:
+    @given(sparse_matrices())
+    def test_canonical_sorted_unique(self, a):
+        keys = a.rows * a.ncols + a.cols
+        assert (np.diff(keys) > 0).all() if keys.size > 1 else True
+
+    @given(sparse_matrices())
+    def test_scipy_roundtrip_property(self, a):
+        assert SparseMatrix.from_scipy(a.to_scipy("coo")) == a
+
+    @given(sparse_matrices())
+    def test_transpose_involution(self, a):
+        assert a.T.T == a
+
+    @given(sparse_matrices())
+    def test_degree_sums(self, a):
+        assert int(a.nnz_per_row().sum()) == a.nnz
+        assert int(a.nnz_per_col().sum()) == a.nnz

@@ -1,0 +1,94 @@
+"""Tests for matrix statistics and the Rec/Sym/Sqr classification."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.sparse.generators import symmetrize
+from repro.sparse.matrix import SparseMatrix
+from repro.sparse.stats import (
+    MatrixClass,
+    classify_matrix,
+    matrix_stats,
+    pattern_symmetry,
+)
+from tests.conftest import sparse_matrices
+
+
+class TestPatternSymmetry:
+    def test_symmetric_scores_one(self):
+        a = SparseMatrix((3, 3), [0, 1, 1, 2], [1, 0, 2, 1])
+        assert pattern_symmetry(a) == 1.0
+
+    def test_fully_asymmetric_scores_zero(self):
+        a = SparseMatrix((3, 3), [0, 1], [1, 2])
+        assert pattern_symmetry(a) == 0.0
+
+    def test_half_symmetric(self):
+        # (0,1) and (1,0) are mutual; (0,2) is not.
+        a = SparseMatrix((3, 3), [0, 1, 0], [1, 0, 2])
+        assert pattern_symmetry(a) == 2 / 3
+
+    def test_diagonal_only_scores_one(self):
+        idx = np.arange(4)
+        a = SparseMatrix((4, 4), idx, idx)
+        assert pattern_symmetry(a) == 1.0
+
+    def test_rectangular_scores_zero(self):
+        a = SparseMatrix((2, 3), [0], [0])
+        assert pattern_symmetry(a) == 0.0
+
+    def test_diagonal_entries_ignored(self):
+        # symmetric off-diagonal + diagonal; still 1.0
+        a = SparseMatrix((3, 3), [0, 0, 1, 2], [0, 1, 0, 2])
+        assert pattern_symmetry(a) == 1.0
+
+    @given(sparse_matrices(max_rows=8, max_cols=8))
+    def test_symmetrized_square_scores_one(self, a):
+        if a.nrows != a.ncols:
+            return
+        assert pattern_symmetry(symmetrize(a)) == 1.0
+
+    @given(sparse_matrices())
+    def test_score_in_unit_interval(self, a):
+        assert 0.0 <= pattern_symmetry(a) <= 1.0
+
+
+class TestClassify:
+    def test_rectangular(self):
+        a = SparseMatrix((2, 3), [0], [0])
+        assert classify_matrix(a) == MatrixClass.RECTANGULAR
+
+    def test_symmetric(self):
+        a = SparseMatrix((2, 2), [0, 1], [1, 0])
+        assert classify_matrix(a) == MatrixClass.SYMMETRIC
+
+    def test_square_nonsymmetric(self):
+        a = SparseMatrix((3, 3), [0, 1], [1, 2])
+        assert classify_matrix(a) == MatrixClass.SQUARE_NONSYMMETRIC
+
+    def test_short_names(self):
+        assert MatrixClass.RECTANGULAR.short == "Rec"
+        assert MatrixClass.SYMMETRIC.short == "Sym"
+        assert MatrixClass.SQUARE_NONSYMMETRIC.short == "Sqr"
+
+
+class TestMatrixStats:
+    def test_basic_fields(self, paper_matrix):
+        s = matrix_stats(paper_matrix)
+        assert s.nrows == 3 and s.ncols == 6
+        assert s.nnz == 12
+        assert s.density == 12 / 18
+        assert s.max_row_degree == 4
+        assert s.mean_col_degree == 2.0
+        assert s.empty_rows == 0 and s.empty_cols == 0
+        assert s.matrix_class == MatrixClass.RECTANGULAR
+
+    def test_empty_lines_counted(self):
+        a = SparseMatrix((3, 3), [0], [0])
+        s = matrix_stats(a)
+        assert s.empty_rows == 2
+        assert s.empty_cols == 2
+
+    def test_diagonal_count(self):
+        a = SparseMatrix((3, 3), [0, 1, 1], [0, 1, 2])
+        assert matrix_stats(a).diagonal_nnz == 2

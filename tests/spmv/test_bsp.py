@@ -1,0 +1,101 @@
+"""Tests for the BSP cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.volume import volume_breakdown
+from repro.spmv.bsp import bsp_cost, phase_loads
+from repro.spmv.vector_dist import distribute_vectors
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import matrices_with_parts
+
+
+class TestBSPCost:
+    def test_single_part_costs_nothing(self, paper_matrix):
+        parts = np.zeros(paper_matrix.nnz, dtype=np.int64)
+        cost = bsp_cost(paper_matrix, parts, 1)
+        assert cost.cost == 0
+        assert cost.total_words == 0
+
+    def test_hand_example(self):
+        """2x2 dense, nonzeros split by column, vectors at their parts."""
+        a = SparseMatrix((2, 2), [0, 0, 1, 1], [0, 1, 0, 1])
+        parts = np.array([0, 1, 0, 1])  # column split
+        cost = bsp_cost(a, parts, 2)
+        # No column is cut (fanout 0); both rows are cut (fanin 2 words).
+        assert cost.h_fanout == 0
+        assert cost.fanin_send.sum() == 2
+        assert cost.cost == cost.h_fanin
+        assert 1 <= cost.h_fanin <= 2
+
+    def test_total_words_equal_volume(self, paper_matrix, rng):
+        parts = rng.integers(0, 3, size=paper_matrix.nnz)
+        cost = bsp_cost(paper_matrix, parts, 3)
+        vb = volume_breakdown(paper_matrix, parts)
+        assert int(cost.fanout_send.sum()) == vb.fanout
+        assert int(cost.fanin_send.sum()) == vb.fanin
+        assert cost.total_words == vb.total
+
+    def test_send_recv_words_balance(self, paper_matrix, rng):
+        """Globally, words sent == words received in each phase."""
+        parts = rng.integers(0, 4, size=paper_matrix.nnz)
+        cost = bsp_cost(paper_matrix, parts, 4)
+        assert cost.fanout_send.sum() == cost.fanout_recv.sum()
+        assert cost.fanin_send.sum() == cost.fanin_recv.sum()
+
+    def test_cost_lower_bound(self, paper_matrix, rng):
+        """BSP cost >= ceil(phase volume / p) for each phase."""
+        nparts = 3
+        parts = rng.integers(0, nparts, size=paper_matrix.nnz)
+        cost = bsp_cost(paper_matrix, parts, nparts)
+        vb = volume_breakdown(paper_matrix, parts)
+        assert cost.h_fanout >= -(-vb.fanout // nparts)
+        assert cost.h_fanin >= -(-vb.fanin // nparts)
+
+    def test_explicit_distribution_used(self, paper_matrix, rng):
+        parts = rng.integers(0, 2, size=paper_matrix.nnz)
+        dist = distribute_vectors(paper_matrix, parts, 2)
+        c1 = bsp_cost(paper_matrix, parts, 2, dist)
+        c2 = bsp_cost(paper_matrix, parts, 2)
+        assert c1.cost == c2.cost  # greedy default == same dist
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices_with_parts())
+    def test_words_equal_volume_property(self, case):
+        matrix, parts, nparts = case
+        cost = bsp_cost(matrix, parts, nparts)
+        vb = volume_breakdown(matrix, parts)
+        assert cost.total_words == vb.total
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices_with_parts())
+    def test_h_relation_bounds(self, case):
+        matrix, parts, nparts = case
+        cost = bsp_cost(matrix, parts, nparts)
+        vb = volume_breakdown(matrix, parts)
+        assert cost.h_fanout <= vb.fanout
+        assert cost.h_fanin <= vb.fanin
+        assert cost.cost <= vb.total
+
+
+class TestPerProcessorVolume:
+    def test_sums_to_twice_total_words(self, paper_matrix, rng):
+        """Every word is sent once and received once, so the per-processor
+        volumes sum to exactly 2 * total words."""
+        parts = rng.integers(0, 3, size=paper_matrix.nnz)
+        cost = bsp_cost(paper_matrix, parts, 3)
+        assert int(cost.per_processor_volume.sum()) == 2 * cost.total_words
+
+    def test_max_bounds(self, paper_matrix, rng):
+        parts = rng.integers(0, 3, size=paper_matrix.nnz)
+        cost = bsp_cost(paper_matrix, parts, 3)
+        assert cost.max_per_processor_volume >= cost.h_fanout
+        assert cost.max_per_processor_volume >= cost.h_fanin
+        assert cost.max_per_processor_volume <= 2 * cost.total_words
+
+    def test_single_part_zero(self, paper_matrix):
+        import numpy as np
+        parts = np.zeros(paper_matrix.nnz, dtype=np.int64)
+        cost = bsp_cost(paper_matrix, parts, 1)
+        assert cost.max_per_processor_volume == 0

@@ -1,0 +1,102 @@
+"""Tests for the equal input/output vector distribution.
+
+The paper (Section II, citing Ucar & Aykanat [7]) notes that requiring the
+input and output vectors to be distributed the same way "may cause extra
+communication for matrices with zeros on the main diagonal".  These tests
+pin down that behaviour: owners are shared per index, the surplus over
+eqn (3) is exactly accounted, and the simulator still verifies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.volume import communication_volume
+from repro.errors import SimulationError
+from repro.sparse.generators import erdos_renyi
+from repro.sparse.matrix import SparseMatrix
+from repro.spmv.simulate import simulate_spmv
+from repro.spmv.vector_dist import distribute_vectors, expected_phase_words
+from tests.conftest import matrices_with_parts
+
+
+class TestEqualDistribution:
+    def test_owners_identical(self, rng):
+        a = erdos_renyi(25, 25, 150, seed=1)
+        parts = rng.integers(0, 3, size=a.nnz)
+        dist = distribute_vectors(a, parts, 3, equal=True)
+        np.testing.assert_array_equal(dist.input_owner, dist.output_owner)
+
+    def test_rejects_rectangular(self, rng):
+        a = erdos_renyi(4, 6, 10, seed=2)
+        with pytest.raises(SimulationError, match="square"):
+            distribute_vectors(a, np.zeros(10, dtype=np.int64), 1, equal=True)
+
+    def test_full_diagonal_costs_nothing_extra(self, rng):
+        """With a full diagonal, index j's row and column sets intersect
+        (both contain the diagonal nonzero's part), so the equal
+        distribution achieves the eqn-(3) volume exactly."""
+        n = 20
+        idx = np.arange(n)
+        extra_r = rng.integers(0, n, size=40)
+        extra_c = rng.integers(0, n, size=40)
+        a = SparseMatrix(
+            (n, n),
+            np.concatenate([idx, extra_r]),
+            np.concatenate([idx, extra_c]),
+        )
+        parts = rng.integers(0, 3, size=a.nnz)
+        dist = distribute_vectors(a, parts, 3, equal=True)
+        out_w, in_w = expected_phase_words(a, parts, dist)
+        from repro.core.volume import volume_breakdown
+
+        vb = volume_breakdown(a, parts)
+        assert out_w == vb.fanout
+        assert in_w == vb.fanin
+
+    def test_zero_diagonal_may_cost_extra(self):
+        """The paper's caveat: an anti-diagonal matrix (all diagonal
+        entries zero) with mismatched row/column parts forces surplus
+        words under the equal distribution."""
+        n = 6
+        idx = np.arange(n)
+        a = SparseMatrix((n, n), idx, (idx + 1) % n)
+        parts = np.arange(n, dtype=np.int64) % 3
+        dist = distribute_vectors(a, parts, 3, equal=True)
+        out_w, in_w = expected_phase_words(a, parts, dist)
+        assert out_w + in_w >= communication_volume(a, parts)
+
+    def test_simulator_verifies_equal_distribution(self, rng):
+        a = erdos_renyi(30, 30, 250, seed=3)
+        parts = rng.integers(0, 4, size=a.nnz)
+        dist = distribute_vectors(a, parts, 4, equal=True)
+        report = simulate_spmv(a, parts, 4, dist=dist)
+        exp_out, exp_in = expected_phase_words(a, parts, dist)
+        assert report.words_fanout == exp_out
+        assert report.words_fanin == exp_in
+        assert report.volume >= communication_volume(a, parts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices_with_parts(max_rows=8, max_cols=8, max_nnz=30))
+    def test_surplus_nonnegative_property(self, case):
+        matrix, parts, nparts = case
+        if matrix.nrows != matrix.ncols:
+            return
+        dist = distribute_vectors(matrix, parts, nparts, equal=True)
+        out_w, in_w = expected_phase_words(matrix, parts, dist)
+        assert out_w + in_w >= communication_volume(matrix, parts)
+        # And simulation agrees with the accounting.
+        report = simulate_spmv(matrix, parts, nparts, dist=dist)
+        assert report.volume == out_w + in_w
+
+
+class TestExpectedPhaseWords:
+    def test_matches_eqn3_for_default_distribution(self, rng):
+        a = erdos_renyi(20, 30, 140, seed=4)
+        parts = rng.integers(0, 3, size=a.nnz)
+        dist = distribute_vectors(a, parts, 3)
+        out_w, in_w = expected_phase_words(a, parts, dist)
+        from repro.core.volume import volume_breakdown
+
+        vb = volume_breakdown(a, parts)
+        assert (out_w, in_w) == (vb.fanout, vb.fanin)

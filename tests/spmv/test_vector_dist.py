@@ -1,0 +1,85 @@
+"""Tests for the vector distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SimulationError
+from repro.spmv.vector_dist import VectorDistribution, distribute_vectors
+from repro.sparse.matrix import SparseMatrix
+from tests.conftest import matrices_with_parts
+
+
+class TestDistributeVectors:
+    def test_owners_within_touching_parts(self, paper_matrix, rng):
+        parts = rng.integers(0, 3, size=paper_matrix.nnz)
+        dist = distribute_vectors(paper_matrix, parts, 3)
+        for j in range(paper_matrix.ncols):
+            touching = set(
+                parts[paper_matrix.cols == j].tolist()
+            )
+            if touching:
+                assert int(dist.input_owner[j]) in touching
+        for i in range(paper_matrix.nrows):
+            touching = set(parts[paper_matrix.rows == i].tolist())
+            if touching:
+                assert int(dist.output_owner[i]) in touching
+
+    def test_empty_lines_get_valid_owner(self):
+        a = SparseMatrix((4, 4), [0], [0])
+        dist = distribute_vectors(a, np.array([1]), 2)
+        assert 0 <= dist.input_owner.min() and dist.input_owner.max() < 2
+        assert 0 <= dist.output_owner.min() and dist.output_owner.max() < 2
+        # The non-empty line is owned by its only part.
+        assert dist.input_owner[0] == 1
+        assert dist.output_owner[0] == 1
+
+    def test_single_part(self, paper_matrix):
+        parts = np.zeros(paper_matrix.nnz, dtype=np.int64)
+        dist = distribute_vectors(paper_matrix, parts, 1)
+        assert (dist.input_owner == 0).all()
+        assert (dist.output_owner == 0).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices_with_parts())
+    def test_owner_in_set_property(self, case):
+        matrix, parts, nparts = case
+        dist = distribute_vectors(matrix, parts, nparts)
+        owners_ok = True
+        for j in range(matrix.ncols):
+            touching = set(parts[matrix.cols == j].tolist())
+            if touching and int(dist.input_owner[j]) not in touching:
+                owners_ok = False
+        assert owners_ok
+
+    def test_balances_owners_across_parts(self):
+        """Many identical heavy columns: greedy should spread ownership."""
+        # 8 columns each touched by parts {0,1}; owners should not all
+        # land on one part.
+        rows = np.repeat(np.arange(16), 1)
+        cols = np.tile(np.arange(8), 2)
+        a = SparseMatrix((16, 8), rows, cols)
+        parts = np.array([0] * 8 + [1] * 8)
+        dist = distribute_vectors(a, parts, 2)
+        counts = np.bincount(dist.input_owner, minlength=2)
+        assert counts.min() >= 2
+
+
+class TestValidation:
+    def test_validate_against_shape_mismatch(self, paper_matrix):
+        dist = VectorDistribution(
+            input_owner=np.zeros(2, dtype=np.int64),
+            output_owner=np.zeros(paper_matrix.nrows, dtype=np.int64),
+            nparts=2,
+        )
+        with pytest.raises(SimulationError):
+            dist.validate_against(paper_matrix)
+
+    def test_validate_part_range(self, paper_matrix):
+        dist = VectorDistribution(
+            input_owner=np.full(paper_matrix.ncols, 5, dtype=np.int64),
+            output_owner=np.zeros(paper_matrix.nrows, dtype=np.int64),
+            nparts=2,
+        )
+        with pytest.raises(SimulationError, match="out-of-range"):
+            dist.validate_against(paper_matrix)

@@ -1,0 +1,74 @@
+"""Golden-value regression tests.
+
+Every algorithm in the package is deterministic given a seed, so a fixed
+(instance, method, seed) triple must always produce the same volume.
+These pins catch *silent behavioural drift* — a refactor that keeps the
+tests green but changes results (different matching order, altered gain
+update, reseeded RNG path) breaks them immediately.
+
+If a change intentionally alters results (e.g. a quality improvement),
+regenerate the table below and say so in the commit:
+
+    python -c "..."  # see the generation snippet in the repo history
+"""
+
+import pytest
+
+from repro import bipartition, initial_split, load_instance, partition
+
+# (instance, method, refine) -> volume at seed 2014
+GOLDEN_BIPARTITION = {
+    ("sym_gd97_like", "localbest", False): 30,
+    ("sym_gd97_like", "localbest", True): 30,
+    ("sym_gd97_like", "finegrain", False): 30,
+    ("sym_gd97_like", "finegrain", True): 29,
+    ("sym_gd97_like", "mediumgrain", False): 30,
+    ("sym_gd97_like", "mediumgrain", True): 30,
+    ("sqr_er_s", "localbest", False): 138,
+    ("sqr_er_s", "localbest", True): 129,
+    ("sqr_er_s", "finegrain", False): 128,
+    ("sqr_er_s", "finegrain", True): 128,
+    ("sqr_er_s", "mediumgrain", False): 131,
+    ("sqr_er_s", "mediumgrain", True): 128,
+    ("rec_td_small_a", "localbest", False): 38,
+    ("rec_td_small_a", "localbest", True): 34,
+    ("rec_td_small_a", "finegrain", False): 33,
+    ("rec_td_small_a", "finegrain", True): 33,
+    ("rec_td_small_a", "mediumgrain", False): 38,
+    ("rec_td_small_a", "mediumgrain", True): 34,
+    ("sym_grid2d_s", "localbest", False): 32,
+    ("sym_grid2d_s", "localbest", True): 32,
+    ("sym_grid2d_s", "finegrain", False): 32,
+    ("sym_grid2d_s", "finegrain", True): 32,
+    ("sym_grid2d_s", "mediumgrain", False): 32,
+    ("sym_grid2d_s", "mediumgrain", True): 32,
+}
+
+SEED = 2014
+
+
+@pytest.mark.parametrize(
+    "instance,method,refine",
+    sorted(GOLDEN_BIPARTITION),
+    ids=lambda v: str(v),
+)
+def test_bipartition_volumes_pinned(instance, method, refine):
+    matrix = load_instance(instance)
+    result = bipartition(
+        matrix, method=method, refine=refine, seed=SEED
+    )
+    assert result.volume == GOLDEN_BIPARTITION[(instance, method, refine)]
+
+
+def test_recursive_p8_pinned():
+    matrix = load_instance("sym_grid2d_s")
+    result = partition(
+        matrix, 8, method="mediumgrain", refine=True, seed=SEED
+    )
+    assert (result.volume, result.max_part) == (110, 152)
+
+
+def test_initial_split_pinned():
+    matrix = load_instance("sym_gd97_like")
+    split = initial_split(matrix, seed=SEED)
+    assert int(split.ar_mask.sum()) == 112

@@ -1,0 +1,106 @@
+"""Cross-module integration tests.
+
+These wire whole pipelines together: collection instance -> method ->
+volume metrics -> SpMV simulation -> BSP cost, for both partitioner
+presets and several matrix classes — the spine of the paper's experiments
+in miniature.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    bipartition,
+    communication_volume,
+    imbalance,
+    iterative_refine,
+    load_instance,
+    partition,
+)
+from repro.core.volume import max_allowed_part_size
+from repro.eval.profiles import performance_profile
+from repro.spmv.simulate import simulate_spmv
+
+INSTANCES = ["rec_td_small_a", "sym_gd97_like", "sqr_er_s"]
+METHODS = ["localbest", "finegrain", "mediumgrain"]
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", INSTANCES)
+    @pytest.mark.parametrize("config", ["mondriaan", "patoh"])
+    def test_bipartition_simulate_agree(self, name, config):
+        a = load_instance(name)
+        res = bipartition(
+            a, method="mediumgrain", refine=True, config=config, seed=11
+        )
+        assert res.feasible
+        report = simulate_spmv(a, res.parts, 2)
+        assert report.volume == res.volume
+        assert report.bsp.cost <= res.volume  # h <= total words
+
+    @pytest.mark.parametrize("name", INSTANCES)
+    def test_every_method_beats_random(self, name):
+        """All paper methods must do far better than a random balanced
+        assignment of nonzeros."""
+        a = load_instance(name)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 2, size=a.nnz)
+        random_vol = communication_volume(a, random_parts)
+        for method in METHODS:
+            res = bipartition(a, method=method, seed=13)
+            assert res.volume < random_vol
+
+    def test_ir_composability(self):
+        """IR applied to an externally produced partitioning (here: a
+        naive halves split) improves it and keeps balance."""
+        a = load_instance("sqr_er_s")
+        naive = (np.arange(a.nnz) >= a.nnz // 2).astype(np.int64)
+        before = communication_volume(a, naive)
+        refined, trace = iterative_refine(a, naive, eps=0.03, seed=5)
+        after = communication_volume(a, refined)
+        assert after <= before
+        assert trace.volumes[0] == before
+        ceiling = max_allowed_part_size(a.nnz, 2, 0.03)
+        assert np.bincount(refined, minlength=2).max() <= ceiling
+
+    def test_p8_pipeline_with_simulation(self):
+        a = load_instance("sym_grid2d_s")
+        res = partition(a, 8, method="mediumgrain", refine=True, seed=17)
+        assert res.feasible
+        assert imbalance(a, res.parts, 8) <= 0.03 + 1e-9 or res.max_part <= (
+            max_allowed_part_size(a.nnz, 8, 0.03)
+        )
+        report = simulate_spmv(a, res.parts, 8)
+        assert report.volume == res.volume
+
+    def test_profile_of_real_methods(self):
+        """Build a mini performance profile from actual runs; the
+        pointwise-best pseudo-method must dominate."""
+        vols = {m: [] for m in METHODS}
+        for name in INSTANCES:
+            a = load_instance(name)
+            for m in METHODS:
+                vols[m].append(
+                    bipartition(a, method=m, seed=19).volume
+                )
+        values = {m: np.array(v, dtype=float) for m, v in vols.items()}
+        values["best"] = np.min(
+            np.stack(list(values.values())), axis=0
+        )
+        profile = performance_profile(values)
+        assert profile.fraction_at("best", 1.0) == 1.0
+
+    def test_mg_hypergraph_smaller_than_fg(self):
+        """The size argument behind the paper's speed claim: the MG
+        hypergraph has at most m + n vertices versus N for fine-grain."""
+        a = load_instance("sqr_er_s")
+        res = bipartition(a, method="mediumgrain", seed=23)
+        m, n = a.shape
+        assert res.details["mg_vertices"] <= m + n < a.nnz
+
+    def test_seed_stability_across_presets(self):
+        a = load_instance("rec_td_small_a")
+        for config in ("mondriaan", "patoh"):
+            r1 = bipartition(a, method="localbest", config=config, seed=29)
+            r2 = bipartition(a, method="localbest", config=config, seed=29)
+            assert r1.volume == r2.volume

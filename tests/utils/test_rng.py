@@ -1,0 +1,66 @@
+"""Tests for the RNG discipline helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**31, size=16)
+        b = as_generator(2).integers(0, 2**31, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(7)
+        assert as_generator(g) is g
+
+    def test_numpy_integer_accepted(self):
+        g = as_generator(np.int64(5))
+        assert isinstance(g, np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        g = as_generator(np.random.SeedSequence(3))
+        assert isinstance(g, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_generator(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(9, 5) == spawn_seeds(9, 5)
+
+    def test_prefix_stability(self):
+        short = spawn_seeds(11, 3)
+        long = spawn_seeds(11, 8)
+        assert long[:3] == short
+
+    def test_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+        assert spawn_seeds(0, 0) == []
+
+    def test_all_non_negative(self):
+        assert all(s >= 0 for s in spawn_seeds(123, 50))
+
+    def test_distinct(self):
+        seeds = spawn_seeds(5, 100)
+        assert len(set(seeds)) == 100
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)

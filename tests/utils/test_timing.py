@@ -1,0 +1,39 @@
+"""Tests for the Timer utility."""
+
+import time
+
+from repro.utils.timing import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_total_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.total >= first + 0.004
+        assert t.total >= t.elapsed
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.total == 0.0
+
+    def test_elapsed_reflects_last_block(self):
+        t = Timer()
+        with t:
+            time.sleep(0.02)
+        long = t.elapsed
+        with t:
+            pass
+        assert t.elapsed < long

@@ -1,0 +1,88 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_axis_pair,
+    check_eps,
+    check_nonneg_int,
+    check_pos_int,
+)
+
+
+class TestCheckPosInt:
+    def test_accepts_positive(self):
+        assert check_pos_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_pos_int(np.int32(4), "x") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_pos_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_pos_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_pos_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_pos_int(2.0, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_pos_int(0, "myparam")
+
+
+class TestCheckNonnegInt:
+    def test_accepts_zero(self):
+        assert check_nonneg_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_nonneg_int(-1, "x")
+
+
+class TestCheckEps:
+    def test_paper_value(self):
+        assert check_eps(0.03) == pytest.approx(0.03)
+
+    def test_zero_allowed(self):
+        assert check_eps(0) == 0.0
+
+    def test_int_coerced(self):
+        assert check_eps(1) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_eps(-0.1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_eps(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_eps(float("inf"))
+
+    def test_string_rejected(self):
+        with pytest.raises((TypeError, ValueError)):
+            check_eps("abc")
+
+
+class TestCheckAxisPair:
+    def test_valid(self):
+        assert check_axis_pair((3, 5)) == (3, 5)
+
+    def test_rejects_non_pair(self):
+        with pytest.raises(TypeError):
+            check_axis_pair((1, 2, 3))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            check_axis_pair((0, 4))
