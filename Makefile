@@ -1,0 +1,22 @@
+# Convenience targets; all assume the repo root as working directory.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-regress bench-regress-update bench
+
+# Tier-1 verification: the fast test suite (bench marker deselected).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Compare current kernel timings against the committed BENCH_kernels.json;
+# exits non-zero on a >25% regression in any kernel.
+bench-regress:
+	$(PYTHON) -m benchmarks.bench_regress --check
+
+# Re-time the kernels and rewrite BENCH_kernels.json (commit the result).
+bench-regress-update:
+	$(PYTHON) -m benchmarks.bench_regress
+
+# The full pytest-benchmark micro-bench suite (slow, informational).
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_kernels.py --benchmark-only -q

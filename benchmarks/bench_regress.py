@@ -1,0 +1,396 @@
+"""Kernel benchmark-regression harness.
+
+Times the partitioner's hot kernels on collection matrices, against the
+frozen *seed* implementations in ``_baseline_kernels.py``:
+
+``fm_pass``
+    One FM pass on the medium-grain hypergraph — seed closure-based loop
+    vs. the ``repro.kernels`` backend with its reusable pass state.
+``matching``
+    One greedy matching sweep — seed convert-per-call loop vs. the
+    backend sweep on cached mirrors.
+``contraction``
+    Identical-net merging on a duplicate-heavy net list — seed per-net
+    ``tobytes()`` hashing vs. the vectorized group-by-size merge.
+``medium_grain_build``
+    The derived structures FM needs on a fresh medium-grain hypergraph
+    (transpose, gain bound, net ids) — seed per-site ``np.repeat``
+    expansions vs. the shared ``Hypergraph.net_ids()`` cache.
+
+Usage::
+
+    python -m benchmarks.bench_regress              # write BENCH_kernels.json
+    python -m benchmarks.bench_regress --check      # compare vs. committed
+    make bench-regress                              # the --check mode
+
+The default run writes ``BENCH_kernels.json`` at the repository root —
+the perf trajectory artifact tracked in git.  ``--check`` re-times the
+"after" side and exits non-zero when any kernel regressed more than
+``--tolerance`` (default 25%) against the committed file; it is also
+exposed as the opt-in ``bench`` pytest marker (deselected by default so
+tier-1 stays fast).
+
+Every timed pair is verified to produce identical results before the
+numbers are trusted; a benchmark that drifts behaviourally fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._baseline_kernels import (
+    baseline_derived_structures,
+    baseline_fm_pass,
+    baseline_hot_lists,
+    baseline_match_vertices,
+    baseline_merge_identical,
+)
+from repro.core.medium_grain import build_medium_grain
+from repro.core.split import initial_split
+from repro.hypergraph.models import row_net_model
+from repro.kernels import BACKEND_CHOICES, numba_available, resolve_backend
+from repro.kernels.python_backend import merge_identical_nets
+from repro.partitioner.coarsen import match_vertices
+from repro.partitioner.config import get_config
+from repro.sparse.collection import load_instance
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
+DEFAULT_MATRICES = ("sqr_cl_m", "sym_grid2d_m", "rec_bp_med")
+KERNELS = ("fm_pass", "matching", "contraction", "medium_grain_build")
+SEED = 2014
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _balanced_parts(nverts: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    parts = np.zeros(nverts, dtype=np.int64)
+    parts[rng.permutation(nverts)[: nverts // 2]] = 1
+    return parts
+
+
+def _medium_grain_hypergraph(matrix):
+    split = initial_split(matrix, seed=SEED)
+    return build_medium_grain(split).hypergraph
+
+
+def bench_fm_pass(matrix, backend, repeats: int, after_only: bool = False) -> dict:
+    """Seed FM pass vs. backend FM pass on the medium-grain hypergraph."""
+    h = _medium_grain_hypergraph(matrix)
+    cfg = get_config("mondriaan")
+    parts0 = _balanced_parts(h.nverts, SEED)
+    cap = int(1.03 * h.total_weight() / 2) + 1
+    maxw = (cap, cap)
+    lists = baseline_hot_lists(h)  # seed cached these per hypergraph too
+    state = backend.fm_state(h)
+
+    def run_before():
+        return baseline_fm_pass(
+            h, lists, parts0.copy(), maxw, cfg, np.random.default_rng(7)
+        )
+
+    def run_after():
+        return backend.fm_pass(
+            state, parts0.copy(), maxw, cfg, np.random.default_rng(7)
+        )
+
+    d_before = run_before()
+    d_after = run_after()  # also JIT-warms the numba backend
+    if d_before != (int(d_after[0]), bool(d_after[1])):
+        raise AssertionError(
+            f"fm_pass drift: baseline {d_before} != backend {d_after}"
+        )
+    out = {"after_s": _best_of(repeats, run_after)}
+    if not after_only:
+        out["before_s"] = _best_of(repeats, run_before)
+    return out
+
+
+def bench_matching(matrix, backend, repeats: int, after_only: bool = False) -> dict:
+    """Seed matching sweep vs. backend sweep (same RNG per run)."""
+    h = _medium_grain_hypergraph(matrix)
+    cfg = get_config("mondriaan")
+    cap = max(1, int(0.35 * h.total_weight() / 2))
+    backend.fm_state(h).list_mirrors()  # warm, like repeated coarsening
+
+    def run_before():
+        return baseline_match_vertices(
+            h, cfg, np.random.default_rng(9), cap
+        )
+
+    def run_after():
+        return match_vertices(
+            h, cfg, np.random.default_rng(9), cap, backend=backend
+        )
+
+    if run_before().tolist() != run_after().tolist():
+        raise AssertionError("matching drift between baseline and backend")
+    out = {"after_s": _best_of(repeats, run_after)}
+    if not after_only:
+        out["before_s"] = _best_of(repeats, run_before)
+    return out
+
+
+def bench_contraction(matrix, backend, repeats: int, after_only: bool = False) -> dict:
+    """Identical-net merge on a duplicate-heavy net list.
+
+    The rows of the row-net model are tiled four times, mimicking the
+    coarse levels where contraction maps many fine nets onto the same
+    pin set (the case ``merge_identical_nets`` exists for).
+    """
+    h = row_net_model(matrix).hypergraph
+    tile = 4
+    sizes = np.diff(h.xpins)
+    xpins = np.zeros(tile * h.nnets + 1, dtype=np.int64)
+    np.cumsum(np.tile(sizes, tile), out=xpins[1:])
+    # Sort pins within each net (merge precondition, as after contract).
+    row_sorted = np.concatenate(
+        [np.sort(h.pins[h.xpins[n] : h.xpins[n + 1]]) for n in range(h.nnets)]
+    ) if h.npins else np.empty(0, dtype=np.int64)
+    pins = np.tile(row_sorted, tile)
+    ncost = np.ones(tile * h.nnets, dtype=np.int64)
+
+    def run_before():
+        return baseline_merge_identical(xpins, pins, ncost)
+
+    def run_after():
+        return backend.merge_identical(xpins, pins, ncost)
+
+    rb, ra = run_before(), run_after()
+    for got, want in zip(ra, rb):
+        if got.tolist() != want.tolist():
+            raise AssertionError("contraction merge drift")
+    out = {"after_s": _best_of(repeats, run_after)}
+    if not after_only:
+        out["before_s"] = _best_of(repeats, run_before)
+    return out
+
+
+def bench_medium_grain_build(matrix, backend, repeats: int, after_only: bool = False) -> dict:
+    """Derived-structure build on fresh medium-grain hypergraphs.
+
+    Times what the partitioner computes between building the model and
+    the first FM pass — transpose, gain bound, net-id expansion — with
+    the seed's independent ``np.repeat`` per consumer vs. the shared
+    ``Hypergraph.net_ids()`` cache.  The model build itself is identical
+    code on both sides and ~30x larger, so it is excluded: it would
+    swamp the delta being tracked.  Hypergraphs are prebuilt outside the
+    timer (one per run; the caches are per-instance).
+    """
+    split = initial_split(matrix, seed=SEED)
+
+    def fresh():
+        return build_medium_grain(split).hypergraph
+
+    before_pool = [] if after_only else [fresh() for _ in range(repeats + 1)]
+    after_pool = [fresh() for _ in range(repeats + 1)]
+
+    def run_before():
+        baseline_derived_structures(before_pool.pop())
+
+    def run_after():
+        h = after_pool.pop()
+        h.xnets  # transpose via cached net_ids
+        h.max_vertex_net_cost()
+        h.net_ids()
+
+    out = {"after_s": _best_of(repeats, run_after)}
+    if not after_only:
+        out["before_s"] = _best_of(repeats, run_before)
+    return out
+
+
+BENCH_FNS = {
+    "fm_pass": bench_fm_pass,
+    "matching": bench_matching,
+    "contraction": bench_contraction,
+    "medium_grain_build": bench_medium_grain_build,
+}
+
+
+def run_benchmarks(
+    matrices=DEFAULT_MATRICES, repeats: int = 5, backend_spec: str = "auto"
+) -> dict:
+    """Time every kernel on every matrix; returns the report dict."""
+    backend = resolve_backend(backend_spec)
+    report = {
+        "schema": 1,
+        "backend": backend.name,
+        "numba_available": numba_available(),
+        "repeats": repeats,
+        "matrices": {},
+        "geomean_speedup": {},
+    }
+    for name in matrices:
+        matrix = load_instance(name)
+        entry = {}
+        for kernel, fn in BENCH_FNS.items():
+            timing = fn(matrix, backend, repeats)
+            timing["speedup"] = round(
+                timing["before_s"] / timing["after_s"], 3
+            ) if timing["after_s"] > 0 else float("inf")
+            timing["before_s"] = round(timing["before_s"], 6)
+            timing["after_s"] = round(timing["after_s"], 6)
+            entry[kernel] = timing
+            print(
+                f"  {name:14s} {kernel:18s} "
+                f"before {timing['before_s'] * 1e3:9.3f} ms   "
+                f"after {timing['after_s'] * 1e3:9.3f} ms   "
+                f"x{timing['speedup']:.2f}"
+            )
+        report["matrices"][name] = entry
+    for kernel in KERNELS:
+        speedups = [
+            report["matrices"][m][kernel]["speedup"] for m in matrices
+        ]
+        report["geomean_speedup"][kernel] = round(
+            float(np.exp(np.mean(np.log(speedups)))), 3
+        )
+    return report
+
+
+def check_regression(
+    committed: dict, matrices, repeats: int, tolerance: float,
+    backend_spec="auto", min_delta: float = 1e-4,
+) -> int:
+    """Re-time the *after* side and compare against the committed file.
+
+    The seed baselines are not re-timed here (their numbers are never
+    read in check mode).  A kernel counts as regressed only when it is
+    both ``tolerance`` slower *relatively* and ``min_delta`` seconds
+    slower *absolutely* — sub-millisecond kernels jitter by tens of
+    microseconds on a loaded machine, which is scheduling noise, not a
+    regression.  Returns a process exit code: 0 when every kernel is
+    within budget, 1 otherwise.
+    """
+    backend = resolve_backend(backend_spec)
+    failures = []
+    for name in matrices:
+        ref_entry = committed.get("matrices", {}).get(name)
+        if ref_entry is None:
+            print(f"  {name}: not in committed file, skipping")
+            continue
+        matrix = load_instance(name)
+        for kernel, fn in BENCH_FNS.items():
+            if kernel not in ref_entry:
+                continue
+            cur = fn(matrix, backend, repeats, after_only=True)["after_s"]
+            ref = ref_entry[kernel]["after_s"]
+            ratio = cur / ref if ref > 0 else 1.0
+            regressed = ratio > 1.0 + tolerance and cur - ref > min_delta
+            flag = "REGRESSION" if regressed else "ok"
+            print(
+                f"  {name:14s} {kernel:18s} committed {ref * 1e3:9.3f} ms  "
+                f"current {cur * 1e3:9.3f} ms  x{ratio:5.2f}  {flag}"
+            )
+            if regressed:
+                failures.append((name, kernel, ratio))
+    if failures:
+        print(
+            f"\n{len(failures)} kernel timing(s) regressed more than "
+            f"{tolerance:.0%}:"
+        )
+        for name, kernel, ratio in failures:
+            print(f"  {name}/{kernel}: {ratio:.2f}x the committed time")
+        return 1
+    print("\nall kernels within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(
+        prog="bench_regress",
+        description="kernel benchmark-regression harness",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed JSON instead of rewriting it",
+    )
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument(
+        "--matrices",
+        default=",".join(DEFAULT_MATRICES),
+        help="comma-separated collection instance names",
+    )
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions (min is kept); default 7 "
+                             "when writing, 5 in --check mode")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="--check relative failure threshold (fraction)")
+    parser.add_argument("--min-delta", type=float, default=1e-4,
+                        help="--check absolute floor in seconds: slower by "
+                             "less than this is treated as timing noise")
+    parser.add_argument("--backend", default=None,
+                        choices=BACKEND_CHOICES,
+                        help="kernel backend to time; in --check mode "
+                             "defaults to the committed file's backend")
+    args = parser.parse_args(argv)
+    matrices = tuple(m for m in args.matrices.split(",") if m)
+    out = Path(args.out)
+
+    if args.check:
+        if not out.exists():
+            print(f"no committed benchmark file at {out}; "
+                  f"run `python -m benchmarks.bench_regress` first")
+            return 2
+        committed = json.loads(out.read_text(encoding="utf-8"))
+        # Timings are only comparable on the backend they were measured
+        # with: default to it, and refuse a cross-backend comparison
+        # (committed-python vs current-numba would mask real
+        # regressions; the reverse would flag spurious ones).
+        spec = args.backend if args.backend else committed.get(
+            "backend", "auto"
+        )
+        resolved = resolve_backend(spec)
+        if resolved.name != committed.get("backend", resolved.name):
+            print(
+                f"committed file was measured with backend "
+                f"{committed.get('backend')!r} but {resolved.name!r} is "
+                f"selected here; timings are not comparable — regenerate "
+                f"with `python -m benchmarks.bench_regress "
+                f"--backend {resolved.name}`"
+            )
+            return 2
+        repeats = args.repeats if args.repeats is not None else 5
+        print(f"checking against {out} (backend {resolved.name}, "
+              f"tolerance {args.tolerance:.0%})")
+        return check_regression(
+            committed, matrices, repeats, args.tolerance, resolved,
+            min_delta=args.min_delta,
+        )
+
+    repeats = args.repeats if args.repeats is not None else 7
+    spec = args.backend if args.backend else "auto"
+    print(f"timing kernels on {', '.join(matrices)} "
+          f"(backend: {resolve_backend(spec).name}, "
+          f"min of {repeats} runs)")
+    report = run_benchmarks(matrices, repeats, spec)
+    out.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"\ngeomean speedups: " + ", ".join(
+        f"{k}: x{v}" for k, v in report["geomean_speedup"].items()
+    ))
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

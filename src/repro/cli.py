@@ -26,9 +26,13 @@ import argparse
 import sys
 from pathlib import Path
 
+import dataclasses
+
 from repro.core.methods import METHOD_NAMES, bipartition
 from repro.core.recursive import partition
 from repro.eval import experiments as exp
+from repro.kernels import BACKEND_CHOICES, resolve_backend
+from repro.partitioner.config import get_config
 from repro.sparse.collection import collection_names, load_instance
 from repro.sparse.io_mm import read_matrix_market
 
@@ -64,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="apply Algorithm-2 iterative refinement")
     p_part.add_argument("--config", default="mondriaan",
                         choices=("mondriaan", "patoh"))
+    p_part.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKEND_CHOICES,
+        help=(
+            "kernel backend for the hot loops (auto = numba when "
+            "installed, pure Python otherwise; results are identical)"
+        ),
+    )
     p_part.add_argument("--seed", type=int, default=None)
     p_part.add_argument(
         "--save-parts",
@@ -102,13 +115,18 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         name = Path(args.file).name
     print(f"matrix {name}: {matrix.nrows} x {matrix.ncols}, "
           f"nnz = {matrix.nnz}")
+    cfg = dataclasses.replace(
+        get_config(args.config), kernel_backend=args.backend
+    )
+    print(f"kernel backend    : {resolve_backend(args.backend).name} "
+          f"(requested: {args.backend})")
     if args.nparts == 2:
         res = bipartition(
             matrix,
             method=args.method,
             eps=args.eps,
             refine=args.refine,
-            config=args.config,
+            config=cfg,
             seed=args.seed,
         )
         parts = res.parts
@@ -127,7 +145,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             method=args.method,
             eps=args.eps,
             refine=args.refine,
-            config=args.config,
+            config=cfg,
             seed=args.seed,
         )
         parts = res.parts

@@ -27,6 +27,7 @@ from repro.core.medium_grain import build_medium_grain
 from repro.core.split import split_from_bipartition
 from repro.core.volume import check_nonzero_parts, communication_volume
 from repro.errors import PartitioningError
+from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import fm_refine
 from repro.sparse.matrix import SparseMatrix
@@ -85,6 +86,7 @@ def iterative_refine(
     max_iterations: int = 64,
     start_direction: int = 0,
     alternate: bool = True,
+    backend: KernelBackend | None = None,
 ) -> tuple[np.ndarray, RefinementTrace]:
     """Iteratively refine a bipartitioning (Algorithm 2).
 
@@ -113,6 +115,9 @@ def iterative_refine(
         iteration stagnates (default).  ``alternate=False`` keeps a single
         direction and stops at its first stagnation — the weaker variant
         the ablation benchmark compares against.
+    backend:
+        Pre-resolved kernel backend shared by all KL runs; defaults to
+        ``config.kernel_backend``.
 
     Returns
     -------
@@ -134,6 +139,8 @@ def iterative_refine(
             f"start_direction must be 0 or 1, got {start_direction}"
         )
 
+    if backend is None:
+        backend = resolve_backend(cfg.kernel_backend)
     trace = RefinementTrace()
     volumes = [communication_volume(matrix, parts)]
     direction = start_direction
@@ -143,7 +150,8 @@ def iterative_refine(
         instance = build_medium_grain(split)
         vparts = instance.vertex_parts_from_nonzero(parts)
         result = fm_refine(
-            instance.hypergraph, vparts, max_weights, cfg, rng
+            instance.hypergraph, vparts, max_weights, cfg, rng,
+            backend=backend,
         )
         parts = instance.nonzero_parts(result.parts)
         vk = communication_volume(matrix, parts)

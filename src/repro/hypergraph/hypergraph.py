@@ -163,6 +163,24 @@ class Hypergraph:
             self._cache["net_sizes"] = out
         return out
 
+    def net_ids(self) -> np.ndarray:
+        """Net id of every pin, aligned with :attr:`pins` (cached).
+
+        Equivalent to ``np.repeat(np.arange(nnets), net_sizes())``; FM
+        setup, the transpose builder, the gain bound, the connectivity
+        metric, and contraction all need this expansion, so it is computed
+        once per hypergraph (hypergraphs are immutable).
+        """
+        out = self._cache.get("net_ids")
+        if out is None:
+            out = _readonly(
+                np.repeat(
+                    np.arange(self.nnets, dtype=np.int64), self.net_sizes()
+                )
+            )
+            self._cache["net_ids"] = out
+        return out
+
     def net_pins(self, net: int) -> np.ndarray:
         """Pins of one net as a read-only view."""
         return self.pins[self.xpins[net] : self.xpins[net + 1]]
@@ -180,11 +198,16 @@ class Hypergraph:
             deg = np.bincount(self.pins, minlength=self.nverts)
             xnets = np.zeros(self.nverts + 1, dtype=np.int64)
             np.cumsum(deg, out=xnets[1:])
-            # Stable counting sort of (pin -> net) pairs by pin id.
-            net_ids = np.repeat(
-                np.arange(self.nnets, dtype=np.int64), self.net_sizes()
-            )
-            order = np.argsort(self.pins, kind="stable")
+            # Sort (pin -> net) pairs by pin id, net id as tie-break.
+            # The pairs are unique (no duplicate pins within a net), so
+            # an unstable sort of the combined key pin * nnets + net
+            # equals the stable sort of pins alone — and quicksort on
+            # one int64 key is ~3x faster than a stable argsort here.
+            net_ids = self.net_ids()
+            if self.nnets > 0 and self.nverts < 2**62 // self.nnets:
+                order = np.argsort(self.pins * np.int64(self.nnets) + net_ids)
+            else:  # combined key could overflow: keep the stable sort
+                order = np.argsort(self.pins, kind="stable")
             vnets = net_ids[order]
             cached = (_readonly(xnets), _readonly(vnets))
             self._cache["transpose"] = cached
@@ -220,7 +243,7 @@ class Hypergraph:
             if self.npins == 0:
                 out = 0
             else:
-                costs = np.repeat(self.ncost, self.net_sizes())
+                costs = self.ncost[self.net_ids()]
                 tot = np.zeros(self.nverts, dtype=np.int64)
                 np.add.at(tot, self.pins, costs)
                 out = int(tot.max(initial=0))

@@ -56,7 +56,7 @@ def net_lambdas(h: Hypergraph, parts: np.ndarray) -> np.ndarray:
     parts = check_parts(h, parts)
     if h.npins == 0:
         return np.zeros(h.nnets, dtype=np.int64)
-    net_ids = np.repeat(np.arange(h.nnets, dtype=np.int64), h.net_sizes())
+    net_ids = h.net_ids()
     pin_parts = parts[h.pins]
     # Count unique (net, part) pairs per net.
     order = np.lexsort((pin_parts, net_ids))

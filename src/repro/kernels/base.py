@@ -1,0 +1,74 @@
+"""Abstract interface of a kernel backend.
+
+A backend owns the three scalar hot loops of the partitioner — the FM
+move loop, greedy-matching candidate scoring, and identical-net merging —
+behind a uniform, state-passing API.  Everything *around* the loops
+(vectorized pass setup, RNG consumption, validation, pass orchestration)
+is shared, which is what makes backends bit-compatible: for a fixed
+hypergraph and seed, every backend must return identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.state import FMPassState
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Base class for kernel backends (see :mod:`repro.kernels`).
+
+    Subclasses set :attr:`name` and implement the three kernels.  The
+    contract for every kernel: bit-identical results to the ``"python"``
+    reference backend for the same inputs and RNG stream.
+    """
+
+    #: Registry key; also the ``PartitionerConfig.kernel_backend`` value.
+    name: str = "abstract"
+
+    def fm_state(self, h: Hypergraph) -> FMPassState:
+        """The (cached) reusable pass state for ``h`` under this backend."""
+        return FMPassState.for_hypergraph(h, self.name)
+
+    # ------------------------------------------------------------------ #
+    # The three hot loops.
+    # ------------------------------------------------------------------ #
+    def fm_pass(
+        self,
+        state: FMPassState,
+        parts: np.ndarray,
+        maxw: tuple[int, int],
+        cfg,
+        rng: np.random.Generator,
+    ) -> tuple[int, bool]:
+        """One FM pass; mutates ``parts`` in place.
+
+        Returns ``(cut delta, feasible)`` exactly as the pre-backend
+        ``_fm_pass`` did: *delta* is the cut reduction of the applied
+        best prefix, *feasible* whether the result honours ``maxw``.
+        """
+        raise NotImplementedError
+
+    def match_vertices(
+        self,
+        state: FMPassState,
+        order: np.ndarray,
+        absorption: bool,
+        max_net: int,
+        max_cluster_weight: int,
+        restrict_parts: np.ndarray | None,
+    ) -> np.ndarray:
+        """Greedy matching sweep in the given visit ``order``.
+
+        Returns the partner array (``-1`` for unmatched vertices).
+        """
+        raise NotImplementedError
+
+    def merge_identical(
+        self, xpins: np.ndarray, pins: np.ndarray, ncost: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Merge nets with identical (sorted) pin sets, summing costs."""
+        raise NotImplementedError

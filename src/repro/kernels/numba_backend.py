@@ -1,0 +1,527 @@
+"""Numba JIT backend: the hot loops on flat int64/float64 arrays.
+
+Every kernel is a statement-for-statement transliteration of the
+``"python"`` backend — same LIFO bucket discipline, same cursor
+tightening, same tie-breaks, same floating-point accumulation order in
+matching scores and balance metrics — so for a fixed hypergraph and seed
+the two backends return bit-identical partitions and matchings (the RNG
+is consumed *outside* the kernels, by the shared orchestration code).
+The first call per signature pays JIT compilation; kernels are cached on
+disk (``cache=True``) so subsequent processes start warm.
+
+When numba is not installed the module still imports — ``njit`` degrades
+to an identity decorator — so the flat-array kernels stay testable (the
+cross-backend equivalence suite runs them interpreted on small inputs).
+The registry only ever *selects* this backend when real numba is
+present; without it ``"numba"``/``"auto"`` resolve to ``"python"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised implicitly by both environments
+    from numba import njit
+
+    NUMBA_JIT = True
+except ImportError:  # numba absent: keep kernels importable, interpreted
+    NUMBA_JIT = False
+
+    def njit(*args, **kwargs):
+        """Identity stand-in for ``numba.njit`` when numba is absent."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+from repro.kernels.base import KernelBackend
+from repro.kernels.python_backend import merge_identical_nets
+from repro.kernels.state import FMPassState, compute_fm_setup
+
+__all__ = ["NumbaBackend", "NUMBA_JIT"]
+
+
+@njit(cache=True)
+def _bucket_insert(head, nxt, prv, inside, maxptr, bgain, offset, u, su):
+    """File free vertex ``u`` (on side ``su``) at the head of its bucket."""
+    b = bgain[u] + offset
+    first = head[su, b]
+    nxt[u] = first
+    prv[u] = -1
+    if first != -1:
+        prv[first] = u
+    head[su, b] = u
+    inside[u] = True
+    if b > maxptr[su]:
+        maxptr[su] = b
+
+
+@njit(cache=True)
+def _bucket_remove(head, nxt, prv, inside, bgain, offset, u, su):
+    """Unlink vertex ``u`` from its bucket on side ``su``."""
+    if not inside[u]:
+        return
+    p = prv[u]
+    n2 = nxt[u]
+    if p != -1:
+        nxt[p] = n2
+    else:
+        head[su, bgain[u] + offset] = n2
+    if n2 != -1:
+        prv[n2] = p
+    inside[u] = False
+
+
+@njit(cache=True)
+def _gain_touch(
+    head, nxt, prv, inside, locked, maxptr, bgain, parts, offset, u, delta
+):
+    """Apply a gain delta to a free vertex, (re-)filing it in buckets."""
+    if inside[u]:
+        su = parts[u]
+        g = bgain[u]
+        p = prv[u]
+        n2 = nxt[u]
+        if p != -1:
+            nxt[p] = n2
+        else:
+            head[su, g + offset] = n2
+        if n2 != -1:
+            prv[n2] = p
+        g += delta
+        b = g + offset
+        first = head[su, b]
+        nxt[u] = first
+        prv[u] = -1
+        if first != -1:
+            prv[first] = u
+        head[su, b] = u
+        bgain[u] = g
+        if b > maxptr[su]:
+            maxptr[su] = b
+    else:
+        bgain[u] += delta
+        if not locked[u]:
+            _bucket_insert(
+                head, nxt, prv, inside, maxptr, bgain, offset, u, parts[u]
+            )
+
+
+@njit(cache=True)
+def _best_movable(head, nxt, maxptr, vwgt, s, room):
+    """Highest-gain vertex on side ``s`` with ``vwgt[v] <= room``.
+
+    Scans buckets downward from the side's cursor, tightening the cursor
+    past empty buckets exactly like the reference implementation.
+    """
+    b = maxptr[s]
+    while b >= 0:
+        v = head[s, b]
+        if v == -1:
+            maxptr[s] = b - 1
+            b -= 1
+            continue
+        while v != -1:
+            if vwgt[v] <= room:
+                return v
+            v = nxt[v]
+        b -= 1
+    return -1
+
+
+@njit(cache=True)
+def _balance_metric(w0, w1, maxw0, maxw1):
+    """max of the per-side weight/ceiling ratios (ceiling 0 -> 0/1 flag)."""
+    if maxw0 != 0:
+        m0 = w0 / maxw0
+    else:
+        m0 = 1.0 if w0 > 0 else 0.0
+    if maxw1 != 0:
+        m1 = w1 / maxw1
+    else:
+        m1 = 1.0 if w1 > 0 else 0.0
+    return max(m0, m1)
+
+
+@njit(cache=True)
+def _fm_move_loop(
+    xpins,
+    pins,
+    xnets,
+    vnets,
+    ncost,
+    vwgt,
+    parts,
+    pc0,
+    pc1,
+    bgain,
+    insert_mask,
+    insert_order,
+    head,
+    nxt,
+    prv,
+    inside,
+    locked,
+    maxptr,
+    moved,
+    offset,
+    maxw0,
+    maxw1,
+    slack,
+    stall_limit,
+    w0_init,
+    w1_init,
+):
+    """The sequential FM move loop; mutates ``parts``/``pc0``/``pc1``.
+
+    Returns ``(best_cum, best_feasible)`` with the best-prefix rollback
+    already applied to ``parts``.
+    """
+    nverts = parts.shape[0]
+    head[:, :] = -1
+    inside[:] = False
+    locked[:] = False
+    maxptr[0] = -1
+    maxptr[1] = -1
+
+    for i in range(nverts):
+        v = insert_order[i]
+        if insert_mask[v]:
+            _bucket_insert(
+                head, nxt, prv, inside, maxptr, bgain, offset, v, parts[v]
+            )
+
+    w0 = w0_init
+    w1 = w1_init
+    initially_feasible = w0 <= maxw0 and w1 <= maxw1
+    best_feasible = initially_feasible
+    best_cum = 0
+    best_len = 0
+    best_metric = _balance_metric(w0, w1, maxw0, maxw1)
+    cum = 0
+    n_moved = 0
+    stall = 0
+
+    while True:
+        overweight0 = w0 > maxw0
+        overweight1 = w1 > maxw1
+        best_v = -1
+        best_side = -1
+        best_g = 0
+        for s in range(2):
+            # While infeasible, only moves off the overweight side help.
+            if overweight0 and s != 0:
+                continue
+            if overweight1 and s != 1:
+                continue
+            if s == 0:
+                room = maxw1 + slack - w1
+            else:
+                room = maxw0 + slack - w0
+            v = _best_movable(head, nxt, maxptr, vwgt, s, room)
+            if v == -1:
+                continue
+            g = bgain[v]
+            if best_v == -1:
+                best_v = v
+                best_side = s
+                best_g = g
+            elif g > best_g:
+                best_v = v
+                best_side = s
+                best_g = g
+            elif g == best_g:
+                ws = w0 if s == 0 else w1
+                wb = w0 if best_side == 0 else w1
+                if ws > wb:
+                    best_v = v
+                    best_side = s
+                    best_g = g
+        if best_v == -1:
+            break
+
+        v = best_v
+        s = best_side
+        t = 1 - s
+        _bucket_remove(head, nxt, prv, inside, bgain, offset, v, s)
+        locked[v] = True
+
+        # Classic FM gain-update rules around the move of v from s to t.
+        for idx in range(xnets[v], xnets[v + 1]):
+            n = vnets[idx]
+            c = ncost[n]
+            if c == 0:
+                continue
+            p0 = xpins[n]
+            p1 = xpins[n + 1]
+            pcT = pc1[n] if t == 1 else pc0[n]
+            if pcT == 0:
+                for k in range(p0, p1):
+                    u = pins[k]
+                    if not locked[u]:
+                        _gain_touch(
+                            head, nxt, prv, inside, locked, maxptr,
+                            bgain, parts, offset, u, c,
+                        )
+            elif pcT == 1:
+                for k in range(p0, p1):
+                    u = pins[k]
+                    if parts[u] == t:
+                        if not locked[u]:
+                            _gain_touch(
+                                head, nxt, prv, inside, locked, maxptr,
+                                bgain, parts, offset, u, -c,
+                            )
+                        break
+            if s == 0:
+                pc0[n] -= 1
+                pc1[n] += 1
+                pcF = pc0[n]
+            else:
+                pc1[n] -= 1
+                pc0[n] += 1
+                pcF = pc1[n]
+            if pcF == 0:
+                for k in range(p0, p1):
+                    u = pins[k]
+                    if not locked[u]:
+                        _gain_touch(
+                            head, nxt, prv, inside, locked, maxptr,
+                            bgain, parts, offset, u, -c,
+                        )
+            elif pcF == 1:
+                for k in range(p0, p1):
+                    u = pins[k]
+                    if u != v and parts[u] == s:
+                        if not locked[u]:
+                            _gain_touch(
+                                head, nxt, prv, inside, locked, maxptr,
+                                bgain, parts, offset, u, c,
+                            )
+                        break
+
+        parts[v] = t
+        if s == 0:
+            w0 -= vwgt[v]
+            w1 += vwgt[v]
+        else:
+            w1 -= vwgt[v]
+            w0 += vwgt[v]
+        cum += best_g
+        moved[n_moved] = v
+        n_moved += 1
+
+        feasible_now = w0 <= maxw0 and w1 <= maxw1
+        improved = False
+        if feasible_now:
+            metric = _balance_metric(w0, w1, maxw0, maxw1)
+            if (
+                not best_feasible
+                or cum > best_cum
+                or (cum == best_cum and metric < best_metric)
+            ):
+                best_feasible = True
+                best_cum = cum
+                best_len = n_moved
+                best_metric = metric
+                improved = True
+        if improved:
+            stall = 0
+        else:
+            stall += 1
+            if stall > stall_limit and best_feasible:
+                break
+
+    # Roll back to the best prefix.
+    for i in range(best_len, n_moved):
+        v = moved[i]
+        parts[v] = 1 - parts[v]
+
+    if not best_feasible:
+        return 0, False
+    return best_cum, True
+
+
+@njit(cache=True)
+def _match_loop(
+    xpins,
+    pins,
+    xnets,
+    vnets,
+    ncost,
+    vwgt,
+    sizes,
+    order,
+    match,
+    score,
+    touched,
+    absorption,
+    max_net,
+    max_cluster_weight,
+    restrict,
+    has_restrict,
+):
+    """Greedy matching sweep; fills ``match`` with partner ids or -1."""
+    nverts = order.shape[0]
+    for oi in range(nverts):
+        v = order[oi]
+        if match[v] != -1:
+            continue
+        wv = vwgt[v]
+        ntouched = 0
+        for i in range(xnets[v], xnets[v + 1]):
+            n = vnets[i]
+            sz = sizes[n]
+            if sz < 2 or sz > max_net:
+                continue
+            c = ncost[n]
+            if c == 0:
+                continue
+            if absorption:
+                w = c / (sz - 1)
+            else:
+                w = float(c)
+            for k in range(xpins[n], xpins[n + 1]):
+                u = pins[k]
+                if u == v or match[u] != -1:
+                    continue
+                if has_restrict and restrict[u] != restrict[v]:
+                    continue
+                if wv + vwgt[u] > max_cluster_weight:
+                    continue
+                if score[u] == 0.0:
+                    touched[ntouched] = u
+                    ntouched += 1
+                score[u] += w
+        if ntouched > 0:
+            best_u = -1
+            best_s = 0.0
+            for j in range(ntouched):
+                u = touched[j]
+                s = score[u]
+                # Tie-break towards the lighter candidate: keeps coarse
+                # weights even, which preserves partitionability.
+                if s > best_s or (
+                    s == best_s and best_u != -1 and vwgt[u] < vwgt[best_u]
+                ):
+                    best_u = u
+                    best_s = s
+                score[u] = 0.0
+            if best_u != -1:
+                match[v] = best_u
+                match[best_u] = v
+
+
+class NumbaBackend(KernelBackend):
+    """JIT backend on flat arrays; bit-identical to the reference."""
+
+    name = "numba"
+
+    def fm_pass(
+        self,
+        state: FMPassState,
+        parts: np.ndarray,
+        maxw: tuple[int, int],
+        cfg,
+        rng: np.random.Generator,
+    ) -> tuple[int, bool]:
+        """One FM pass through the JIT move loop; mutates ``parts``."""
+        h = state.h
+        nverts = h.nverts
+        if nverts == 0:
+            return 0, True
+        pc0_np, pc1_np, gain_np, insert_mask = compute_fm_setup(
+            h, parts, cfg.boundary_only
+        )
+        insert_order = rng.permutation(nverts)
+        scratch = state.flat_arrays()
+        pc0 = scratch["pc0"]
+        pc1 = scratch["pc1"]
+        bgain = scratch["bgain"]
+        pc0[:] = pc0_np
+        pc1[:] = pc1_np
+        bgain[:] = gain_np
+        maxptr = np.empty(2, dtype=np.int64)
+        w1 = int(np.dot(parts, h.vwgt))
+        stall_limit = max(32, int(cfg.fm_early_exit_frac * nverts))
+        delta, feasible = _fm_move_loop(
+            h.xpins,
+            h.pins,
+            h.xnets,
+            h.vnets,
+            h.ncost,
+            h.vwgt,
+            parts,
+            pc0,
+            pc1,
+            bgain,
+            insert_mask,
+            insert_order,
+            scratch["head"],
+            scratch["nxt"],
+            scratch["prv"],
+            scratch["inside"],
+            scratch["locked"],
+            maxptr,
+            scratch["moved"],
+            state.max_gain,
+            int(maxw[0]),
+            int(maxw[1]),
+            state.slack,
+            stall_limit,
+            state.total_weight - w1,
+            w1,
+        )
+        return int(delta), bool(feasible)
+
+    def match_vertices(
+        self,
+        state: FMPassState,
+        order: np.ndarray,
+        absorption: bool,
+        max_net: int,
+        max_cluster_weight: int,
+        restrict_parts: np.ndarray | None,
+    ) -> np.ndarray:
+        """Greedy matching sweep through the JIT kernel."""
+        h = state.h
+        scratch = state.flat_arrays()
+        match = np.full(h.nverts, -1, dtype=np.int64)
+        score = scratch["score"]
+        score[:] = 0.0
+        if restrict_parts is None:
+            restrict = np.empty(0, dtype=np.int64)
+            has_restrict = False
+        else:
+            restrict = np.ascontiguousarray(restrict_parts, dtype=np.int64)
+            has_restrict = True
+        _match_loop(
+            h.xpins,
+            h.pins,
+            h.xnets,
+            h.vnets,
+            h.ncost,
+            h.vwgt,
+            h.net_sizes(),
+            order,
+            match,
+            score,
+            scratch["touched"],
+            absorption,
+            max_net,
+            max_cluster_weight,
+            restrict,
+            has_restrict,
+        )
+        return match
+
+    def merge_identical(
+        self, xpins: np.ndarray, pins: np.ndarray, ncost: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Identical-net merging is already vectorized; shared with
+        the reference backend."""
+        return merge_identical_nets(xpins, pins, ncost)

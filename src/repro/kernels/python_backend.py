@@ -1,0 +1,495 @@
+"""The pure-Python reference backend.
+
+This is the seed implementation of the three hot loops, relocated from
+``partitioner/fm.py`` and ``partitioner/coarsen.py`` and tightened for
+interpreter throughput while keeping results bit-identical:
+
+* the move loop runs on plain Python lists (single-element list reads are
+  2–3x faster than NumPy scalar indexing) that are cached on the
+  :class:`~repro.kernels.state.FMPassState` instead of rebuilt per call;
+* the per-move ``best_movable(side, movable)`` *closures* of the seed are
+  gone — bucket scans use the flat ``best_movable(side, room, vw)``
+  comparison form, and the gain-update path writes the bucket linked
+  lists directly instead of going through three method calls per touched
+  vertex;
+* identical-net merging is vectorized (group nets by size, then detect
+  duplicate rows with one ``np.unique`` per distinct size) instead of
+  hashing every net in a Python loop.
+
+Every tie-break — LIFO bucket order, side preference by weight, the
+balance-metric prefix tie-break, the bucket-cursor tightening quirk — is
+preserved exactly; the golden tests pin this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend
+from repro.kernels.gains import GainBuckets
+from repro.kernels.state import FMPassState, compute_fm_setup
+
+__all__ = ["PythonBackend", "merge_identical_nets"]
+
+
+class PythonBackend(KernelBackend):
+    """Reference backend: list-based scalar loops, vectorized merging."""
+
+    name = "python"
+
+    # ------------------------------------------------------------------ #
+    # FM move loop.
+    # ------------------------------------------------------------------ #
+    def fm_pass(
+        self,
+        state: FMPassState,
+        parts: np.ndarray,
+        maxw: tuple[int, int],
+        cfg,
+        rng: np.random.Generator,
+    ) -> tuple[int, bool]:
+        """One FM pass on Python lists; mutates ``parts`` in place."""
+        h = state.h
+        nverts = h.nverts
+        if nverts == 0:
+            return 0, True
+        mirrors = state.list_mirrors()
+        xpins_l: list = mirrors["xpins"]
+        pins_l: list = mirrors["pins"]
+        xnets_l: list = mirrors["xnets"]
+        vnets_l: list = mirrors["vnets"]
+        cost_l: list = mirrors["cost"]
+        vw_l: list = mirrors["vwgt"]
+
+        # ------------------------------------------------------------- #
+        # Vectorized setup (shared across backends), then list mirrors.
+        # ------------------------------------------------------------- #
+        pc0_np, pc1_np, gain_np, insert_mask = compute_fm_setup(
+            h, parts, cfg.boundary_only
+        )
+        buckets = GainBuckets(nverts, state.max_gain)
+        bgain = gain_np.tolist()
+        buckets.gain = bgain  # adopt wholesale; no per-vertex copy loop
+        insert_order = rng.permutation(nverts)
+
+        parts_l = parts.tolist()
+        pc0 = pc0_np.tolist()
+        pc1 = pc1_np.tolist()
+        locked = [False] * nverts
+        w1 = int(np.dot(parts, h.vwgt))
+        weights = [state.total_weight - w1, w1]
+        maxw0, maxw1 = maxw
+        # In-pass transit slack: a swap (v out, u in) passes through a
+        # state where one side briefly exceeds its ceiling.  Moves may
+        # overshoot by at most one maximum vertex weight; only *feasible*
+        # prefixes are ever recorded as the pass result.
+        slack = state.slack
+
+        heads = buckets.head
+        heads0 = heads[0]
+        heads1 = heads[1]
+        nxt = buckets.nxt
+        prv = buckets.prv
+        inside = buckets.inside
+        maxptr = buckets.maxptr
+        offset = buckets.offset
+
+        mask_l = insert_mask.tolist()
+        for v in insert_order.tolist():
+            if mask_l[v]:
+                sv = parts_l[v]
+                b = bgain[v] + offset
+                hd = heads0 if sv == 0 else heads1
+                first = hd[b]
+                nxt[v] = first
+                prv[v] = -1
+                if first != -1:
+                    prv[first] = v
+                hd[b] = v
+                inside[v] = True
+                if b > maxptr[sv]:
+                    maxptr[sv] = b
+
+        # ------------------------------------------------------------- #
+        # Best-prefix tracking.
+        # ------------------------------------------------------------- #
+        w0, w1 = weights
+
+        def balance_metric() -> float:
+            return max(
+                w0 / maxw0 if maxw0 else float(w0 > 0),
+                w1 / maxw1 if maxw1 else float(w1 > 0),
+            )
+
+        initially_feasible = w0 <= maxw0 and w1 <= maxw1
+        best_feasible = initially_feasible
+        best_cum = 0
+        best_len = 0
+        best_metric = balance_metric()
+        cum = 0
+        moved: list[int] = []
+        moved_append = moved.append
+        stall = 0
+        stall_limit = max(32, int(cfg.fm_early_exit_frac * nverts))
+
+        def gain_touch(u: int, delta: int) -> None:
+            # Apply a gain delta to a free vertex, (re-)filing it in the
+            # buckets.  Bucket unlink/relink is written out here — one
+            # function call per touched vertex instead of the seed's
+            # closure -> adjust -> remove -> insert chain of four.
+            if inside[u]:
+                su = parts_l[u]
+                hd = heads0 if su == 0 else heads1
+                g = bgain[u]
+                p = prv[u]
+                n2 = nxt[u]
+                if p != -1:
+                    nxt[p] = n2
+                else:
+                    hd[g + offset] = n2
+                if n2 != -1:
+                    prv[n2] = p
+                g += delta
+                b = g + offset
+                first = hd[b]
+                nxt[u] = first
+                prv[u] = -1
+                if first != -1:
+                    prv[first] = u
+                hd[b] = u
+                bgain[u] = g
+                if b > maxptr[su]:
+                    maxptr[su] = b
+            else:
+                g = bgain[u] + delta
+                bgain[u] = g
+                if not locked[u]:
+                    su = parts_l[u]
+                    b = g + offset
+                    hd = heads0 if su == 0 else heads1
+                    first = hd[b]
+                    nxt[u] = first
+                    prv[u] = -1
+                    if first != -1:
+                        prv[first] = u
+                    hd[b] = u
+                    inside[u] = True
+                    if b > maxptr[su]:
+                        maxptr[su] = b
+
+        # ------------------------------------------------------------- #
+        # Move loop.
+        # ------------------------------------------------------------- #
+        while True:
+            best_v = -1
+            best_side = -1
+            best_g = 0
+            # While infeasible, only moves off the overweight side help;
+            # the scans below are `GainBuckets.best_movable` written out
+            # (same downward walk, same cursor tightening).
+            if w1 <= maxw1:  # may move off side 0
+                room = maxw1 + slack - w1
+                v = -1
+                b = maxptr[0]
+                while b >= 0:
+                    u = heads0[b]
+                    if u == -1:
+                        maxptr[0] = b - 1  # bucket empty: tighten cursor
+                        b -= 1
+                        continue
+                    while u != -1:
+                        if vw_l[u] <= room:
+                            v = u
+                            break
+                        u = nxt[u]
+                    if v != -1:
+                        break
+                    b -= 1
+                if v != -1:
+                    best_v = v
+                    best_side = 0
+                    best_g = bgain[v]
+            if w0 <= maxw0:  # may move off side 1
+                room = maxw0 + slack - w0
+                v = -1
+                b = maxptr[1]
+                while b >= 0:
+                    u = heads1[b]
+                    if u == -1:
+                        maxptr[1] = b - 1
+                        b -= 1
+                        continue
+                    while u != -1:
+                        if vw_l[u] <= room:
+                            v = u
+                            break
+                        u = nxt[u]
+                    if v != -1:
+                        break
+                    b -= 1
+                if v != -1:
+                    g = bgain[v]
+                    if (
+                        best_v == -1
+                        or g > best_g
+                        or (g == best_g and w1 > w0)
+                    ):
+                        best_v = v
+                        best_side = 1
+                        best_g = g
+            if best_v == -1:
+                break
+
+            v, s = best_v, best_side
+            t = 1 - s
+            # Unlink the chosen vertex from its bucket and lock it.
+            p = prv[v]
+            n2 = nxt[v]
+            if p != -1:
+                nxt[p] = n2
+            else:
+                (heads0 if s == 0 else heads1)[bgain[v] + offset] = n2
+            if n2 != -1:
+                prv[n2] = p
+            inside[v] = False
+            locked[v] = True
+
+            # Classic FM gain-update rules around the move of v from s to t.
+            for idx in range(xnets_l[v], xnets_l[v + 1]):
+                n = vnets_l[idx]
+                c = cost_l[n]
+                if c == 0:
+                    continue
+                p0, p1 = xpins_l[n], xpins_l[n + 1]
+                pcT = pc1[n] if t == 1 else pc0[n]
+                if pcT == 0:
+                    for k in range(p0, p1):
+                        u = pins_l[k]
+                        if not locked[u]:
+                            gain_touch(u, c)
+                elif pcT == 1:
+                    for k in range(p0, p1):
+                        u = pins_l[k]
+                        if parts_l[u] == t:
+                            if not locked[u]:
+                                gain_touch(u, -c)
+                            break
+                if s == 0:
+                    pc0[n] -= 1
+                    pc1[n] += 1
+                    pcF = pc0[n]
+                else:
+                    pc1[n] -= 1
+                    pc0[n] += 1
+                    pcF = pc1[n]
+                if pcF == 0:
+                    for k in range(p0, p1):
+                        u = pins_l[k]
+                        if not locked[u]:
+                            gain_touch(u, -c)
+                elif pcF == 1:
+                    for k in range(p0, p1):
+                        u = pins_l[k]
+                        if u != v and parts_l[u] == s:
+                            if not locked[u]:
+                                gain_touch(u, c)
+                            break
+
+            parts_l[v] = t
+            wv = vw_l[v]
+            if s == 0:
+                w0 -= wv
+                w1 += wv
+            else:
+                w1 -= wv
+                w0 += wv
+            cum += best_g
+            moved_append(v)
+
+            feasible_now = w0 <= maxw0 and w1 <= maxw1
+            improved = False
+            if feasible_now:
+                metric = balance_metric()
+                if (
+                    not best_feasible
+                    or cum > best_cum
+                    or (cum == best_cum and metric < best_metric)
+                ):
+                    best_feasible = True
+                    best_cum = cum
+                    best_len = len(moved)
+                    best_metric = metric
+                    improved = True
+            if improved:
+                stall = 0
+            else:
+                stall += 1
+                if stall > stall_limit and best_feasible:
+                    break
+
+        # ------------------------------------------------------------- #
+        # Roll back to the best prefix.
+        # ------------------------------------------------------------- #
+        for v in moved[best_len:]:
+            parts_l[v] = 1 - parts_l[v]
+        parts[:] = parts_l
+
+        if not best_feasible:
+            # No feasible prefix was found: everything is rolled back
+            # (best_len == 0), the cut is unchanged, still infeasible.
+            return 0, False
+        # best_cum is the exact cut reduction of the applied prefix.
+        return best_cum, True
+
+    # ------------------------------------------------------------------ #
+    # Greedy matching candidate scoring.
+    # ------------------------------------------------------------------ #
+    def match_vertices(
+        self,
+        state: FMPassState,
+        order: np.ndarray,
+        absorption: bool,
+        max_net: int,
+        max_cluster_weight: int,
+        restrict_parts: np.ndarray | None,
+    ) -> np.ndarray:
+        """Greedy matching sweep on the cached list mirrors."""
+        mirrors = state.list_mirrors()
+        xpins_l: list = mirrors["xpins"]
+        pins_l: list = mirrors["pins"]
+        xnets_l: list = mirrors["xnets"]
+        vnets_l: list = mirrors["vnets"]
+        cost_l: list = mirrors["cost"]
+        vw_l: list = mirrors["vwgt"]
+        sizes_l: list = mirrors["sizes"]
+        nverts = state.h.nverts
+
+        match = [-1] * nverts
+        parts_l = (
+            restrict_parts.tolist() if restrict_parts is not None else None
+        )
+        score = [0.0] * nverts
+        for v in order.tolist():
+            if match[v] != -1:
+                continue
+            wv = vw_l[v]
+            touched: list[int] = []
+            for i in range(xnets_l[v], xnets_l[v + 1]):
+                n = vnets_l[i]
+                sz = sizes_l[n]
+                if sz < 2 or sz > max_net:
+                    continue
+                c = cost_l[n]
+                if c == 0:
+                    continue
+                w = c / (sz - 1) if absorption else float(c)
+                for k in range(xpins_l[n], xpins_l[n + 1]):
+                    u = pins_l[k]
+                    if u == v or match[u] != -1:
+                        continue
+                    if parts_l is not None and parts_l[u] != parts_l[v]:
+                        continue
+                    if wv + vw_l[u] > max_cluster_weight:
+                        continue
+                    if score[u] == 0.0:
+                        touched.append(u)
+                    score[u] += w
+            if touched:
+                best_u = -1
+                best_s = 0.0
+                for u in touched:
+                    s = score[u]
+                    # Tie-break towards the lighter candidate: keeps coarse
+                    # weights even, which preserves partitionability.
+                    if s > best_s or (
+                        s == best_s and best_u != -1 and vw_l[u] < vw_l[best_u]
+                    ):
+                        best_u, best_s = u, s
+                    score[u] = 0.0
+                if best_u != -1:
+                    match[v] = best_u
+                    match[best_u] = v
+        return np.asarray(match, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Identical-net merging.
+    # ------------------------------------------------------------------ #
+    def merge_identical(
+        self, xpins: np.ndarray, pins: np.ndarray, ncost: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized duplicate-net detection (see module docstring)."""
+        return merge_identical_nets(xpins, pins, ncost)
+
+
+#: Size classes below this many nets, or wider than this many pins, use
+#: the per-net hash path: a lexsort there costs more than it saves.
+_MERGE_LEXSORT_MIN_NETS = 16
+_MERGE_LEXSORT_MAX_SIZE = 64
+
+
+def merge_identical_nets(
+    xpins: np.ndarray, pins: np.ndarray, ncost: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge nets with identical pin sets, summing their costs.
+
+    Pins must be sorted within each net (``contract`` guarantees this), so
+    nets are equal iff their pin slices are element-wise identical.  Nets
+    of different sizes can never be equal, so nets are grouped by size;
+    within a size class, duplicate rows of the ``(k, size)`` pin matrix
+    are found with one column-wise ``np.lexsort`` plus an adjacent-row
+    comparison — no per-net Python loop on the dominant classes.  (Tiny
+    or very wide classes fall back to per-net hashing, where a lexsort
+    would cost more than it saves.)  The representative of a duplicate
+    group is its lowest net id, and surviving nets keep ascending-id
+    order, exactly like the seed's hash-based implementation.
+    """
+    nnets = xpins.size - 1
+    if nnets <= 1:
+        return xpins, pins, ncost
+    sizes = np.diff(xpins)
+    ids = np.arange(nnets, dtype=np.int64)
+    rep_of = ids.copy()
+    order = np.argsort(sizes, kind="stable")
+    sorted_sizes = sizes[order]
+    run_starts = np.flatnonzero(
+        np.r_[True, sorted_sizes[1:] != sorted_sizes[:-1]]
+    )
+    run_ends = np.r_[run_starts[1:], sorted_sizes.size]
+    for a, b in zip(run_starts.tolist(), run_ends.tolist()):
+        if b - a < 2:
+            continue  # a size class of one net has nothing to merge
+        s = int(sorted_sizes[a])
+        nets = order[a:b]
+        if s == 0:
+            rep_of[nets] = nets.min()
+            continue
+        if nets.size < _MERGE_LEXSORT_MIN_NETS or s > _MERGE_LEXSORT_MAX_SIZE:
+            groups: dict[bytes, int] = {}
+            for n in np.sort(nets).tolist():
+                key = pins[xpins[n] : xpins[n] + s].tobytes()
+                rep_of[n] = groups.setdefault(key, n)
+            continue
+        rows = pins[xpins[nets][:, None] + np.arange(s, dtype=np.int64)]
+        # Row-lexicographic sort, net id as the final tie-break, so the
+        # first row of every duplicate group carries the lowest net id.
+        keys = (nets,) + tuple(rows[:, j] for j in range(s - 1, -1, -1))
+        perm = np.lexsort(keys)
+        sr = rows[perm]
+        new_group = np.empty(nets.size, dtype=bool)
+        new_group[0] = True
+        np.any(sr[1:] != sr[:-1], axis=1, out=new_group[1:])
+        if new_group.all():
+            continue  # all distinct within this size class
+        nets_sorted = nets[perm]
+        group_first = nets_sorted[new_group]
+        rep_of[nets_sorted] = group_first[np.cumsum(new_group) - 1]
+    keep = rep_of == ids
+    reps = np.flatnonzero(keep)
+    if reps.size == nnets:
+        return xpins, pins, ncost
+    merged_cost = np.zeros(nnets, dtype=np.int64)
+    np.add.at(merged_cost, rep_of, ncost)
+    new_pins = pins[np.repeat(keep, sizes)]
+    new_xpins = np.zeros(reps.size + 1, dtype=np.int64)
+    np.cumsum(sizes[reps], out=new_xpins[1:])
+    return new_xpins, new_pins, merged_cost[reps]

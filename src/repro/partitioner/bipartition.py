@@ -9,6 +9,7 @@ import numpy as np
 from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import connectivity_volume, part_weights
+from repro.kernels import KernelBackend
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.multilevel import multilevel_bipartition
 from repro.utils.balance import max_allowed_part_size
@@ -49,6 +50,7 @@ def bipartition_hypergraph(
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
     max_weights: tuple[int, int] | None = None,
+    backend: KernelBackend | None = None,
 ) -> BipartitionHResult:
     """Bipartition a hypergraph minimizing the connectivity-1 cut.
 
@@ -69,6 +71,9 @@ def bipartition_hypergraph(
     max_weights:
         Optional explicit per-side ceilings, overriding ``eps`` (used by
         recursive bisection to hand down its global budget).
+    backend:
+        Pre-resolved kernel backend (callers doing many runs resolve it
+        once); defaults to ``config.kernel_backend``.
 
     Returns
     -------
@@ -91,7 +96,7 @@ def bipartition_hypergraph(
             f"{max_weights}: infeasible"
         )
 
-    result = multilevel_bipartition(h, max_weights, cfg, rng)
+    result = multilevel_bipartition(h, max_weights, cfg, rng, backend=backend)
     weights = part_weights(h, result.parts, 2)
     cut = connectivity_volume(h, result.parts)
     return BipartitionHResult(

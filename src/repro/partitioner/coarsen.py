@@ -15,6 +15,10 @@ deduplicated with one lexsort, nets that shrink below two pins are dropped
 (they can never be cut), and — optionally — nets with identical pin sets
 are merged with their costs added, which both shrinks the problem and
 sharpens FM gains on the coarse levels.
+
+The scalar matching sweep and the identical-net merge are kernel-backend
+calls (:mod:`repro.kernels`), so the JIT backend accelerates coarsening
+exactly as it does FM refinement.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig
 
 __all__ = ["match_vertices", "contract", "coarsen_level", "CoarseLevel"]
@@ -45,6 +50,7 @@ def match_vertices(
     rng: np.random.Generator,
     max_cluster_weight: int,
     restrict_parts: np.ndarray | None = None,
+    backend: KernelBackend | None = None,
 ) -> np.ndarray:
     """Greedy matching; returns ``match`` with ``match[v]`` the partner of
     ``v`` or ``-1`` for unmatched vertices.
@@ -56,65 +62,25 @@ def match_vertices(
     ``restrict_parts`` enables hMetis-style *restricted* coarsening: only
     vertices in the same part may match, so any partitioning constant on
     the clusters projects exactly (used by V-cycle refinement).
+
+    The candidate-scoring sweep runs on the kernel backend selected by
+    ``config.kernel_backend`` (or the explicit ``backend``); the RNG is
+    consumed here, identically for every backend.
     """
     nverts = h.nverts
-    match = [-1] * nverts
     if nverts == 0 or h.npins == 0:
         return np.full(nverts, -1, dtype=np.int64)
-    parts_l = (
-        restrict_parts.tolist() if restrict_parts is not None else None
+    if backend is None:
+        backend = resolve_backend(config.kernel_backend)
+    order = rng.permutation(nverts)
+    return backend.match_vertices(
+        backend.fm_state(h),
+        order,
+        config.matching == "absorption",
+        config.max_net_size_matching,
+        max_cluster_weight,
+        restrict_parts,
     )
-
-    xpins_l = h.xpins.tolist()
-    pins_l = h.pins.tolist()
-    xnets_l = h.xnets.tolist()
-    vnets_l = h.vnets.tolist()
-    cost_l = h.ncost.tolist()
-    vw_l = h.vwgt.tolist()
-    sizes_l = h.net_sizes().tolist()
-    absorption = config.matching == "absorption"
-    max_net = config.max_net_size_matching
-
-    score = [0.0] * nverts
-    for v in rng.permutation(nverts).tolist():
-        if match[v] != -1:
-            continue
-        wv = vw_l[v]
-        touched: list[int] = []
-        for i in range(xnets_l[v], xnets_l[v + 1]):
-            n = vnets_l[i]
-            sz = sizes_l[n]
-            if sz < 2 or sz > max_net:
-                continue
-            c = cost_l[n]
-            if c == 0:
-                continue
-            w = c / (sz - 1) if absorption else float(c)
-            for k in range(xpins_l[n], xpins_l[n + 1]):
-                u = pins_l[k]
-                if u == v or match[u] != -1:
-                    continue
-                if parts_l is not None and parts_l[u] != parts_l[v]:
-                    continue
-                if wv + vw_l[u] > max_cluster_weight:
-                    continue
-                if score[u] == 0.0:
-                    touched.append(u)
-                score[u] += w
-        if touched:
-            best_u = -1
-            best_s = 0.0
-            for u in touched:
-                s = score[u]
-                # Tie-break towards the lighter candidate: keeps coarse
-                # weights even, which preserves partitionability.
-                if s > best_s or (s == best_s and best_u != -1 and vw_l[u] < vw_l[best_u]):
-                    best_u, best_s = u, s
-                score[u] = 0.0
-            if best_u != -1:
-                match[v] = best_u
-                match[best_u] = v
-    return np.asarray(match, dtype=np.int64)
 
 
 def contract(
@@ -122,6 +88,7 @@ def contract(
     match: np.ndarray,
     *,
     merge_identical_nets: bool = True,
+    backend: KernelBackend | None = None,
 ) -> tuple[np.ndarray, Hypergraph]:
     """Contract matched pairs; returns ``(cmap, coarse_hypergraph)``.
 
@@ -155,7 +122,7 @@ def contract(
         return cmap, coarse
 
     # Map pins and deduplicate within each net with a single lexsort.
-    net_ids = np.repeat(np.arange(h.nnets, dtype=np.int64), h.net_sizes())
+    net_ids = h.net_ids()
     new_pins = cmap[h.pins]
     order = np.lexsort((new_pins, net_ids))
     sn = net_ids[order]
@@ -180,7 +147,12 @@ def contract(
     pins = sp  # already grouped by net in ascending net order
 
     if merge_identical_nets and live_ids.size > 1:
-        xpins, pins, ncost = _merge_identical(xpins, pins, ncost)
+        if backend is None:
+            # No config reaches a bare contract() call: default to the
+            # reference backend (predictable, and every backend's merge
+            # must be bit-identical to it anyway) rather than "auto".
+            backend = resolve_backend("python")
+        xpins, pins, ncost = backend.merge_identical(xpins, pins, ncost)
 
     coarse = Hypergraph(
         ncoarse, xpins, pins, vwgt=cvwgt, ncost=ncost, validate=False
@@ -188,47 +160,23 @@ def contract(
     return cmap, coarse
 
 
-def _merge_identical(
-    xpins: np.ndarray, pins: np.ndarray, ncost: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Merge nets with identical pin sets, summing their costs.
-
-    Pins are sorted within each net (contract guarantees this), so nets are
-    equal iff their pin slices are byte-identical.
-    """
-    nnets = xpins.size - 1
-    groups: dict[bytes, int] = {}
-    rep_of = np.empty(nnets, dtype=np.int64)
-    starts = xpins[:-1].tolist()
-    ends = xpins[1:].tolist()
-    for n in range(nnets):
-        key = pins[starts[n] : ends[n]].tobytes()
-        rep = groups.setdefault(key, n)
-        rep_of[n] = rep
-    reps = np.unique(rep_of)
-    if reps.size == nnets:
-        return xpins, pins, ncost
-    merged_cost = np.zeros(nnets, dtype=np.int64)
-    np.add.at(merged_cost, rep_of, ncost)
-    sizes = np.diff(xpins)[reps]
-    new_xpins = np.zeros(reps.size + 1, dtype=np.int64)
-    np.cumsum(sizes, out=new_xpins[1:])
-    chunks = [pins[xpins[r] : xpins[r + 1]] for r in reps.tolist()]
-    new_pins = (
-        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-    )
-    return new_xpins, new_pins, merged_cost[reps]
-
-
 def coarsen_level(
     h: Hypergraph,
     config: PartitionerConfig,
     rng: np.random.Generator,
     max_cluster_weight: int,
+    backend: KernelBackend | None = None,
 ) -> CoarseLevel:
     """Run one matching + contraction step."""
-    match = match_vertices(h, config, rng, max_cluster_weight)
+    if backend is None:
+        backend = resolve_backend(config.kernel_backend)
+    match = match_vertices(
+        h, config, rng, max_cluster_weight, backend=backend
+    )
     cmap, coarse = contract(
-        h, match, merge_identical_nets=config.merge_identical_nets
+        h,
+        match,
+        merge_identical_nets=config.merge_identical_nets,
+        backend=backend,
     )
     return CoarseLevel(fine=h, cmap=cmap, coarse=coarse)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PartitioningError
+from repro.kernels import BACKEND_CHOICES
 
 __all__ = ["PartitionerConfig", "get_config", "PRESETS"]
 
@@ -55,6 +56,12 @@ class PartitionerConfig:
     boundary_only:
         Seed FM's buckets with boundary vertices only (vertices on cut
         nets), inserting interior vertices lazily when touched.
+    kernel_backend:
+        Which :mod:`repro.kernels` backend runs the scalar hot loops:
+        ``"auto"`` (numba when installed, pure Python otherwise),
+        ``"python"``, or ``"numba"`` (silently degrades to Python when
+        numba is absent).  Backends are bit-compatible, so this is a
+        speed knob only.
     """
 
     name: str = "mondriaan"
@@ -69,11 +76,17 @@ class PartitionerConfig:
     fm_max_passes: int = 4
     fm_early_exit_frac: float = 0.22
     boundary_only: bool = False
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.matching not in ("hcm", "absorption"):
             raise PartitioningError(
                 f"unknown matching scheme {self.matching!r}"
+            )
+        if self.kernel_backend not in BACKEND_CHOICES:
+            raise PartitioningError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {BACKEND_CHOICES}"
             )
         if self.coarse_target < 2:
             raise PartitioningError("coarse_target must be at least 2")

@@ -14,12 +14,12 @@ budgets; if the incoming partitioning violates a ceiling, the pass first
 drives it feasible (forced moves off the overweight side) and only tracks
 best prefixes at feasible states.
 
-Implementation notes (per the hpc-parallel guides): per-pass setup —
-pin counts, initial gains, boundary detection — is vectorized NumPy; the
-move loop itself is inherently sequential and runs on plain Python lists
-(2–3x faster than NumPy scalar indexing), which are cached on the
-hypergraph so repeated refinement calls (multilevel, iterative refinement)
-pay the conversion once.
+The pass itself — vectorized setup plus the sequential move loop — lives
+in :mod:`repro.kernels`: this module validates inputs, orchestrates the
+pass schedule, and delegates each pass to the selected kernel backend
+(``PartitionerConfig.kernel_backend``), reusing one
+:class:`~repro.kernels.state.FMPassState` per hypergraph so repeated
+refinement calls pay the array-to-list conversions only once.
 """
 
 from __future__ import annotations
@@ -31,8 +31,8 @@ import numpy as np
 from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import connectivity_volume
+from repro.kernels import FMPassState, KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
-from repro.partitioner.gains import GainBuckets
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["fm_refine", "FMResult"]
@@ -64,25 +64,6 @@ class FMResult:
     improvement: int
 
 
-def _hot_lists(h: Hypergraph) -> dict:
-    """Python-list mirrors of the CSR arrays, cached on the hypergraph."""
-    lists = h._cache.get("fm_lists")
-    if lists is None:
-        lists = {
-            "xpins": h.xpins.tolist(),
-            "pins": h.pins.tolist(),
-            "xnets": h.xnets.tolist(),
-            "vnets": h.vnets.tolist(),
-            "cost": h.ncost.tolist(),
-            "vwgt": h.vwgt.tolist(),
-            "net_ids": np.repeat(
-                np.arange(h.nnets, dtype=np.int64), h.net_sizes()
-            ),
-        }
-        h._cache["fm_lists"] = lists
-    return lists
-
-
 def fm_refine(
     h: Hypergraph,
     parts: np.ndarray,
@@ -90,6 +71,9 @@ def fm_refine(
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
     max_passes: int | None = None,
+    *,
+    backend: KernelBackend | str | None = None,
+    state: FMPassState | None = None,
 ) -> FMResult:
     """Refine a bipartitioning of ``h`` with repeated FM passes.
 
@@ -103,11 +87,18 @@ def fm_refine(
         Per-side weight ceilings ``(maxW0, maxW1)``.
     config:
         Preset name or :class:`PartitionerConfig` (controls pass count,
-        early exit, boundary-only seeding).
+        early exit, boundary-only seeding, kernel backend).
     seed:
         RNG for tie-breaking insertion order.
     max_passes:
         Overrides ``config.fm_max_passes`` when given.
+    backend:
+        Kernel backend (instance or name) overriding
+        ``config.kernel_backend``; callers running many refinements
+        resolve once and pass it down.
+    state:
+        Explicit reusable pass state for ``h``.  Defaults to the state
+        cached on the hypergraph; results are identical either way.
 
     Returns
     -------
@@ -116,12 +107,19 @@ def fm_refine(
         when the input is feasible.
     """
     cfg = get_config(config)
-    rng = as_generator(seed)
+    kb = resolve_backend(backend if backend is not None else cfg.kernel_backend)
     parts = np.asarray(parts)
     if parts.shape != (h.nverts,):
         raise PartitioningError(
             f"parts must have shape ({h.nverts},), got {parts.shape}"
         )
+    if state is None:
+        state = kb.fm_state(h)
+    elif state.h is not h:
+        raise PartitioningError(
+            "FMPassState belongs to a different hypergraph"
+        )
+    rng = as_generator(seed)
     parts = parts.astype(np.int64, copy=True)
     if h.nverts and (parts.min() < 0 or parts.max() > 1):
         raise PartitioningError("fm_refine expects a 0/1 part vector")
@@ -139,7 +137,7 @@ def fm_refine(
     feasible = _is_feasible(h, parts, maxw)
     for _ in range(passes_budget):
         started_feasible = feasible
-        delta, feasible = _fm_pass(h, parts, maxw, cfg, rng)
+        delta, feasible = kb.fm_pass(state, parts, maxw, cfg, rng)
         passes_run += 1
         total_delta += delta
         # Stop once a pass that started from a feasible state no longer
@@ -160,230 +158,3 @@ def _is_feasible(h: Hypergraph, parts: np.ndarray, maxw: tuple[int, int]) -> boo
     w1 = int(np.dot(parts, h.vwgt))
     w0 = h.total_weight() - w1
     return w0 <= maxw[0] and w1 <= maxw[1]
-
-
-def _fm_pass(
-    h: Hypergraph,
-    parts: np.ndarray,
-    maxw: tuple[int, int],
-    cfg: PartitionerConfig,
-    rng: np.random.Generator,
-) -> tuple[int, bool]:
-    """One FM pass; mutates ``parts`` in place.
-
-    Returns ``(cut delta, feasible)`` where *delta* is the exact cut
-    reduction achieved by the applied move prefix: >= 0 whenever the
-    incoming partitioning was feasible, possibly negative when the pass had
-    to pay cut to repair an infeasible input.
-    """
-    nverts = h.nverts
-    if nverts == 0:
-        return 0, True
-    lists = _hot_lists(h)
-    xpins_l: list = lists["xpins"]
-    pins_l: list = lists["pins"]
-    xnets_l: list = lists["xnets"]
-    vnets_l: list = lists["vnets"]
-    cost_l: list = lists["cost"]
-    vw_l: list = lists["vwgt"]
-    net_ids: np.ndarray = lists["net_ids"]
-
-    # ------------------------------------------------------------------ #
-    # Vectorized setup: pin counts per side, initial gains, boundary mask.
-    # ------------------------------------------------------------------ #
-    pin_parts = parts[h.pins]
-    pc1_np = np.zeros(h.nnets, dtype=np.int64)
-    np.add.at(pc1_np, net_ids, pin_parts)
-    sizes = h.net_sizes()
-    pc0_np = sizes - pc1_np
-    own = np.where(pin_parts == 0, pc0_np[net_ids], pc1_np[net_ids])
-    other = np.where(pin_parts == 0, pc1_np[net_ids], pc0_np[net_ids])
-    contrib = h.ncost[net_ids] * (
-        (own == 1).astype(np.int64) - (other == 0).astype(np.int64)
-    )
-    gain_np = np.zeros(nverts, dtype=np.int64)
-    np.add.at(gain_np, h.pins, contrib)
-
-    max_gain = h.max_vertex_net_cost()
-    buckets = GainBuckets(nverts, max_gain)
-    bgain = buckets.gain
-    for v, g in enumerate(gain_np.tolist()):
-        bgain[v] = g
-
-    insert_order = rng.permutation(nverts)
-    if cfg.boundary_only:
-        cut_net = (pc0_np > 0) & (pc1_np > 0)
-        boundary = np.zeros(nverts, dtype=bool)
-        boundary_flags = cut_net[net_ids]
-        np.logical_or.at(boundary, h.pins, boundary_flags)
-        insert_mask = boundary
-    else:
-        insert_mask = np.ones(nverts, dtype=bool)
-
-    parts_l = parts.tolist()
-    pc0 = pc0_np.tolist()
-    pc1 = pc1_np.tolist()
-    locked = [False] * nverts
-    w1 = int(np.dot(parts, h.vwgt))
-    weights = [h.total_weight() - w1, w1]
-    maxw0, maxw1 = maxw
-    # In-pass transit slack: a swap (v out, u in) passes through a state
-    # where one side briefly exceeds its ceiling.  Moves may overshoot by
-    # at most one maximum vertex weight; only *feasible* prefixes are ever
-    # recorded as the pass result, so the returned partitioning always
-    # honours the true ceilings.
-    slack = int(h.vwgt.max(initial=0))
-
-    for v in insert_order.tolist():
-        if insert_mask[v]:
-            buckets.insert(v, parts_l[v], bgain[v])
-
-    # ------------------------------------------------------------------ #
-    # Best-prefix tracking.
-    # ------------------------------------------------------------------ #
-    def balance_metric() -> float:
-        return max(
-            weights[0] / maxw0 if maxw0 else float(weights[0] > 0),
-            weights[1] / maxw1 if maxw1 else float(weights[1] > 0),
-        )
-
-    initially_feasible = weights[0] <= maxw0 and weights[1] <= maxw1
-    best_feasible = initially_feasible
-    best_cum = 0
-    best_len = 0
-    best_metric = balance_metric()
-    cum = 0
-    moved: list[int] = []
-    stall = 0
-    stall_limit = max(32, int(cfg.fm_early_exit_frac * nverts))
-
-    inside = buckets.inside
-
-    def gain_touch(u: int, delta: int) -> None:
-        """Apply a gain delta to a free vertex, (re-)filing it in buckets."""
-        if inside[u]:
-            buckets.adjust(u, parts_l[u], delta)
-        else:
-            bgain[u] += delta
-            if not locked[u]:
-                buckets.insert(u, parts_l[u], bgain[u])
-
-    # ------------------------------------------------------------------ #
-    # Move loop.
-    # ------------------------------------------------------------------ #
-    while True:
-        overweight0 = weights[0] > maxw0
-        overweight1 = weights[1] > maxw1
-        best_v = -1
-        best_side = -1
-        best_g = None
-        for s in (0, 1):
-            # While infeasible, only moves off the overweight side help.
-            if overweight0 and s != 0:
-                continue
-            if overweight1 and s != 1:
-                continue
-            t = 1 - s
-            cap = maxw1 if t == 1 else maxw0
-            room = cap + slack - weights[t]
-            v = buckets.best_movable(s, lambda u: vw_l[u] <= room)
-            if v == -1:
-                continue
-            g = bgain[v]
-            if (
-                best_v == -1
-                or g > best_g
-                or (g == best_g and weights[s] > weights[best_side])
-            ):
-                best_v, best_side, best_g = v, s, g
-        if best_v == -1:
-            break
-
-        v, s = best_v, best_side
-        t = 1 - s
-        buckets.remove(v, s)
-        locked[v] = True
-
-        # Classic FM gain-update rules around the move of v from s to t.
-        for idx in range(xnets_l[v], xnets_l[v + 1]):
-            n = vnets_l[idx]
-            c = cost_l[n]
-            if c == 0:
-                continue
-            p0, p1 = xpins_l[n], xpins_l[n + 1]
-            pcT = pc1[n] if t == 1 else pc0[n]
-            if pcT == 0:
-                for k in range(p0, p1):
-                    u = pins_l[k]
-                    if not locked[u]:
-                        gain_touch(u, c)
-            elif pcT == 1:
-                for k in range(p0, p1):
-                    u = pins_l[k]
-                    if parts_l[u] == t:
-                        if not locked[u]:
-                            gain_touch(u, -c)
-                        break
-            if s == 0:
-                pc0[n] -= 1
-                pc1[n] += 1
-                pcF = pc0[n]
-            else:
-                pc1[n] -= 1
-                pc0[n] += 1
-                pcF = pc1[n]
-            if pcF == 0:
-                for k in range(p0, p1):
-                    u = pins_l[k]
-                    if not locked[u]:
-                        gain_touch(u, -c)
-            elif pcF == 1:
-                for k in range(p0, p1):
-                    u = pins_l[k]
-                    if u != v and parts_l[u] == s:
-                        if not locked[u]:
-                            gain_touch(u, c)
-                        break
-
-        parts_l[v] = t
-        weights[s] -= vw_l[v]
-        weights[t] += vw_l[v]
-        cum += best_g
-        moved.append(v)
-
-        feasible_now = weights[0] <= maxw0 and weights[1] <= maxw1
-        improved = False
-        if feasible_now:
-            metric = balance_metric()
-            if (
-                not best_feasible
-                or cum > best_cum
-                or (cum == best_cum and metric < best_metric)
-            ):
-                best_feasible = True
-                best_cum = cum
-                best_len = len(moved)
-                best_metric = metric
-                improved = True
-        if improved:
-            stall = 0
-        else:
-            stall += 1
-            if stall > stall_limit and best_feasible:
-                break
-
-    # ------------------------------------------------------------------ #
-    # Roll back to the best prefix.
-    # ------------------------------------------------------------------ #
-    for v in moved[best_len:]:
-        parts_l[v] = 1 - parts_l[v]
-    parts[:] = parts_l
-
-    if not best_feasible:
-        # No feasible prefix was found: everything is rolled back
-        # (best_len == 0), the cut is unchanged, still infeasible.
-        return 0, False
-    # best_cum is the exact cut reduction of the applied prefix.  It is
-    # >= 0 whenever the pass started feasible; a rebalancing pass may pay
-    # cut (negative delta) to reach feasibility.
-    return best_cum, True

@@ -21,6 +21,7 @@ from collections import deque
 import numpy as np
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import KernelBackend
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.fm import FMResult, fm_refine
 
@@ -108,11 +109,14 @@ def initial_partition(
     max_weights: tuple[int, int],
     config: PartitionerConfig,
     rng: np.random.Generator,
+    backend: KernelBackend | None = None,
 ) -> FMResult:
     """Best-of-``n_initial`` construction + FM refinement.
 
     Returns the best :class:`~repro.partitioner.fm.FMResult`, ranked by
-    feasibility first, then cut, then balance.
+    feasibility first, then cut, then balance.  All ``n_initial``
+    refinements run on the same hypergraph, so they share one reusable
+    kernel pass state.
     """
     if h.nverts == 0:
         return FMResult(
@@ -129,7 +133,7 @@ def initial_partition(
             parts = greedy_grow(h, max_weights, rng)
         else:
             parts = random_balanced(h, max_weights, rng)
-        result = fm_refine(h, parts, max_weights, config, rng)
+        result = fm_refine(h, parts, max_weights, config, rng, backend=backend)
         w1 = int(np.dot(result.parts, h.vwgt))
         w0 = h.total_weight() - w1
         balance = max(

@@ -9,6 +9,7 @@ scheme shared by Mondriaan, PaToH, hMetis, and MLpart (paper Section II).
 from __future__ import annotations
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.coarsen import CoarseLevel, coarsen_level
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import FMResult, fm_refine
@@ -23,14 +24,19 @@ def multilevel_bipartition(
     max_weights: tuple[int, int],
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
+    backend: KernelBackend | None = None,
 ) -> FMResult:
     """Bipartition ``h`` under per-side weight ceilings ``max_weights``.
 
     Returns an :class:`~repro.partitioner.fm.FMResult` for the finest level
-    (``parts`` has one entry per vertex of ``h``).
+    (``parts`` has one entry per vertex of ``h``).  The kernel backend is
+    resolved once (from ``config.kernel_backend`` unless given) and shared
+    by every matching sweep and FM call of the run.
     """
     cfg = get_config(config)
     rng = as_generator(seed)
+    if backend is None:
+        backend = resolve_backend(cfg.kernel_backend)
 
     # ------------------------------------------------------------------ #
     # Coarsening phase.
@@ -43,7 +49,7 @@ def multilevel_bipartition(
     levels: list[CoarseLevel] = []
     cur = h
     while cur.nverts > cfg.coarse_target and len(levels) < cfg.max_levels:
-        level = coarsen_level(cur, cfg, rng, cluster_cap)
+        level = coarsen_level(cur, cfg, rng, cluster_cap, backend=backend)
         reduction = 1.0 - level.coarse.nverts / cur.nverts
         if reduction < cfg.min_reduction:
             break  # matching stalled; further levels would be wasted work
@@ -53,7 +59,7 @@ def multilevel_bipartition(
     # ------------------------------------------------------------------ #
     # Initial partitioning at the coarsest level.
     # ------------------------------------------------------------------ #
-    result = initial_partition(cur, max_weights, cfg, rng)
+    result = initial_partition(cur, max_weights, cfg, rng, backend=backend)
     parts = result.parts
 
     # ------------------------------------------------------------------ #
@@ -61,7 +67,9 @@ def multilevel_bipartition(
     # ------------------------------------------------------------------ #
     for level in reversed(levels):
         parts = parts[level.cmap]
-        result = fm_refine(level.fine, parts, max_weights, cfg, rng)
+        result = fm_refine(
+            level.fine, parts, max_weights, cfg, rng, backend=backend
+        )
         parts = result.parts
 
     if not levels:

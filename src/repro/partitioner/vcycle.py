@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import connectivity_volume
+from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.coarsen import contract, match_vertices
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import fm_refine
@@ -88,10 +89,11 @@ def vcycle_refine(
     if max_cycles < 0:
         raise PartitioningError("max_cycles must be non-negative")
 
+    backend = resolve_backend(cfg.kernel_backend)
     cuts = [connectivity_volume(h, parts)]
     cycles = 0
     for _ in range(max_cycles):
-        parts = _one_cycle(h, parts, max_weights, cfg, rng)
+        parts = _one_cycle(h, parts, max_weights, cfg, rng, backend)
         cuts.append(connectivity_volume(h, parts))
         cycles += 1
         if cuts[-1] >= cuts[-2]:
@@ -114,6 +116,7 @@ def _one_cycle(
     max_weights: tuple[int, int],
     cfg: PartitionerConfig,
     rng: np.random.Generator,
+    backend: KernelBackend,
 ) -> np.ndarray:
     """One restricted-coarsen / refine-up pass."""
     cluster_cap = max(
@@ -124,10 +127,14 @@ def _one_cycle(
     cur_parts = parts
     while cur_h.nverts > cfg.coarse_target and len(levels) < cfg.max_levels:
         match = match_vertices(
-            cur_h, cfg, rng, cluster_cap, restrict_parts=cur_parts
+            cur_h, cfg, rng, cluster_cap,
+            restrict_parts=cur_parts, backend=backend,
         )
         cmap, coarse = contract(
-            cur_h, match, merge_identical_nets=cfg.merge_identical_nets
+            cur_h,
+            match,
+            merge_identical_nets=cfg.merge_identical_nets,
+            backend=backend,
         )
         if coarse.nverts > (1.0 - cfg.min_reduction) * cur_h.nverts:
             break
@@ -138,9 +145,11 @@ def _one_cycle(
         cur_h, cur_parts = coarse, coarse_parts
 
     cur_parts = fm_refine(
-        cur_h, cur_parts, max_weights, cfg, rng
+        cur_h, cur_parts, max_weights, cfg, rng, backend=backend
     ).parts
     for fine, cmap in reversed(levels):
         cur_parts = cur_parts[cmap]
-        cur_parts = fm_refine(fine, cur_parts, max_weights, cfg, rng).parts
+        cur_parts = fm_refine(
+            fine, cur_parts, max_weights, cfg, rng, backend=backend
+        ).parts
     return cur_parts

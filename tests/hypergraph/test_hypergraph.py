@@ -25,6 +25,16 @@ class TestConstruction:
     def test_net_pins(self, small_h):
         assert small_h.net_pins(1).tolist() == [1, 2, 3]
 
+    def test_net_ids(self, small_h):
+        assert small_h.net_ids().tolist() == [0, 0, 1, 1, 1, 2, 2]
+        # Cached (hypergraphs are immutable) and read-only.
+        assert small_h.net_ids() is small_h.net_ids()
+        assert not small_h.net_ids().flags.writeable
+
+    def test_net_ids_with_empty_nets(self):
+        h = Hypergraph.from_net_lists(3, [[], [0, 1], [], [2]])
+        assert h.net_ids().tolist() == [1, 1, 3]
+
     def test_default_weights_and_costs(self, small_h):
         assert small_h.vwgt.tolist() == [1, 1, 1, 1]
         assert small_h.ncost.tolist() == [1, 1, 1]

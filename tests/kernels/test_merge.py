@@ -1,0 +1,133 @@
+"""Property tests for vectorized identical-net merging.
+
+The reference below is the seed's per-net ``tobytes()`` hashing loop;
+the vectorized group-by-size implementation must reproduce it exactly —
+same representatives (lowest net id), same surviving-net order, same
+summed costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.python_backend import merge_identical_nets
+
+
+def reference_merge(xpins, pins, ncost):
+    """The seed implementation: per-net byte-key hashing."""
+    nnets = xpins.size - 1
+    groups = {}
+    rep_of = np.empty(nnets, dtype=np.int64)
+    starts = xpins[:-1].tolist()
+    ends = xpins[1:].tolist()
+    for n in range(nnets):
+        key = pins[starts[n] : ends[n]].tobytes()
+        rep = groups.setdefault(key, n)
+        rep_of[n] = rep
+    reps = np.unique(rep_of)
+    if reps.size == nnets:
+        return xpins, pins, ncost
+    merged_cost = np.zeros(nnets, dtype=np.int64)
+    np.add.at(merged_cost, rep_of, ncost)
+    sizes = np.diff(xpins)[reps]
+    new_xpins = np.zeros(reps.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=new_xpins[1:])
+    chunks = [pins[xpins[r] : xpins[r + 1]] for r in reps.tolist()]
+    new_pins = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    )
+    return new_xpins, new_pins, merged_cost[reps]
+
+
+def build_nets(nets, costs):
+    """CSR arrays from explicit (sorted) pin lists."""
+    sizes = np.array([len(n) for n in nets], dtype=np.int64)
+    xpins = np.zeros(len(nets) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=xpins[1:])
+    pins = (
+        np.concatenate([np.asarray(n, dtype=np.int64) for n in nets])
+        if xpins[-1]
+        else np.empty(0, dtype=np.int64)
+    )
+    return xpins, pins, np.asarray(costs, dtype=np.int64)
+
+
+def assert_same(result, expected):
+    for got, want in zip(result, expected):
+        np.testing.assert_array_equal(got, want)
+
+
+@pytest.mark.parametrize("case_seed", range(12))
+def test_matches_reference_on_random_nets(case_seed):
+    rng = np.random.default_rng(case_seed)
+    nverts = 12
+    nnets = int(rng.integers(2, 30))
+    pool = []
+    nets = []
+    for _ in range(nnets):
+        # Half the time, duplicate an earlier net to force merges.
+        if pool and rng.random() < 0.5:
+            nets.append(pool[int(rng.integers(len(pool)))])
+        else:
+            size = int(rng.integers(1, 6))
+            net = np.sort(rng.choice(nverts, size=size, replace=False))
+            nets.append(net)
+            pool.append(net)
+    costs = rng.integers(0, 5, size=nnets)
+    xpins, pins, ncost = build_nets(nets, costs)
+    assert_same(
+        merge_identical_nets(xpins, pins, ncost),
+        reference_merge(xpins, pins, ncost),
+    )
+
+
+def test_all_distinct_passthrough():
+    xpins, pins, ncost = build_nets([[0, 1], [1, 2], [0, 1, 2]], [1, 2, 3])
+    rx, rp, rc = merge_identical_nets(xpins, pins, ncost)
+    np.testing.assert_array_equal(rx, xpins)
+    np.testing.assert_array_equal(rp, pins)
+    np.testing.assert_array_equal(rc, ncost)
+
+
+def test_all_identical_merge_to_first():
+    xpins, pins, ncost = build_nets(
+        [[0, 3], [0, 3], [0, 3], [0, 3]], [1, 2, 3, 4]
+    )
+    rx, rp, rc = merge_identical_nets(xpins, pins, ncost)
+    np.testing.assert_array_equal(rx, [0, 2])
+    np.testing.assert_array_equal(rp, [0, 3])
+    np.testing.assert_array_equal(rc, [10])
+
+
+def test_same_size_different_pins_not_merged():
+    xpins, pins, ncost = build_nets([[0, 1], [0, 2], [0, 1]], [1, 1, 1])
+    rx, rp, rc = merge_identical_nets(xpins, pins, ncost)
+    np.testing.assert_array_equal(rx, [0, 2, 4])
+    np.testing.assert_array_equal(rp, [0, 1, 0, 2])
+    np.testing.assert_array_equal(rc, [2, 1])
+
+
+def test_representative_is_lowest_id_and_order_kept():
+    nets = [[5], [0, 1], [5], [2, 3], [0, 1]]
+    xpins, pins, ncost = build_nets(nets, [1, 1, 1, 1, 1])
+    rx, rp, rc = merge_identical_nets(xpins, pins, ncost)
+    # Survivors: nets 0, 1, 3 in that order.
+    np.testing.assert_array_equal(rx, [0, 1, 3, 5])
+    np.testing.assert_array_equal(rp, [5, 0, 1, 2, 3])
+    np.testing.assert_array_equal(rc, [2, 2, 1])
+
+
+def test_empty_nets_merge_together():
+    nets = [[], [0, 1], [], []]
+    xpins, pins, ncost = build_nets(nets, [1, 2, 3, 4])
+    assert_same(
+        merge_identical_nets(xpins, pins, ncost),
+        reference_merge(xpins, pins, ncost),
+    )
+
+
+def test_single_net_untouched():
+    xpins, pins, ncost = build_nets([[0, 1, 2]], [7])
+    rx, rp, rc = merge_identical_nets(xpins, pins, ncost)
+    np.testing.assert_array_equal(rx, xpins)
+    np.testing.assert_array_equal(rp, pins)
+    np.testing.assert_array_equal(rc, ncost)

@@ -1,0 +1,40 @@
+"""Opt-in benchmark-regression gate (``pytest -m bench``).
+
+Deselected by default (see ``pytest.ini``): timing checks belong in a
+quiet environment, not in tier-1.  The test shells out to the same
+entry point as ``make bench-regress`` so the two paths cannot drift.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_kernels_within_committed_budget():
+    """Current kernel timings stay within 25% of BENCH_kernels.json."""
+    if not (REPO_ROOT / "BENCH_kernels.json").exists():
+        pytest.skip("no committed BENCH_kernels.json")
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "benchmarks.bench_regress", "--check"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"kernel benchmark regression:\n{proc.stdout}\n{proc.stderr}"
+    )
