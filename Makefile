@@ -2,11 +2,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-regress bench-regress-update bench
+.PHONY: test test-numba bench-regress bench-regress-update bench \
+        bench-e2e bench-e2e-update install-numba
 
 # Tier-1 verification: the fast test suite (bench marker deselected).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Install the optional numba JIT (see setup.py extras) and run the suite
+# with the JIT path exercised end to end.  The tests auto-detect numba:
+# when it is importable, "auto" resolves to the JIT backend everywhere
+# and the numba-marked equivalence tests stop being interpreted-only.
+install-numba:
+	$(PYTHON) -m pip install numba
+
+test-numba: install-numba test
 
 # Compare current kernel timings against the committed BENCH_kernels.json;
 # exits non-zero on a >25% regression in any kernel.
@@ -16,6 +26,18 @@ bench-regress:
 # Re-time the kernels and rewrite BENCH_kernels.json (commit the result).
 bench-regress-update:
 	$(PYTHON) -m benchmarks.bench_regress
+
+# Compare current *end-to-end pipeline* timings (split -> partition ->
+# refine -> volume -> vector distribution -> verified SpMV, serial sweep)
+# against the committed BENCH_e2e.json; exits non-zero on a >50%
+# regression (whole-pipeline wall clock is noisier than kernel timings).
+bench-e2e:
+	$(PYTHON) -m benchmarks.bench_e2e --check
+
+# Re-time the full pipeline (serial + parallel sweep + frozen pre-PR
+# baseline) and rewrite BENCH_e2e.json (commit the result).
+bench-e2e-update:
+	$(PYTHON) -m benchmarks.bench_e2e
 
 # The full pytest-benchmark micro-bench suite (slow, informational).
 bench:

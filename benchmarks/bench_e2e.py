@@ -1,0 +1,344 @@
+"""End-to-end pipeline benchmark: the whole-sweep perf trajectory.
+
+Where ``bench_regress`` times isolated kernels, this times the *full
+pipeline* a paper-style experiment runs per (instance, seed):
+
+    split -> medium-grain build -> multilevel partition ->
+    iterative refinement -> volume -> vector distribution ->
+    verified SpMV simulation
+
+once per seed, three ways:
+
+``baseline_serial_s``
+    The pre-PR pipeline (frozen kernels and dict-based SpMV simulation
+    from :mod:`benchmarks._baseline_e2e`), executed serially.
+``current_serial_s``
+    The live pipeline through the sweep engine with ``jobs=1``.
+``current_parallel_s``
+    The live pipeline through the sweep engine with ``--jobs`` workers
+    (default 2).  On a single-core container this is expected to be
+    *slower* than serial (process startup, no parallel hardware); it is
+    recorded so the trajectory shows real parallel behaviour wherever
+    the benchmark runs.
+
+Every run is verified before its timing is trusted: the simulated SpMV
+volume must equal the partitioner's volume, the baseline volumes must be
+bit-identical to the live ones (the kernel contract), and the parallel
+sweep's records must equal the serial sweep's (modulo measured seconds).
+
+Usage::
+
+    python -m benchmarks.bench_e2e              # write BENCH_e2e.json
+    python -m benchmarks.bench_e2e --check      # compare vs. committed
+    make bench-e2e                              # the --check mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._baseline_e2e import (
+    BASELINE_BACKEND,
+    baseline_distribute_vectors,
+    baseline_lambda_kernels,
+    baseline_simulate_spmv,
+)
+from repro.core.methods import bipartition
+from repro.eval.sweep import RunSpec, run_sweep
+from repro.kernels import numba_available, resolve_backend
+from repro.partitioner.config import get_config
+from repro.sparse.collection import build_collection, load_instance
+from repro.utils.rng import spawn_seeds
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_e2e.json"
+#: One matrix per paper class plus the matching-heavy Chung-Lu square —
+#: the adversarial case where scalar partitioning dominates end to end.
+DEFAULT_MATRICES = ("sym_grid2d_l", "sqr_band_l", "rec_td_med_b", "sqr_cl_m")
+BASE_SEED = 2014
+PIPELINE = (
+    "split -> medium-grain build -> multilevel partition -> "
+    "iterative refinement -> volume -> vector distribution -> "
+    "verified SpMV simulation"
+)
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _class_of(name: str) -> str:
+    for entry in build_collection():
+        if entry.name == name:
+            return entry.matrix_class.short
+    raise KeyError(f"unknown collection instance {name!r}")
+
+
+def make_specs(name: str, seeds: list[int]) -> list[RunSpec]:
+    """The end-to-end work items for one matrix: MG+IR at every seed,
+    with the downstream vector distribution + verified SpMV included."""
+    cls = _class_of(name)
+    return [
+        RunSpec(
+            index=i,
+            instance=name,
+            matrix_class=cls,
+            label="MG+IR",
+            method="mediumgrain",
+            refine=True,
+            seed=seed,
+            verify_spmv=True,
+        )
+        for i, seed in enumerate(seeds)
+    ]
+
+
+def baseline_pipeline(matrix, seed: int) -> int:
+    """One pre-PR end-to-end run; returns the communication volume."""
+    cfg = dataclasses.replace(
+        get_config("mondriaan"), kernel_backend=BASELINE_BACKEND
+    )
+    with baseline_lambda_kernels():
+        res = bipartition(
+            matrix, method="mediumgrain", refine=True, config=cfg, seed=seed
+        )
+        dist = baseline_distribute_vectors(matrix, res.parts, 2)
+        _, words_fanout, words_fanin = baseline_simulate_spmv(
+            matrix, res.parts, 2, dist
+        )
+    if words_fanout + words_fanin != res.volume:
+        raise AssertionError(
+            "baseline simulated volume disagrees with partitioner volume"
+        )
+    return res.volume
+
+
+def bench_matrix(
+    name: str, seeds: list[int], repeats: int, jobs: int,
+    current_only: bool = False,
+) -> dict:
+    """Time the three pipeline variants on one matrix."""
+    matrix = load_instance(name)
+    specs = make_specs(name, seeds)
+
+    serial_records = list(run_sweep(specs, jobs=1))  # warm caches
+    current_volumes = [r.volume for r in serial_records]
+
+    def run_serial():
+        return list(run_sweep(specs, jobs=1))
+
+    entry: dict = {
+        "nnz": matrix.nnz,
+        "volumes": current_volumes,
+    }
+    if current_only:
+        entry["current_serial_s"] = round(_best_of(repeats, run_serial), 6)
+        return entry
+
+    # Baseline (pre-PR) serial pipeline — verified bit-identical first.
+    baseline_volumes = [baseline_pipeline(matrix, s) for s in seeds]
+    if baseline_volumes != current_volumes:
+        raise AssertionError(
+            f"{name}: baseline volumes {baseline_volumes} != current "
+            f"{current_volumes} — kernels drifted, timings meaningless"
+        )
+
+    def run_baseline():
+        for s in seeds:
+            baseline_pipeline(matrix, s)
+
+    # Interleave the two serial measurements: machine-load drift over
+    # the benchmark's runtime then biases both sides equally instead of
+    # whichever variant happened to run in the slow phase.
+    best_cur = float("inf")
+    best_base = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_serial()
+        best_cur = min(best_cur, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_baseline()
+        best_base = min(best_base, time.perf_counter() - t0)
+    entry["current_serial_s"] = round(best_cur, 6)
+    entry["baseline_serial_s"] = round(best_base, 6)
+    entry["speedup_serial"] = round(
+        entry["baseline_serial_s"] / entry["current_serial_s"], 3
+    ) if entry["current_serial_s"] > 0 else float("inf")
+
+    # Parallel sweep — verified bit-identical to serial, then timed.
+    parallel_records = list(run_sweep(specs, jobs=jobs))
+    strip = lambda rs: [dataclasses.replace(r, seconds=0.0) for r in rs]
+    entry["parallel_bit_identical"] = (
+        strip(parallel_records) == strip(serial_records)
+    )
+    if not entry["parallel_bit_identical"]:
+        raise AssertionError(
+            f"{name}: parallel sweep records differ from serial"
+        )
+
+    def run_parallel():
+        return list(run_sweep(specs, jobs=jobs))
+
+    entry["current_parallel_s"] = round(
+        _best_of(max(1, repeats - 1), run_parallel), 6
+    )
+    return entry
+
+
+def run_benchmarks(
+    matrices=DEFAULT_MATRICES,
+    nseeds: int = 3,
+    repeats: int = 3,
+    jobs: int = 2,
+) -> dict:
+    """Time every matrix; returns the report dict."""
+    seeds = spawn_seeds(BASE_SEED, nseeds)
+    backend = resolve_backend("auto")
+    report = {
+        "schema": 1,
+        "pipeline": PIPELINE,
+        "backend": backend.name,
+        "numba_available": numba_available(),
+        "repeats": repeats,
+        "base_seed": BASE_SEED,
+        "seeds": seeds,
+        "jobs_parallel": jobs,
+        "matrices": {},
+    }
+    for name in matrices:
+        entry = bench_matrix(name, seeds, repeats, jobs)
+        report["matrices"][name] = entry
+        print(
+            f"  {name:14s} baseline {entry['baseline_serial_s']:7.3f} s   "
+            f"serial {entry['current_serial_s']:7.3f} s   "
+            f"parallel(j{jobs}) {entry['current_parallel_s']:7.3f} s   "
+            f"x{entry['speedup_serial']:.2f}"
+        )
+    speedups = [
+        report["matrices"][m]["speedup_serial"] for m in matrices
+    ]
+    report["geomean_speedup_serial"] = round(
+        float(np.exp(np.mean(np.log(speedups)))), 3
+    )
+    return report
+
+
+def check_regression(
+    committed: dict, matrices, nseeds: int, repeats: int,
+    tolerance: float, min_delta: float,
+) -> int:
+    """Re-time the live serial pipeline against the committed file.
+
+    A matrix counts as regressed only when it is both ``tolerance``
+    slower relatively and ``min_delta`` seconds slower absolutely.
+    Returns a process exit code.
+    """
+    seeds = committed.get("seeds") or spawn_seeds(
+        committed.get("base_seed", BASE_SEED), nseeds
+    )
+    failures = []
+    for name in matrices:
+        ref_entry = committed.get("matrices", {}).get(name)
+        if ref_entry is None:
+            print(f"  {name}: not in committed file, skipping")
+            continue
+        entry = bench_matrix(
+            name, list(seeds), repeats, jobs=1, current_only=True
+        )
+        if entry["volumes"] != ref_entry.get("volumes", entry["volumes"]):
+            print(f"  {name}: volumes changed — retime with a fresh "
+                  f"`python -m benchmarks.bench_e2e`")
+            failures.append((name, float("nan")))
+            continue
+        cur = entry["current_serial_s"]
+        ref = ref_entry["current_serial_s"]
+        ratio = cur / ref if ref > 0 else 1.0
+        regressed = ratio > 1.0 + tolerance and cur - ref > min_delta
+        flag = "REGRESSION" if regressed else "ok"
+        print(
+            f"  {name:14s} committed {ref:7.3f} s  current {cur:7.3f} s  "
+            f"x{ratio:5.2f}  {flag}"
+        )
+        if regressed:
+            failures.append((name, ratio))
+    if failures:
+        print(f"\n{len(failures)} end-to-end timing(s) regressed more "
+              f"than {tolerance:.0%}:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x the committed time")
+        return 1
+    print("\nend-to-end pipeline within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(
+        prog="bench_e2e",
+        description="end-to-end pipeline benchmark harness",
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed JSON instead "
+                             "of rewriting it")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    parser.add_argument("--matrices", default=",".join(DEFAULT_MATRICES),
+                        help="comma-separated collection instance names")
+    parser.add_argument("--nseeds", type=int, default=3,
+                        help="seeds per matrix (deterministic tree)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (min is kept)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the parallel timing")
+    # Whole-pipeline wall-clock jitters far more than the isolated-kernel
+    # microbenchmarks (scheduler noise integrates over hundreds of ms on
+    # shared runners), so the end-to-end gate is looser than the 25%
+    # kernel gate by default.
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="--check relative failure threshold")
+    parser.add_argument("--min-delta", type=float, default=5e-2,
+                        help="--check absolute floor in seconds")
+    args = parser.parse_args(argv)
+    matrices = tuple(m for m in args.matrices.split(",") if m)
+    out = Path(args.out)
+
+    if args.check:
+        if not out.exists():
+            print(f"no committed benchmark file at {out}; "
+                  f"run `python -m benchmarks.bench_e2e` first")
+            return 2
+        committed = json.loads(out.read_text(encoding="utf-8"))
+        print(f"checking end-to-end pipeline against {out} "
+              f"(tolerance {args.tolerance:.0%})")
+        return check_regression(
+            committed, matrices, args.nseeds, args.repeats,
+            args.tolerance, args.min_delta,
+        )
+
+    print(f"timing the end-to-end pipeline on {', '.join(matrices)} "
+          f"({args.nseeds} seeds, min of {args.repeats} runs, "
+          f"parallel jobs={args.jobs})")
+    report = run_benchmarks(
+        matrices, args.nseeds, args.repeats, args.jobs
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\ngeomean end-to-end speedup (serial, vs pre-PR): "
+          f"x{report['geomean_speedup_serial']}")
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PartitioningError
+from repro.kernels.spmv import axis_lambdas
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.balance import max_allowed_part_size as _max_allowed
 from repro.utils.validation import check_pos_int
@@ -53,15 +54,12 @@ def check_nonzero_parts(
 
 
 def _axis_lambdas(index: np.ndarray, parts: np.ndarray, extent: int) -> np.ndarray:
-    """Number of distinct parts touching each row (or column) index."""
-    if index.size == 0:
-        return np.zeros(extent, dtype=np.int64)
-    order = np.lexsort((parts, index))
-    si, sp = index[order], parts[order]
-    new_pair = np.empty(si.size, dtype=bool)
-    new_pair[0] = True
-    new_pair[1:] = (si[1:] != si[:-1]) | (sp[1:] != sp[:-1])
-    return np.bincount(si[new_pair], minlength=extent).astype(np.int64)
+    """Number of distinct parts touching each row (or column) index.
+
+    Delegates to the flat-array group-by kernel (boolean scatter — no
+    per-call sorting; see :func:`repro.kernels.spmv.axis_lambdas`).
+    """
+    return axis_lambdas(index, parts, extent)
 
 
 def row_col_lambdas(

@@ -19,6 +19,13 @@ from repro.eval.runner import (
     RunRecord,
     run_methods,
 )
+from repro.eval.sweep import (
+    RunSpec,
+    SweepAggregator,
+    build_runspecs,
+    execute_runspec,
+    run_sweep,
+)
 from repro.eval.report import ascii_profile_chart, markdown_table, write_csv
 
 __all__ = [
@@ -31,6 +38,11 @@ __all__ = [
     "ExperimentData",
     "PAPER_METHODS",
     "run_methods",
+    "RunSpec",
+    "SweepAggregator",
+    "build_runspecs",
+    "execute_runspec",
+    "run_sweep",
     "ascii_profile_chart",
     "markdown_table",
     "write_csv",

@@ -148,9 +148,22 @@ def collect_paper_runs(
     with_bsp: bool = False,
     min_nnz: int = 0,
     progress: bool = False,
+    jobs: int | None = 1,
+    backend: str = "auto",
 ) -> ExperimentData:
-    """Run (and memoize) the six-method sweep used by several artifacts."""
-    key = (tier, max_tier, nruns, nparts, config, base_seed, with_bsp, min_nnz)
+    """Run (and memoize) the six-method sweep used by several artifacts.
+
+    ``jobs`` changes only how fast the sweep runs, never its results
+    (the parallel sweep is bit-identical to the serial one), so it is
+    not part of the memoization key.  ``backend`` IS part of the key:
+    volumes are bit-compatible across backends, but the recorded
+    ``seconds`` — a first-class metric (Fig. 5, Table I) — depends
+    systematically on which backend ran.
+    """
+    key = (
+        tier, max_tier, nruns, nparts, config, base_seed, with_bsp,
+        min_nnz, backend,
+    )
     if key in _sweep_cache:
         return _sweep_cache[key]
     entries = build_collection(tier=tier, max_tier=max_tier)
@@ -169,6 +182,8 @@ def collect_paper_runs(
         base_seed=base_seed,
         with_bsp=with_bsp,
         progress=progress,
+        jobs=jobs,
+        backend=backend,
     )
     _sweep_cache[key] = data
     return data

@@ -10,6 +10,13 @@ partitioner trades speed for fidelity.
 Determinism: run ``r`` of any method on any instance uses the seed
 ``spawn_seeds(base_seed, nruns)[r]`` so experiments are reproducible and
 methods face identical randomness.
+
+Execution is delegated to the sweep engine (:mod:`repro.eval.sweep`):
+the (instance x method x seed) triple loop becomes a list of
+:class:`~repro.eval.sweep.RunSpec` work items executed serially
+(``jobs=1``, the reference path) or by a process pool (``jobs>=2``).
+Results are bit-identical across ``jobs`` values — only the measured
+wall-clock ``seconds`` differ.
 """
 
 from __future__ import annotations
@@ -19,12 +26,9 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.methods import bipartition
-from repro.core.recursive import partition
 from repro.errors import EvaluationError
-from repro.sparse.collection import CollectionEntry, load_instance
-from repro.spmv.bsp import bsp_cost
-from repro.utils.rng import spawn_seeds
+from repro.eval.sweep import build_runspecs, run_sweep
+from repro.sparse.collection import CollectionEntry
 
 __all__ = [
     "MethodSpec",
@@ -158,6 +162,8 @@ def run_methods(
     base_seed: int = 2014,
     with_bsp: bool = False,
     progress: bool = False,
+    jobs: int | None = 1,
+    backend: str = "auto",
 ) -> ExperimentData:
     """Run the paper's protocol over a set of collection entries.
 
@@ -182,62 +188,30 @@ def run_methods(
         Also compute the Table-II BSP cost per run.
     progress:
         Print one line per instance (useful for the long benches).
+    jobs:
+        Worker processes; 1 (default) runs serially in this process,
+        ``None``/0 uses the CPU count.  Results are bit-identical to the
+        serial sweep apart from the measured ``seconds``.
+    backend:
+        Kernel backend for the hot loops (``"auto"`` / ``"python"`` /
+        ``"numba"``); bit-compatible, so a speed knob only.
 
     Returns
     -------
     ExperimentData
     """
-    if nruns < 1:
-        raise EvaluationError("nruns must be at least 1")
-    seeds = spawn_seeds(base_seed, nruns)
+    specs = build_runspecs(
+        entries,
+        methods,
+        nruns=nruns,
+        nparts=nparts,
+        eps=eps,
+        config=config,
+        base_seed=base_seed,
+        with_bsp=with_bsp,
+        backend=backend,
+    )
     data = ExperimentData()
-    for entry in entries:
-        matrix = load_instance(entry.name)
-        if progress:  # pragma: no cover - console side effect
-            print(f"[runner] {entry.name} (nnz={matrix.nnz})", flush=True)
-        for spec in methods:
-            for seed in seeds:
-                if nparts == 2:
-                    res = bipartition(
-                        matrix,
-                        method=spec.method,
-                        eps=eps,
-                        refine=spec.refine,
-                        config=config,
-                        seed=seed,
-                    )
-                    parts = res.parts
-                    volume = res.volume
-                    seconds = res.seconds
-                    feasible = res.feasible
-                else:
-                    pres = partition(
-                        matrix,
-                        nparts,
-                        method=spec.method,
-                        eps=eps,
-                        refine=spec.refine,
-                        config=config,
-                        seed=seed,
-                    )
-                    parts = pres.parts
-                    volume = pres.volume
-                    seconds = pres.seconds
-                    feasible = pres.feasible
-                bsp: Optional[int] = None
-                if with_bsp:
-                    bsp = bsp_cost(matrix, parts, nparts).cost
-                data.records.append(
-                    RunRecord(
-                        instance=entry.name,
-                        matrix_class=entry.matrix_class.short,
-                        method=spec.label,
-                        seed=seed,
-                        nparts=nparts,
-                        volume=volume,
-                        seconds=seconds,
-                        feasible=feasible,
-                        bsp=bsp,
-                    )
-                )
+    for record in run_sweep(specs, jobs=jobs, progress=progress):
+        data.records.append(record)
     return data

@@ -1,0 +1,342 @@
+"""Parallel sweep engine: (instance x method x seed) as a work queue.
+
+The paper's experiments are *sweeps* — every matrix, every method, many
+seeds — and their cost is embarrassingly parallel across runs.  This
+module turns the runner's sequential triple loop into explicit work
+items:
+
+:class:`RunSpec`
+    One fully-described run: instance name, method, seed, and every
+    knob needed to execute it in any process.  Specs are plain frozen
+    dataclasses, picklable by construction.
+:func:`build_runspecs`
+    Expands (entries x methods x seeds) in the canonical order — the
+    exact iteration order of the historical serial runner, with the
+    seed tree ``spawn_seeds(base_seed, nruns)`` preserved, so a sweep's
+    results are a pure function of its inputs regardless of ``jobs``.
+:func:`run_sweep`
+    Streams :class:`~repro.eval.runner.RunRecord` results in spec
+    order.  ``jobs=1`` executes inline (the reference path);
+    ``jobs>=2`` dispatches chunks to a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Chunks follow
+    instance boundaries so each worker's matrix cache
+    (:func:`~repro.sparse.collection.load_instance` is memoized per
+    process, and the kernel/SpMV states hang off the cached objects)
+    stays hot for a whole instance.  Because every record is determined
+    by its spec alone, the parallel sweep is **bit-identical** to the
+    serial one — same seeds, volumes, feasibility, BSP costs, and
+    ordering — apart from the measured wall-clock ``seconds``.
+:class:`SweepAggregator`
+    Incremental aggregation: per-(method, instance) running sums of
+    volume/seconds/BSP cost.  Consuming the stream through an
+    aggregator keeps memory flat for very large sweeps instead of
+    materializing every record.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import EvaluationError
+from repro.sparse.collection import CollectionEntry, load_instance
+from repro.utils.rng import spawn_seeds
+
+__all__ = [
+    "RunSpec",
+    "build_runspecs",
+    "execute_runspec",
+    "run_sweep",
+    "SweepAggregator",
+    "resolve_jobs",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (instance, method, seed) work item of a sweep.
+
+    Carries everything :func:`execute_runspec` needs so a spec can be
+    executed in any process; ``index`` is the spec's position in the
+    canonical sweep order (used only for bookkeeping — results are
+    streamed in order already).
+    """
+
+    index: int
+    instance: str
+    matrix_class: str
+    label: str
+    method: str
+    refine: bool
+    seed: int
+    nparts: int = 2
+    eps: float = 0.03
+    config: str = "mondriaan"
+    backend: str = "auto"
+    with_bsp: bool = False
+    #: Run the full downstream pipeline as well: greedy vector
+    #: distribution plus the verified SpMV simulation, with the simulated
+    #: volume cross-checked against the partitioner's.  This is the
+    #: "whole pipeline" the end-to-end benchmark times.
+    verify_spmv: bool = False
+
+
+def build_runspecs(
+    entries: Iterable[CollectionEntry],
+    methods: Sequence,
+    *,
+    nruns: int = 3,
+    nparts: int = 2,
+    eps: float = 0.03,
+    config: str = "mondriaan",
+    base_seed: int = 2014,
+    with_bsp: bool = False,
+    backend: str = "auto",
+    verify_spmv: bool = False,
+) -> list[RunSpec]:
+    """Expand a sweep into specs in the canonical (serial) order.
+
+    The order is instance-major, then method, then run — exactly the
+    historical triple loop — and run ``r`` of every method uses
+    ``spawn_seeds(base_seed, nruns)[r]``, so methods face identical
+    randomness and the spec list is a pure function of the arguments.
+    """
+    if nruns < 1:
+        raise EvaluationError("nruns must be at least 1")
+    seeds = spawn_seeds(base_seed, nruns)
+    specs: list[RunSpec] = []
+    for entry in entries:
+        for spec in methods:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(
+                        index=len(specs),
+                        instance=entry.name,
+                        matrix_class=entry.matrix_class.short,
+                        label=spec.label,
+                        method=spec.method,
+                        refine=spec.refine,
+                        seed=seed,
+                        nparts=nparts,
+                        eps=eps,
+                        config=config,
+                        backend=backend,
+                        with_bsp=with_bsp,
+                        verify_spmv=verify_spmv,
+                    )
+                )
+    return specs
+
+
+def execute_runspec(spec: RunSpec):
+    """Execute one work item and return its :class:`RunRecord`.
+
+    Importable at module level (process-pool workers pickle the function
+    by reference).  The heavy per-instance objects — the matrix, its
+    hypergraph models, kernel states — are cached per process via
+    :func:`load_instance` and the object caches hanging off it.
+    """
+    import dataclasses
+
+    from repro.core.methods import bipartition
+    from repro.core.recursive import partition
+    from repro.eval.runner import RunRecord
+    from repro.partitioner.config import get_config
+    from repro.spmv.bsp import bsp_cost
+
+    matrix = load_instance(spec.instance)
+    cfg = get_config(spec.config)
+    if spec.backend != cfg.kernel_backend:
+        cfg = dataclasses.replace(cfg, kernel_backend=spec.backend)
+    if spec.nparts == 2:
+        res = bipartition(
+            matrix,
+            method=spec.method,
+            eps=spec.eps,
+            refine=spec.refine,
+            config=cfg,
+            seed=spec.seed,
+        )
+    else:
+        res = partition(
+            matrix,
+            spec.nparts,
+            method=spec.method,
+            eps=spec.eps,
+            refine=spec.refine,
+            config=cfg,
+            seed=spec.seed,
+        )
+    bsp = None
+    if spec.with_bsp:
+        bsp = bsp_cost(matrix, res.parts, spec.nparts).cost
+    if spec.verify_spmv:
+        from repro.errors import EvaluationError as _EvalError
+        from repro.spmv.simulate import simulate_spmv
+
+        report = simulate_spmv(matrix, res.parts, spec.nparts)
+        if report.volume != res.volume:
+            raise _EvalError(
+                f"simulated SpMV volume {report.volume} disagrees with "
+                f"partitioner volume {res.volume} on {spec.instance}"
+            )
+    return RunRecord(
+        instance=spec.instance,
+        matrix_class=spec.matrix_class,
+        method=spec.label,
+        seed=spec.seed,
+        nparts=spec.nparts,
+        volume=res.volume,
+        seconds=res.seconds,
+        feasible=res.feasible,
+        bsp=bsp,
+    )
+
+
+def _execute_chunk(specs: list[RunSpec]) -> list:
+    """Worker entry point: execute one chunk of specs in order."""
+    return [execute_runspec(spec) for spec in specs]
+
+
+def _chunk_by_instance(specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
+    """Split specs at instance boundaries (specs are instance-major)."""
+    chunks: list[list[RunSpec]] = []
+    for spec in specs:
+        if chunks and chunks[-1][0].instance == spec.instance:
+            chunks[-1].append(spec)
+        else:
+            chunks.append([spec])
+    return chunks
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` request: ``None``/``0`` means the CPU count."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise EvaluationError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int | None = 1,
+    progress: bool = False,
+) -> Iterator:
+    """Execute specs and yield their records in spec order.
+
+    ``jobs=1`` runs inline; ``jobs>=2`` dispatches instance-aligned
+    chunks to a process pool (splitting down to per-run items when there
+    are fewer instances than workers), streaming chunk results as they
+    complete (``ProcessPoolExecutor.map`` preserves submission order).
+    Records are bit-identical across ``jobs`` values except for the
+    measured ``seconds``.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(specs) <= 1:
+        last = None
+        for spec in specs:
+            if progress and spec.instance != last:  # pragma: no cover
+                print(f"[sweep] {spec.instance}", flush=True)
+                last = spec.instance
+            yield execute_runspec(spec)
+        return
+    chunks = _chunk_by_instance(specs)
+    if len(chunks) < jobs:
+        # Fewer instances than workers (e.g. many seeds of one matrix):
+        # instance-aligned chunks would leave workers idle, so fall back
+        # to per-run items — cache locality matters less than an empty
+        # pool.
+        chunks = [[spec] for spec in specs]
+    workers = min(jobs, len(chunks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for chunk, records in zip(chunks, pool.map(_execute_chunk, chunks)):
+            if progress:  # pragma: no cover - console side effect
+                print(f"[sweep] {chunk[0].instance}", flush=True)
+            yield from records
+
+
+@dataclass
+class _MethodInstanceAgg:
+    """Running sums for one (method, instance) cell."""
+
+    runs: int = 0
+    volume_sum: float = 0.0
+    seconds_sum: float = 0.0
+    bsp_sum: float = 0.0
+    has_bsp: bool = True
+    feasible_runs: int = 0
+
+
+@dataclass
+class SweepAggregator:
+    """Incremental sweep aggregation (streaming counterpart of
+    ``ExperimentData.mean_metric``).
+
+    Feed records with :meth:`add` as they arrive; per-(method, instance)
+    run-averaged metrics are available at any point without holding the
+    records themselves.  The paper's protocol averages each metric over
+    the runs before profiles/geomeans — this computes exactly those
+    averages.
+    """
+
+    cells: dict = field(default_factory=dict)
+    _instances: dict = field(default_factory=dict)
+    _methods: dict = field(default_factory=dict)
+    total_runs: int = 0
+    feasible_runs: int = 0
+
+    def add(self, record) -> None:
+        """Fold one :class:`RunRecord` into the running sums."""
+        key = (record.method, record.instance)
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = self.cells[key] = _MethodInstanceAgg()
+            self._instances.setdefault(record.instance, None)
+            self._methods.setdefault(record.method, None)
+        cell.runs += 1
+        cell.volume_sum += record.volume
+        cell.seconds_sum += record.seconds
+        if record.bsp is None:
+            cell.has_bsp = False
+        else:
+            cell.bsp_sum += record.bsp
+        cell.feasible_runs += bool(record.feasible)
+        self.total_runs += 1
+        self.feasible_runs += bool(record.feasible)
+
+    def instances(self) -> list[str]:
+        """Instance names in first-appearance order."""
+        return list(self._instances)
+
+    def methods(self) -> list[str]:
+        """Method labels in first-appearance order."""
+        return list(self._methods)
+
+    def mean(self, method: str, instance: str, metric: str) -> float:
+        """Run-averaged ``metric`` for one (method, instance) cell."""
+        cell = self.cells.get((method, instance))
+        if cell is None or cell.runs == 0:
+            raise EvaluationError(
+                f"no runs recorded for {method!r} on {instance!r}"
+            )
+        if metric == "volume":
+            return cell.volume_sum / cell.runs
+        if metric == "seconds":
+            return cell.seconds_sum / cell.runs
+        if metric == "bsp":
+            if not cell.has_bsp:
+                raise EvaluationError(
+                    f"record {instance}/{method} lacks metric 'bsp'"
+                )
+            return cell.bsp_sum / cell.runs
+        raise EvaluationError(f"unknown metric {metric!r}")
+
+    def feasible_fraction(self) -> float:
+        """Fraction of aggregated runs satisfying the eqn-(1) constraint."""
+        if self.total_runs == 0:
+            return 1.0
+        return self.feasible_runs / self.total_runs

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels.spmv import axis_lambdas
 
 __all__ = [
     "net_lambdas",
@@ -56,17 +57,9 @@ def net_lambdas(h: Hypergraph, parts: np.ndarray) -> np.ndarray:
     parts = check_parts(h, parts)
     if h.npins == 0:
         return np.zeros(h.nnets, dtype=np.int64)
-    net_ids = h.net_ids()
-    pin_parts = parts[h.pins]
-    # Count unique (net, part) pairs per net.
-    order = np.lexsort((pin_parts, net_ids))
-    sn = net_ids[order]
-    sp = pin_parts[order]
-    new_pair = np.empty(sn.size, dtype=bool)
-    new_pair[0] = True
-    new_pair[1:] = (sn[1:] != sn[:-1]) | (sp[1:] != sp[:-1])
-    lambdas = np.bincount(sn[new_pair], minlength=h.nnets)
-    return lambdas.astype(np.int64)
+    # Count unique (net, part) pairs per net — same group-by kernel as the
+    # matrix-side connectivity counts (nets are the "lines" here).
+    return axis_lambdas(h.net_ids(), parts[h.pins], h.nnets)
 
 
 def connectivity_volume(h: Hypergraph, parts: np.ndarray) -> int:

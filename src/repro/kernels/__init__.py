@@ -1,8 +1,9 @@
-"""Pluggable kernel backends for the partitioner's scalar hot loops.
+"""Pluggable kernel backends for the pipeline's scalar hot loops.
 
-The three loops that dominate partitioning runtime — the FM move loop,
-greedy-matching candidate scoring, and identical-net merging — live here
-behind a small registry:
+The loops that dominate end-to-end runtime — the FM move loop,
+greedy-matching candidate scoring, identical-net merging, and (since the
+sweep-engine PR) the greedy vector-owner assignment of the SpMV side —
+live here behind a small registry:
 
 ``"python"``
     The reference backend: the seed implementation relocated from
@@ -24,6 +25,12 @@ the per-hypergraph buffers (list mirrors, gain/bucket storage, pin-count
 scratch) alive across refinement calls, so multilevel refinement,
 V-cycles, and iterative medium-grain runs stop paying per-call
 ``tolist()`` conversions and ``net_ids`` rebuilds.
+:class:`~repro.kernels.spmv.SpMVState` mirrors the same pattern on the
+matrix side for repeated volume/SpMV evaluation, and
+:mod:`repro.kernels.spmv` holds the shared flat-array group-by kernels
+(connectivity lambdas, (line, part) incidence lists, per-(part, row)
+partial sums) used by ``core.volume``, ``spmv.*``, and
+``hypergraph.metrics``.
 """
 
 from __future__ import annotations
@@ -33,11 +40,13 @@ import importlib.util
 from repro.errors import PartitioningError
 from repro.kernels.base import KernelBackend
 from repro.kernels.python_backend import PythonBackend
+from repro.kernels.spmv import SpMVState
 from repro.kernels.state import FMPassState, compute_fm_setup
 
 __all__ = [
     "KernelBackend",
     "FMPassState",
+    "SpMVState",
     "compute_fm_setup",
     "available_backends",
     "numba_available",

@@ -72,3 +72,27 @@ class KernelBackend:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Merge nets with identical (sorted) pin sets, summing costs."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # The SpMV-side sequential kernel (see :mod:`repro.kernels.spmv`).
+    # ------------------------------------------------------------------ #
+    def greedy_owners(
+        self,
+        ptr: np.ndarray,
+        flat: np.ndarray,
+        extent: int,
+        nparts: int,
+        fallback_balance: np.ndarray,
+    ) -> np.ndarray:
+        """Greedy vector-owner assignment for one SpMV phase.
+
+        ``(ptr, flat)`` is the CSR incidence list from
+        :func:`repro.kernels.spmv.axis_incidences`.  The default is the
+        reference scalar loop; backends may override it with a faster
+        implementation under the usual bit-compatibility contract.
+        """
+        from repro.kernels.spmv import greedy_owners_reference
+
+        return greedy_owners_reference(
+            ptr, flat, extent, nparts, fallback_balance
+        )

@@ -416,6 +416,37 @@ def _match_loop(
                 match[best_u] = v
 
 
+@njit(cache=True)
+def _greedy_owner_loop(ptr, flat, lines, nparts, owners):
+    """Greedy owner assignment over the cut lines, in the given order.
+
+    Transliteration of ``greedy_owners_reference``'s scalar loop: each
+    line picks the candidate minimizing the tentative phase bottleneck
+    ``max(send + lam - 1, recv)``, first candidate winning ties.
+    """
+    send = np.zeros(nparts, dtype=np.int64)
+    recv = np.zeros(nparts, dtype=np.int64)
+    for li in range(lines.shape[0]):
+        line = lines[li]
+        lo = ptr[line]
+        hi = ptr[line + 1]
+        k = hi - lo
+        best_s = -1
+        best_cost = np.int64(0)
+        for t in range(lo, hi):
+            s = flat[t]
+            cost = max(send[s] + k - 1, recv[s])
+            if best_s == -1 or cost < best_cost:
+                best_s = s
+                best_cost = cost
+        owners[line] = best_s
+        send[best_s] += k - 1
+        for t in range(lo, hi):
+            s = flat[t]
+            if s != best_s:
+                recv[s] += 1
+
+
 class NumbaBackend(KernelBackend):
     """JIT backend on flat arrays; bit-identical to the reference."""
 
@@ -525,3 +556,30 @@ class NumbaBackend(KernelBackend):
         """Identical-net merging is already vectorized; shared with
         the reference backend."""
         return merge_identical_nets(xpins, pins, ncost)
+
+    def greedy_owners(
+        self,
+        ptr: np.ndarray,
+        flat: np.ndarray,
+        extent: int,
+        nparts: int,
+        fallback_balance: np.ndarray,
+    ) -> np.ndarray:
+        """Greedy owner assignment through the JIT loop.
+
+        The vectorized prelude (singleton lines, processing order) is
+        shared with the reference; only the sequential cut-line loop is
+        compiled.
+        """
+        from repro.kernels.spmv import _owner_finalize, _owner_setup
+
+        owners, multi = _owner_setup(ptr, flat, extent)
+        if multi.size:
+            _greedy_owner_loop(
+                np.ascontiguousarray(ptr),
+                np.ascontiguousarray(flat),
+                multi,
+                nparts,
+                owners,
+            )
+        return _owner_finalize(owners, fallback_balance, nparts)

@@ -26,7 +26,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.base import KernelBackend
-from repro.kernels.gains import GainBuckets
 from repro.kernels.state import FMPassState, compute_fm_setup
 
 __all__ = ["PythonBackend", "merge_identical_nets"]
@@ -48,7 +47,14 @@ class PythonBackend(KernelBackend):
         cfg,
         rng: np.random.Generator,
     ) -> tuple[int, bool]:
-        """One FM pass on Python lists; mutates ``parts`` in place."""
+        """One FM pass on Python lists; mutates ``parts`` in place.
+
+        The pass body is deliberately closure-free: nested functions
+        would turn every hot local (bucket heads, links, gains, parts)
+        into a cell variable, taxing each access in the move loop, so
+        the gain-update and balance-metric bodies are written out inline
+        at their call sites instead.
+        """
         h = state.h
         nverts = h.nverts
         if nverts == 0:
@@ -67,9 +73,9 @@ class PythonBackend(KernelBackend):
         pc0_np, pc1_np, gain_np, insert_mask = compute_fm_setup(
             h, parts, cfg.boundary_only
         )
-        buckets = GainBuckets(nverts, state.max_gain)
+        nbuckets = state.nbuckets
+        offset = state.max_gain
         bgain = gain_np.tolist()
-        buckets.gain = bgain  # adopt wholesale; no per-vertex copy loop
         insert_order = rng.permutation(nverts)
 
         parts_l = parts.tolist()
@@ -77,7 +83,7 @@ class PythonBackend(KernelBackend):
         pc1 = pc1_np.tolist()
         locked = [False] * nverts
         w1 = int(np.dot(parts, h.vwgt))
-        weights = [state.total_weight - w1, w1]
+        w0 = state.total_weight - w1
         maxw0, maxw1 = maxw
         # In-pass transit slack: a swap (v out, u in) passes through a
         # state where one side briefly exceeds its ceiling.  Moves may
@@ -85,97 +91,68 @@ class PythonBackend(KernelBackend):
         # prefixes are ever recorded as the pass result.
         slack = state.slack
 
-        heads = buckets.head
-        heads0 = heads[0]
-        heads1 = heads[1]
-        nxt = buckets.nxt
-        prv = buckets.prv
-        inside = buckets.inside
-        maxptr = buckets.maxptr
-        offset = buckets.offset
-
-        mask_l = insert_mask.tolist()
-        for v in insert_order.tolist():
-            if mask_l[v]:
-                sv = parts_l[v]
-                b = bgain[v] + offset
-                hd = heads0 if sv == 0 else heads1
-                first = hd[b]
-                nxt[v] = first
-                prv[v] = -1
-                if first != -1:
-                    prv[first] = v
-                hd[b] = v
-                inside[v] = True
-                if b > maxptr[sv]:
-                    maxptr[sv] = b
+        # ------------------------------------------------------------- #
+        # Bucket seeding, vectorized.  Inserting each masked vertex at
+        # the head of bucket (side, gain) in visit order leaves every
+        # bucket holding its vertices in *reverse* visit order, so the
+        # chains can be built in one stable sort of (side, bucket) over
+        # the reversed visit sequence — identical lists and cursors to
+        # the per-vertex insertion loop.
+        # ------------------------------------------------------------- #
+        maxptr = [-1, -1]
+        seeds = insert_order[insert_mask[insert_order]]
+        if seeds.size:
+            rev = seeds[::-1]
+            rside = parts[rev]
+            rbucket = gain_np[rev] + offset
+            key = rside * nbuckets + rbucket
+            perm = np.argsort(key, kind="stable")
+            seq = rev[perm]
+            kseq = key[perm]
+            nxt_np = np.full(nverts, -1, dtype=np.int64)
+            prv_np = np.full(nverts, -1, dtype=np.int64)
+            same = kseq[1:] == kseq[:-1]
+            nxt_np[seq[:-1][same]] = seq[1:][same]
+            prv_np[seq[1:][same]] = seq[:-1][same]
+            head_np = np.full(2 * nbuckets, -1, dtype=np.int64)
+            first = np.empty(seq.size, dtype=bool)
+            first[0] = True
+            np.logical_not(same, out=first[1:])
+            head_np[kseq[first]] = seq[first]
+            heads0 = head_np[:nbuckets].tolist()
+            heads1 = head_np[nbuckets:].tolist()
+            nxt = nxt_np.tolist()
+            prv = prv_np.tolist()
+            inside_np = np.zeros(nverts, dtype=bool)
+            inside_np[seeds] = True
+            inside = inside_np.tolist()
+            on0 = rside == 0
+            if on0.any():
+                maxptr[0] = int(rbucket[on0].max())
+            if not on0.all():
+                maxptr[1] = int(rbucket[~on0].max())
+        else:
+            heads0 = [-1] * nbuckets
+            heads1 = [-1] * nbuckets
+            nxt = [-1] * nverts
+            prv = [-1] * nverts
+            inside = [False] * nverts
 
         # ------------------------------------------------------------- #
         # Best-prefix tracking.
         # ------------------------------------------------------------- #
-        w0, w1 = weights
-
-        def balance_metric() -> float:
-            return max(
-                w0 / maxw0 if maxw0 else float(w0 > 0),
-                w1 / maxw1 if maxw1 else float(w1 > 0),
-            )
-
-        initially_feasible = w0 <= maxw0 and w1 <= maxw1
-        best_feasible = initially_feasible
+        best_feasible = w0 <= maxw0 and w1 <= maxw1
         best_cum = 0
         best_len = 0
-        best_metric = balance_metric()
+        best_metric = max(
+            w0 / maxw0 if maxw0 else float(w0 > 0),
+            w1 / maxw1 if maxw1 else float(w1 > 0),
+        )
         cum = 0
         moved: list[int] = []
         moved_append = moved.append
         stall = 0
         stall_limit = max(32, int(cfg.fm_early_exit_frac * nverts))
-
-        def gain_touch(u: int, delta: int) -> None:
-            # Apply a gain delta to a free vertex, (re-)filing it in the
-            # buckets.  Bucket unlink/relink is written out here — one
-            # function call per touched vertex instead of the seed's
-            # closure -> adjust -> remove -> insert chain of four.
-            if inside[u]:
-                su = parts_l[u]
-                hd = heads0 if su == 0 else heads1
-                g = bgain[u]
-                p = prv[u]
-                n2 = nxt[u]
-                if p != -1:
-                    nxt[p] = n2
-                else:
-                    hd[g + offset] = n2
-                if n2 != -1:
-                    prv[n2] = p
-                g += delta
-                b = g + offset
-                first = hd[b]
-                nxt[u] = first
-                prv[u] = -1
-                if first != -1:
-                    prv[first] = u
-                hd[b] = u
-                bgain[u] = g
-                if b > maxptr[su]:
-                    maxptr[su] = b
-            else:
-                g = bgain[u] + delta
-                bgain[u] = g
-                if not locked[u]:
-                    su = parts_l[u]
-                    b = g + offset
-                    hd = heads0 if su == 0 else heads1
-                    first = hd[b]
-                    nxt[u] = first
-                    prv[u] = -1
-                    if first != -1:
-                        prv[first] = u
-                    hd[b] = u
-                    inside[u] = True
-                    if b > maxptr[su]:
-                        maxptr[su] = b
 
         # ------------------------------------------------------------- #
         # Move loop.
@@ -254,25 +231,79 @@ class PythonBackend(KernelBackend):
             inside[v] = False
             locked[v] = True
 
-            # Classic FM gain-update rules around the move of v from s to t.
-            for idx in range(xnets_l[v], xnets_l[v + 1]):
-                n = vnets_l[idx]
+            # Classic FM gain-update rules around the move of v from s to
+            # t.  Each ``touch`` block applies a gain delta ``gd`` to a
+            # free vertex ``u`` and (re-)files it in the buckets — the
+            # former ``gain_touch`` helper written out inline (its locals
+            # would otherwise be closure cells taxing the whole loop).
+            for n in vnets_l[xnets_l[v]:xnets_l[v + 1]]:
                 c = cost_l[n]
                 if c == 0:
                     continue
                 p0, p1 = xpins_l[n], xpins_l[n + 1]
                 pcT = pc1[n] if t == 1 else pc0[n]
                 if pcT == 0:
-                    for k in range(p0, p1):
-                        u = pins_l[k]
-                        if not locked[u]:
-                            gain_touch(u, c)
+                    for u in pins_l[p0:p1]:
+                        if locked[u]:
+                            continue
+                        if inside[u]:
+                            su = parts_l[u]
+                            hd = heads0 if su == 0 else heads1
+                            g = bgain[u]
+                            up = prv[u]
+                            un = nxt[u]
+                            if up != -1:
+                                nxt[up] = un
+                            else:
+                                hd[g + offset] = un
+                            if un != -1:
+                                prv[un] = up
+                            g += c
+                        else:
+                            g = bgain[u] + c
+                            su = parts_l[u]
+                            hd = heads0 if su == 0 else heads1
+                            inside[u] = True
+                        b = g + offset
+                        uf = hd[b]
+                        nxt[u] = uf
+                        prv[u] = -1
+                        if uf != -1:
+                            prv[uf] = u
+                        hd[b] = u
+                        bgain[u] = g
+                        if b > maxptr[su]:
+                            maxptr[su] = b
                 elif pcT == 1:
-                    for k in range(p0, p1):
-                        u = pins_l[k]
+                    for u in pins_l[p0:p1]:
                         if parts_l[u] == t:
                             if not locked[u]:
-                                gain_touch(u, -c)
+                                if inside[u]:
+                                    hd = heads0 if t == 0 else heads1
+                                    g = bgain[u]
+                                    up = prv[u]
+                                    un = nxt[u]
+                                    if up != -1:
+                                        nxt[up] = un
+                                    else:
+                                        hd[g + offset] = un
+                                    if un != -1:
+                                        prv[un] = up
+                                    g -= c
+                                else:
+                                    g = bgain[u] - c
+                                    hd = heads0 if t == 0 else heads1
+                                    inside[u] = True
+                                b = g + offset
+                                uf = hd[b]
+                                nxt[u] = uf
+                                prv[u] = -1
+                                if uf != -1:
+                                    prv[uf] = u
+                                hd[b] = u
+                                bgain[u] = g
+                                if b > maxptr[t]:
+                                    maxptr[t] = b
                             break
                 if s == 0:
                     pc0[n] -= 1
@@ -283,16 +314,67 @@ class PythonBackend(KernelBackend):
                     pc0[n] += 1
                     pcF = pc1[n]
                 if pcF == 0:
-                    for k in range(p0, p1):
-                        u = pins_l[k]
-                        if not locked[u]:
-                            gain_touch(u, -c)
+                    for u in pins_l[p0:p1]:
+                        if locked[u]:
+                            continue
+                        if inside[u]:
+                            su = parts_l[u]
+                            hd = heads0 if su == 0 else heads1
+                            g = bgain[u]
+                            up = prv[u]
+                            un = nxt[u]
+                            if up != -1:
+                                nxt[up] = un
+                            else:
+                                hd[g + offset] = un
+                            if un != -1:
+                                prv[un] = up
+                            g -= c
+                        else:
+                            g = bgain[u] - c
+                            su = parts_l[u]
+                            hd = heads0 if su == 0 else heads1
+                            inside[u] = True
+                        b = g + offset
+                        uf = hd[b]
+                        nxt[u] = uf
+                        prv[u] = -1
+                        if uf != -1:
+                            prv[uf] = u
+                        hd[b] = u
+                        bgain[u] = g
+                        if b > maxptr[su]:
+                            maxptr[su] = b
                 elif pcF == 1:
-                    for k in range(p0, p1):
-                        u = pins_l[k]
+                    for u in pins_l[p0:p1]:
                         if u != v and parts_l[u] == s:
                             if not locked[u]:
-                                gain_touch(u, c)
+                                if inside[u]:
+                                    hd = heads0 if s == 0 else heads1
+                                    g = bgain[u]
+                                    up = prv[u]
+                                    un = nxt[u]
+                                    if up != -1:
+                                        nxt[up] = un
+                                    else:
+                                        hd[g + offset] = un
+                                    if un != -1:
+                                        prv[un] = up
+                                    g += c
+                                else:
+                                    g = bgain[u] + c
+                                    hd = heads0 if s == 0 else heads1
+                                    inside[u] = True
+                                b = g + offset
+                                uf = hd[b]
+                                nxt[u] = uf
+                                prv[u] = -1
+                                if uf != -1:
+                                    prv[uf] = u
+                                hd[b] = u
+                                bgain[u] = g
+                                if b > maxptr[s]:
+                                    maxptr[s] = b
                             break
 
             parts_l[v] = t
@@ -309,7 +391,9 @@ class PythonBackend(KernelBackend):
             feasible_now = w0 <= maxw0 and w1 <= maxw1
             improved = False
             if feasible_now:
-                metric = balance_metric()
+                m0 = w0 / maxw0 if maxw0 else float(w0 > 0)
+                m1 = w1 / maxw1 if maxw1 else float(w1 > 0)
+                metric = m0 if m0 > m1 else m1
                 if (
                     not best_feasible
                     or cum > best_cum
@@ -372,28 +456,53 @@ class PythonBackend(KernelBackend):
         for v in order.tolist():
             if match[v] != -1:
                 continue
-            wv = vw_l[v]
+            # Candidate weight cap rewritten as a bound on the partner's
+            # weight; the scoring loops below are specialized on whether
+            # coarsening is part-restricted (the checks are side-effect
+            # free, so hoisting the restrict test out of the unrestricted
+            # sweep cannot change any score).
+            cap = max_cluster_weight - vw_l[v]
             touched: list[int] = []
-            for i in range(xnets_l[v], xnets_l[v + 1]):
-                n = vnets_l[i]
-                sz = sizes_l[n]
-                if sz < 2 or sz > max_net:
-                    continue
-                c = cost_l[n]
-                if c == 0:
-                    continue
-                w = c / (sz - 1) if absorption else float(c)
-                for k in range(xpins_l[n], xpins_l[n + 1]):
-                    u = pins_l[k]
-                    if u == v or match[u] != -1:
+            tappend = touched.append
+            if parts_l is None:
+                for n in vnets_l[xnets_l[v]:xnets_l[v + 1]]:
+                    sz = sizes_l[n]
+                    if sz < 2 or sz > max_net:
                         continue
-                    if parts_l is not None and parts_l[u] != parts_l[v]:
+                    c = cost_l[n]
+                    if c == 0:
                         continue
-                    if wv + vw_l[u] > max_cluster_weight:
+                    w = c / (sz - 1) if absorption else float(c)
+                    for u in pins_l[xpins_l[n]:xpins_l[n + 1]]:
+                        if u == v or match[u] != -1:
+                            continue
+                        if vw_l[u] > cap:
+                            continue
+                        su = score[u]
+                        if su == 0.0:
+                            tappend(u)
+                        score[u] = su + w
+            else:
+                pv = parts_l[v]
+                for n in vnets_l[xnets_l[v]:xnets_l[v + 1]]:
+                    sz = sizes_l[n]
+                    if sz < 2 or sz > max_net:
                         continue
-                    if score[u] == 0.0:
-                        touched.append(u)
-                    score[u] += w
+                    c = cost_l[n]
+                    if c == 0:
+                        continue
+                    w = c / (sz - 1) if absorption else float(c)
+                    for u in pins_l[xpins_l[n]:xpins_l[n + 1]]:
+                        if u == v or match[u] != -1:
+                            continue
+                        if parts_l[u] != pv:
+                            continue
+                        if vw_l[u] > cap:
+                            continue
+                        su = score[u]
+                        if su == 0.0:
+                            tappend(u)
+                        score[u] = su + w
             if touched:
                 best_u = -1
                 best_s = 0.0

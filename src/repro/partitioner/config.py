@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PartitioningError
-from repro.kernels import BACKEND_CHOICES
+from repro.kernels import BACKEND_CHOICES, KernelBackend
 
 __all__ = ["PartitionerConfig", "get_config", "PRESETS"]
 
@@ -60,7 +60,9 @@ class PartitionerConfig:
         Which :mod:`repro.kernels` backend runs the scalar hot loops:
         ``"auto"`` (numba when installed, pure Python otherwise),
         ``"python"``, or ``"numba"`` (silently degrades to Python when
-        numba is absent).  Backends are bit-compatible, so this is a
+        numba is absent).  A live :class:`~repro.kernels.KernelBackend`
+        instance is also accepted (the benchmark harness injects frozen
+        baselines this way).  Backends are bit-compatible, so this is a
         speed knob only.
     """
 
@@ -83,7 +85,12 @@ class PartitionerConfig:
             raise PartitioningError(
                 f"unknown matching scheme {self.matching!r}"
             )
-        if self.kernel_backend not in BACKEND_CHOICES:
+        if (
+            not isinstance(self.kernel_backend, KernelBackend)
+            and self.kernel_backend not in BACKEND_CHOICES
+        ):
+            # A live backend instance is also accepted — that is how the
+            # benchmark harness injects frozen baseline kernels.
             raise PartitioningError(
                 f"unknown kernel backend {self.kernel_backend!r}; "
                 f"expected one of {BACKEND_CHOICES}"

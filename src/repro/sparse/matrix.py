@@ -239,6 +239,21 @@ class SparseMatrix:
             self._cache["col_ptr"] = out
         return out
 
+    def spmv_state(self):
+        """The per-matrix SpMV/volume evaluation state (cached).
+
+        Holds the simulator's default input vector, its sequential
+        reference product, and reusable scratch buffers — everything
+        repeated volume/SpMV evaluation of this matrix would otherwise
+        re-derive per call (see :class:`repro.kernels.spmv.SpMVState`;
+        immutability makes the cache safe, like the derived-structure
+        accessors above).
+        """
+        # Late import: repro.kernels.spmv imports this module.
+        from repro.kernels.spmv import SpMVState
+
+        return SpMVState.for_matrix(self)
+
     # ------------------------------------------------------------------ #
     # Constructors / converters
     # ------------------------------------------------------------------ #

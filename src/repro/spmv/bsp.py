@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.volume import check_nonzero_parts
+from repro.kernels.spmv import axis_incidences
 from repro.sparse.matrix import SparseMatrix
 from repro.spmv.vector_dist import VectorDistribution, distribute_vectors
 from repro.utils.validation import check_pos_int
@@ -122,20 +123,18 @@ def phase_loads(
     fanin_send = np.zeros(nparts, dtype=np.int64)
     fanin_recv = np.zeros(nparts, dtype=np.int64)
 
-    # Distinct (line, part) incidences per axis.
+    # Distinct (line, part) incidences per axis (shared group-by kernel;
+    # no per-call sorting).
     for axis, owner, send, recv in (
         ("col", dist.input_owner, fanout_send, fanout_recv),
         ("row", dist.output_owner, fanin_send, fanin_recv),
     ):
         index = matrix.cols if axis == "col" else matrix.rows
+        extent = n if axis == "col" else m
         if index.size == 0:
             continue
-        order = np.lexsort((parts, index))
-        si, sp = index[order], parts[order]
-        keep = np.empty(si.size, dtype=bool)
-        keep[0] = True
-        keep[1:] = (si[1:] != si[:-1]) | (sp[1:] != sp[:-1])
-        li, lp = si[keep], sp[keep]  # one entry per (line, part) incidence
+        ptr, lp = axis_incidences(index, parts, extent, nparts)
+        li = np.repeat(np.arange(extent, dtype=np.int64), np.diff(ptr))
         own = owner[li]
         foreign = lp != own
         if axis == "col":

@@ -1,8 +1,7 @@
 """Distributed SpMV simulation — the ground truth for all volume math.
 
 :func:`simulate_spmv` executes the paper's four steps on an actual
-partitioning, with every inter-processor word materialized in explicit
-per-pair message buffers:
+partitioning:
 
 1. **fan-out** — each part determines which input entries ``v_j`` it needs
    (columns of its local nonzeros) but does not own; owners send them;
@@ -11,12 +10,24 @@ per-pair message buffers:
    they do not own;
 4. **summation** — owners accumulate partial sums into ``u``.
 
+All four steps run on flat arrays: fan-out needs are the distinct
+``(part, column)`` pairs of the partitioning (one combined-key
+``np.unique``), partial sums accumulate in float64 arrays grouped by
+``(part, row)`` (:func:`repro.kernels.spmv.partial_sums` — no per-part
+Python dicts on any path), and fan-in words are the groups whose part
+does not own the output row.  Per-matrix buffers (the default input
+vector, its sequential reference product, scratch) live on the cached
+:class:`~repro.kernels.spmv.SpMVState`, so sweeps that evaluate one
+matrix repeatedly stop rebuilding them.
+
 The simulator then *verifies*:
 
 * the assembled ``u`` equals the sequential ``A @ v``;
 * the words moved in fan-out and fan-in equal the per-phase volumes of
   eqn (3) (when owners lie inside the touching part sets, as
-  :func:`~repro.spmv.vector_dist.distribute_vectors` guarantees);
+  :func:`~repro.spmv.vector_dist.distribute_vectors` guarantees) —
+  computed independently by :func:`expected_phase_words` through the
+  incidence kernel, a different code path than the simulation counts;
 * the per-part loads agree with :func:`repro.spmv.bsp.phase_loads`.
 
 A disagreement raises :class:`~repro.errors.SimulationError` — this is the
@@ -32,6 +43,7 @@ import numpy as np
 
 from repro.core.volume import check_nonzero_parts, volume_breakdown
 from repro.errors import SimulationError
+from repro.kernels.spmv import partial_sums
 from repro.sparse.matrix import SparseMatrix
 from repro.spmv.bsp import BSPCost, phase_loads
 from repro.spmv.vector_dist import (
@@ -111,12 +123,15 @@ def simulate_spmv(
     nparts = check_pos_int(nparts, "nparts")
     parts = check_nonzero_parts(matrix, parts, nparts)
     m, n = matrix.shape
+    state = matrix.spmv_state()
     if v is None:
-        v = (np.arange(1, n + 1, dtype=np.float64)) / n
+        v = state.default_vector()
+        reference = state.reference_result()
     else:
         v = np.asarray(v, dtype=np.float64).ravel()
         if v.size != n:
             raise SimulationError(f"v must have length {n}, got {v.size}")
+        reference = matrix.matvec(v)
     if dist is None:
         dist = distribute_vectors(matrix, parts, nparts)
     else:
@@ -125,62 +140,48 @@ def simulate_spmv(
     rows, cols, vals = matrix.rows, matrix.cols, matrix.vals
 
     # ------------------------------------------------------------------ #
-    # Step 1: fan-out.  needed[(s, j)]: part s holds a nonzero in column j.
+    # Step 1: fan-out.  need (s, j): part s holds a nonzero in column j;
+    # the owner of v_j sends one word for every foreign need.  (Fan-out
+    # is complete by construction — the owner always stores its own
+    # entry — so the value received for (s, j) is exactly v[j].)
     # ------------------------------------------------------------------ #
-    need_pairs = np.unique(np.stack([parts, cols], axis=1), axis=0)
-    need_owner = dist.input_owner[need_pairs[:, 1]]
-    foreign_in = need_pairs[need_owner != need_pairs[:, 0]]
-    # Local copies of v: each part stores the entries it owns ...
-    vlocal = [dict() for _ in range(nparts)]
-    for j, owner in enumerate(dist.input_owner.tolist()):
-        vlocal[owner][j] = v[j]
-    # ... plus the entries received during fan-out.
-    words_fanout = int(foreign_in.shape[0])
-    msg_pairs_out = set()
-    for s, j in foreign_in.tolist():
-        owner = int(dist.input_owner[j])
-        msg_pairs_out.add((owner, s))
-        # The message carries (index, value) from the owner's storage.
-        vlocal[s][j] = vlocal[owner][j]
-    messages_fanout = len(msg_pairs_out)
+    if matrix.nnz:
+        need = np.unique(parts * np.int64(n) + cols)
+        need_part = need // n
+        need_col = need - need_part * n
+    else:
+        need_part = need_col = np.empty(0, dtype=np.int64)
+    need_owner = dist.input_owner[need_col]
+    foreign_out = need_part != need_owner
+    words_fanout = int(np.count_nonzero(foreign_out))
+    messages_fanout = int(
+        np.unique(
+            need_owner[foreign_out] * np.int64(nparts)
+            + need_part[foreign_out]
+        ).size
+    )
 
     # ------------------------------------------------------------------ #
-    # Step 2: local multiplication into per-part partial sums.
+    # Steps 2-4: local multiplication into per-(part, row) float64
+    # partial sums, fan-in of the foreign ones, summation at the owners.
     # ------------------------------------------------------------------ #
-    partials = [dict() for _ in range(nparts)]
-    for k in range(matrix.nnz):
-        s = int(parts[k])
-        i = int(rows[k])
-        j = int(cols[k])
-        try:
-            vj = vlocal[s][j]
-        except KeyError:
-            raise SimulationError(
-                f"part {s} multiplies column {j} without having received "
-                "its input entry — fan-out is incomplete"
-            ) from None
-        acc = partials[s]
-        acc[i] = acc.get(i, 0.0) + vals[k] * vj
-
-    # ------------------------------------------------------------------ #
-    # Steps 3 + 4: fan-in and summation at the output owners.
-    # ------------------------------------------------------------------ #
+    gparts, grows, gsums = partial_sums(
+        rows, cols, vals, parts, v, m, state
+    )
     u = np.zeros(m, dtype=np.float64)
-    words_fanin = 0
-    msg_pairs_in = set()
-    for s in range(nparts):
-        for i, val in partials[s].items():
-            owner = int(dist.output_owner[i])
-            if owner != s:
-                words_fanin += 1
-                msg_pairs_in.add((s, owner))
-            u[i] += val  # accumulated at the owner
-    messages_fanin = len(msg_pairs_in)
+    np.add.at(u, grows, gsums)  # owner accumulation, part-major order
+    gowner = dist.output_owner[grows]
+    foreign_in = gparts != gowner
+    words_fanin = int(np.count_nonzero(foreign_in))
+    messages_fanin = int(
+        np.unique(
+            gparts[foreign_in] * np.int64(nparts) + gowner[foreign_in]
+        ).size
+    )
 
     # ------------------------------------------------------------------ #
     # Verification.
     # ------------------------------------------------------------------ #
-    reference = matrix.matvec(v)
     if not np.allclose(u, reference, rtol=rtol, atol=rtol):
         worst = float(np.abs(u - reference).max(initial=0.0))
         raise SimulationError(

@@ -13,6 +13,12 @@ Table II.
 processed in decreasing connectivity order and each is assigned to the
 candidate part that minimizes the phase's tentative bottleneck — the
 standard greedy used for Mondriaan-style vector distribution.
+
+The incidence lists and the greedy loop itself run through
+:mod:`repro.kernels.spmv`: incidences come from the boolean-scatter
+group-by (no per-call lexsort), singleton lines are assigned vectorized,
+and only the cut lines go through the sequential greedy kernel (scalar
+reference or numba JIT, bit-identical by contract).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from repro.core.volume import check_nonzero_parts
 from repro.errors import SimulationError
+from repro.kernels.spmv import axis_incidences
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.validation import check_pos_int
 
@@ -69,77 +76,14 @@ class VectorDistribution:
 
 
 def _axis_part_sets(
-    index: np.ndarray, parts: np.ndarray, extent: int
+    index: np.ndarray, parts: np.ndarray, extent: int, nparts: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """CSR lists of the distinct parts touching each row/column index.
 
     Returns ``(ptr, flat)`` with the parts of line ``i`` in
-    ``flat[ptr[i]:ptr[i+1]]``.
+    ``flat[ptr[i]:ptr[i+1]]`` (thin alias of the shared group-by kernel).
     """
-    if index.size == 0:
-        return np.zeros(extent + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
-    order = np.lexsort((parts, index))
-    si, sp = index[order], parts[order]
-    keep = np.empty(si.size, dtype=bool)
-    keep[0] = True
-    keep[1:] = (si[1:] != si[:-1]) | (sp[1:] != sp[:-1])
-    si, sp = si[keep], sp[keep]
-    counts = np.bincount(si, minlength=extent)
-    ptr = np.zeros(extent + 1, dtype=np.int64)
-    np.cumsum(counts, out=ptr[1:])
-    return ptr, sp
-
-
-def _greedy_owners(
-    ptr: np.ndarray,
-    flat: np.ndarray,
-    extent: int,
-    nparts: int,
-    fallback_balance: np.ndarray,
-) -> np.ndarray:
-    """Greedy owner assignment for one phase.
-
-    The owner of a component with candidate set ``P`` (size ``lam``) sends
-    ``lam - 1`` words; every other member receives one word.  Components
-    are processed in decreasing ``lam``; each picks the candidate whose
-    tentative ``max(send, recv)`` after the assignment is smallest.
-
-    Components with an empty candidate set (empty line) round-robin over
-    ``fallback_balance`` — they cause no traffic, only storage.
-    """
-    owners = np.full(extent, -1, dtype=np.int64)
-    lam = np.diff(ptr)
-    send = [0] * nparts
-    recv = [0] * nparts
-    ptr_l = ptr.tolist()
-    flat_l = flat.tolist()
-    order = np.argsort(-lam, kind="stable").tolist()
-    for line in order:
-        lo, hi = ptr_l[line], ptr_l[line + 1]
-        k = hi - lo
-        if k == 0:
-            continue  # handled by fallback below
-        if k == 1:
-            owners[line] = flat_l[lo]
-            continue
-        best_s = -1
-        best_cost = None
-        for t in range(lo, hi):
-            s = flat_l[t]
-            cost = max(send[s] + k - 1, recv[s])
-            if best_cost is None or cost < best_cost:
-                best_s, best_cost = s, cost
-        owners[line] = best_s
-        send[best_s] += k - 1
-        for t in range(lo, hi):
-            s = flat_l[t]
-            if s != best_s:
-                recv[s] += 1
-    empty = owners < 0
-    if empty.any():
-        idx = np.flatnonzero(empty)
-        owners[idx] = fallback_balance[np.arange(idx.size) % nparts]
-    return owners
+    return axis_incidences(index, parts, extent, nparts)
 
 
 def distribute_vectors(
@@ -148,6 +92,7 @@ def distribute_vectors(
     nparts: int,
     *,
     equal: bool = False,
+    backend="auto",
 ) -> VectorDistribution:
     """Assign owners to all input/output vector components.
 
@@ -164,12 +109,18 @@ def distribute_vectors(
     costs extra communicated words exactly as the paper notes ("may cause
     extra communication for matrices with zeros on the main diagonal").
     Use :func:`expected_phase_words` to account for the surplus.
+
+    ``backend`` selects the :mod:`repro.kernels` backend running the
+    greedy loop (``"auto"`` / ``"python"`` / ``"numba"`` or an instance);
+    backends are bit-compatible, so this is a speed knob only.
     """
+    from repro.kernels import resolve_backend
+
     nparts = check_pos_int(nparts, "nparts")
     parts = check_nonzero_parts(matrix, parts, nparts)
     m, n = matrix.shape
-    col_ptr, col_parts = _axis_part_sets(matrix.cols, parts, n)
-    row_ptr, row_parts = _axis_part_sets(matrix.rows, parts, m)
+    col_ptr, col_parts = _axis_part_sets(matrix.cols, parts, n, nparts)
+    row_ptr, row_parts = _axis_part_sets(matrix.rows, parts, m, nparts)
     fallback = np.arange(nparts, dtype=np.int64)
     if equal:
         if m != n:
@@ -183,8 +134,13 @@ def distribute_vectors(
             input_owner=owner, output_owner=owner.copy(), nparts=nparts
         )
     else:
-        input_owner = _greedy_owners(col_ptr, col_parts, n, nparts, fallback)
-        output_owner = _greedy_owners(row_ptr, row_parts, m, nparts, fallback)
+        kernels = resolve_backend(backend)
+        input_owner = kernels.greedy_owners(
+            col_ptr, col_parts, n, nparts, fallback
+        )
+        output_owner = kernels.greedy_owners(
+            row_ptr, row_parts, m, nparts, fallback
+        )
         dist = VectorDistribution(
             input_owner=input_owner,
             output_owner=output_owner,
@@ -248,7 +204,7 @@ def expected_phase_words(
         (matrix.cols, dist.input_owner, n),
         (matrix.rows, dist.output_owner, m),
     ):
-        ptr, flat = _axis_part_sets(index, parts, extent)
+        ptr, flat = _axis_part_sets(index, parts, extent, dist.nparts)
         line_of = np.repeat(np.arange(extent), np.diff(ptr))
         foreign = flat != owner[line_of]
         totals.append(int(np.count_nonzero(foreign)))

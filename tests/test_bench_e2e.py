@@ -1,0 +1,41 @@
+"""Opt-in end-to-end benchmark-regression gate (``pytest -m bench``).
+
+Deselected by default (see ``pytest.ini``): timing checks belong in a
+quiet environment, not in tier-1.  The test shells out to the same
+entry point as ``make bench-e2e`` so the two paths cannot drift.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_e2e_pipeline_within_committed_budget():
+    """Current end-to-end pipeline timings stay within the (deliberately
+    loose — whole-pipeline wall clock jitters) budget of BENCH_e2e.json."""
+    if not (REPO_ROOT / "BENCH_e2e.json").exists():
+        pytest.skip("no committed BENCH_e2e.json")
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "benchmarks.bench_e2e", "--check"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"end-to-end benchmark regression:\n{proc.stdout}\n{proc.stderr}"
+    )
