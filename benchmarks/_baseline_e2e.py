@@ -15,6 +15,13 @@ frozen here verbatim:
 * :func:`baseline_simulate_spmv` — the dict-based fan-out / partial-sum
   / fan-in simulation, including its lexsort-based expected-word and
   phase-load checks.
+* :func:`baseline_partition` — the serial recursive bisection exactly as
+  the parallel-recursion PR found it: one RNG stream consumed in
+  depth-first traversal order (which is why it could not be
+  parallelized), depth-first ``_recurse``, frozen kernels underneath.
+  Its volumes are *not* expected to match the live ``partition`` — the
+  seed discipline intentionally changed — so the p-way benchmark records
+  both sides' volumes instead of asserting bit-identity against it.
 
 The orchestration around these (split, model build, coarsening,
 contraction, recursion) is the *live* code — it was not changed by this
@@ -413,6 +420,85 @@ class BaselineBackend(KernelBackend):
 
 
 BASELINE_BACKEND = BaselineBackend()
+
+
+# --------------------------------------------------------------------- #
+# Pre-PR recursive bisection: traversal-order seed stream, serial only.
+# --------------------------------------------------------------------- #
+def _baseline_recurse(
+    matrix, indices, first_part, nparts, ceiling, eps, method, refine,
+    cfg, rng, out, volumes,
+):
+    """The pre-PR ``_recurse`` verbatim: the single ``rng`` is threaded
+    through the depth-first walk, so every bisection's randomness depends
+    on how many draws earlier subtrees consumed."""
+    import numpy as np
+
+    from repro.core.methods import bipartition
+    from repro.utils.balance import max_allowed_part_size
+
+    if nparts == 1:
+        out[indices] = first_part
+        return
+    q0 = nparts // 2
+    q1 = nparts - q0
+    sub = matrix.select(indices)
+    cap0, cap1 = ceiling * q0, ceiling * q1
+    if indices.size > cap0 + cap1:
+        relaxed = max_allowed_part_size(indices.size, nparts, eps)
+        cap0 = max(cap0, relaxed * q0)
+        cap1 = max(cap1, relaxed * q1)
+    result = bipartition(
+        sub, method=method, refine=refine, config=cfg, seed=rng,
+        max_weights=(cap0, cap1),
+    )
+    volumes.append(result.volume)
+    left = indices[result.parts == 0]
+    right = indices[result.parts == 1]
+    _baseline_recurse(
+        matrix, left, first_part, q0, ceiling, eps, method, refine, cfg,
+        rng, out, volumes,
+    )
+    _baseline_recurse(
+        matrix, right, first_part + q0, q1, ceiling, eps, method, refine,
+        cfg, rng, out, volumes,
+    )
+
+
+def baseline_partition(
+    matrix, nparts, method="mediumgrain", eps=0.03, refine=False, seed=None
+):
+    """Pre-PR serial p-way partitioning over the frozen kernels.
+
+    Returns ``(parts, volume)``.  Runs the frozen traversal-order
+    recursion with the frozen backend and lambda kernels, i.e. the whole
+    pre-PR p-way pipeline the parallel-recursion benchmark compares
+    against.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    from repro.core.volume import communication_volume
+    from repro.partitioner.config import get_config
+    from repro.utils.balance import max_allowed_part_size
+    from repro.utils.rng import as_generator
+
+    cfg = dataclasses.replace(
+        get_config("mondriaan"), kernel_backend=BASELINE_BACKEND
+    )
+    rng = as_generator(seed)
+    n = matrix.nnz
+    parts = np.zeros(n, dtype=np.int64)
+    ceiling = max_allowed_part_size(n, nparts, eps)
+    with baseline_lambda_kernels():
+        if nparts > 1:
+            _baseline_recurse(
+                matrix, np.arange(n, dtype=np.int64), 0, nparts, ceiling,
+                eps, method, refine, cfg, rng, parts, [],
+            )
+        volume = communication_volume(matrix, parts)
+    return parts, volume
 
 
 # --------------------------------------------------------------------- #

@@ -26,6 +26,20 @@ volume must equal the partitioner's volume, the baseline volumes must be
 bit-identical to the live ones (the kernel contract), and the parallel
 sweep's records must equal the serial sweep's (modulo measured seconds).
 
+A second stage times **p-way recursive bisection** (p in {4, 16, 64} —
+the paper's Fig. 6b / Table II workload) three ways on every bench
+matrix: the frozen pre-PR serial recursion
+(:func:`benchmarks._baseline_e2e.baseline_partition` — traversal-order
+seed stream over the frozen kernels), the live engine serially
+(``jobs=1``), and the live engine on a worker pool (``--jobs``).  The
+live serial and parallel partitions are asserted bit-identical (the
+position-keyed seed streams guarantee it); the frozen baseline follows
+the *old* seed discipline, so its volumes are recorded rather than
+asserted.  ``speedup_parallel`` is the intra-matrix speedup of the
+parallel engine over the frozen serial baseline — on multi-core hardware
+it compounds the kernel gains with real concurrency; on a single-core
+container it degenerates to the kernel gains minus pool overhead.
+
 Usage::
 
     python -m benchmarks.bench_e2e              # write BENCH_e2e.json
@@ -48,9 +62,12 @@ from benchmarks._baseline_e2e import (
     BASELINE_BACKEND,
     baseline_distribute_vectors,
     baseline_lambda_kernels,
+    baseline_partition,
     baseline_simulate_spmv,
 )
 from repro.core.methods import bipartition
+from repro.core.recursive import partition
+from repro.eval.geomean import geometric_mean as _geomean
 from repro.eval.sweep import RunSpec, run_sweep
 from repro.kernels import numba_available, resolve_backend
 from repro.partitioner.config import get_config
@@ -63,6 +80,9 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_e2e.json"
 #: the adversarial case where scalar partitioning dominates end to end.
 DEFAULT_MATRICES = ("sym_grid2d_l", "sqr_band_l", "rec_td_med_b", "sqr_cl_m")
 BASE_SEED = 2014
+#: Recursive-bisection depths of the p-way stage (the paper's Fig. 6b /
+#: Table II run at p = 64; 4 and 16 chart how speedup grows with depth).
+PWAY_PARTS = (4, 16, 64)
 PIPELINE = (
     "split -> medium-grain build -> multilevel partition -> "
     "iterative refinement -> volume -> vector distribution -> "
@@ -198,11 +218,67 @@ def bench_matrix(
     return entry
 
 
+def bench_pway_matrix(
+    name: str, ps, repeats: int, jobs: int
+) -> dict:
+    """Time p-way recursive bisection three ways on one matrix.
+
+    The live serial and parallel runs must be bit-identical (asserted);
+    the frozen baseline follows the pre-PR traversal-order seed stream,
+    so only its timing and volume are recorded.  The three variants are
+    interleaved per repeat so machine-load drift biases them equally.
+    """
+    matrix = load_instance(name)
+    entry: dict = {"nnz": matrix.nnz, "by_p": {}}
+    for p in ps:
+        # Warm caches, the persistent worker pool, and verify identity.
+        serial = partition(
+            matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=1
+        )
+        par = partition(
+            matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=jobs
+        )
+        if not np.array_equal(serial.parts, par.parts):
+            raise AssertionError(
+                f"{name} p={p}: parallel partition differs from serial"
+            )
+        base_parts, base_volume = baseline_partition(
+            matrix, p, method="mediumgrain", seed=BASE_SEED
+        )
+        best = [float("inf")] * 3
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            partition(matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=1)
+            best[0] = min(best[0], time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=jobs
+            )
+            best[1] = min(best[1], time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            baseline_partition(matrix, p, method="mediumgrain", seed=BASE_SEED)
+            best[2] = min(best[2], time.perf_counter() - t0)
+        cur_s, par_s, base_s = best
+        entry["by_p"][str(p)] = {
+            "volume": serial.volume,
+            "baseline_volume": base_volume,
+            "parallel_bit_identical": True,
+            "current_serial_s": round(cur_s, 6),
+            "current_parallel_s": round(par_s, 6),
+            "baseline_serial_s": round(base_s, 6),
+            "speedup_serial": round(base_s / cur_s, 3),
+            "speedup_parallel": round(base_s / par_s, 3),
+            "parallel_vs_serial": round(cur_s / par_s, 3),
+        }
+    return entry
+
+
 def run_benchmarks(
     matrices=DEFAULT_MATRICES,
     nseeds: int = 3,
     repeats: int = 3,
     jobs: int = 2,
+    pway_parts=PWAY_PARTS,
 ) -> dict:
     """Time every matrix; returns the report dict."""
     seeds = spawn_seeds(BASE_SEED, nseeds)
@@ -230,9 +306,50 @@ def run_benchmarks(
     speedups = [
         report["matrices"][m]["speedup_serial"] for m in matrices
     ]
-    report["geomean_speedup_serial"] = round(
-        float(np.exp(np.mean(np.log(speedups)))), 3
+    report["geomean_speedup_serial"] = round(_geomean(speedups), 3)
+
+    # p-way recursive-bisection stage.
+    pway: dict = {
+        "method": "mediumgrain",
+        "ps": [int(p) for p in pway_parts],
+        "jobs": jobs,
+        "matrices": {},
+    }
+    for name in matrices:
+        entry = bench_pway_matrix(name, pway_parts, repeats, jobs)
+        pway["matrices"][name] = entry
+        for p in pway_parts:
+            e = entry["by_p"][str(p)]
+            print(
+                f"  {name:14s} p={p:<3d} baseline "
+                f"{e['baseline_serial_s']:7.3f} s   serial "
+                f"{e['current_serial_s']:7.3f} s   parallel(j{jobs}) "
+                f"{e['current_parallel_s']:7.3f} s   "
+                f"x{e['speedup_parallel']:.2f}"
+            )
+    per_p_parallel = {
+        str(p): round(
+            _geomean([
+                pway["matrices"][m]["by_p"][str(p)]["speedup_parallel"]
+                for m in matrices
+            ]), 3,
+        )
+        for p in pway_parts
+    }
+    pway["geomean_speedup_parallel_by_p"] = per_p_parallel
+    pway["geomean_speedup_parallel"] = round(
+        _geomean([
+            pway["matrices"][m]["by_p"][str(p)]["speedup_parallel"]
+            for m in matrices for p in pway_parts
+        ]), 3,
     )
+    pway["geomean_speedup_serial"] = round(
+        _geomean([
+            pway["matrices"][m]["by_p"][str(p)]["speedup_serial"]
+            for m in matrices for p in pway_parts
+        ]), 3,
+    )
+    report["pway"] = pway
     return report
 
 
@@ -302,6 +419,9 @@ def main(argv=None) -> int:
                         help="timing repetitions (min is kept)")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker processes for the parallel timing")
+    parser.add_argument("--pway-parts", default=",".join(map(str, PWAY_PARTS)),
+                        help="comma-separated p values for the recursive-"
+                             "bisection stage")
     # Whole-pipeline wall-clock jitters far more than the isolated-kernel
     # microbenchmarks (scheduler noise integrates over hundreds of ms on
     # shared runners), so the end-to-end gate is looser than the 25%
@@ -331,11 +451,14 @@ def main(argv=None) -> int:
           f"({args.nseeds} seeds, min of {args.repeats} runs, "
           f"parallel jobs={args.jobs})")
     report = run_benchmarks(
-        matrices, args.nseeds, args.repeats, args.jobs
+        matrices, args.nseeds, args.repeats, args.jobs,
+        pway_parts=tuple(int(p) for p in args.pway_parts.split(",") if p),
     )
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"\ngeomean end-to-end speedup (serial, vs pre-PR): "
           f"x{report['geomean_speedup_serial']}")
+    print(f"geomean p-way speedup (parallel j{args.jobs}, vs frozen serial "
+          f"baseline): x{report['pway']['geomean_speedup_parallel']}")
     print(f"written to {out}")
     return 0
 

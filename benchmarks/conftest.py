@@ -12,6 +12,10 @@ the bench modules.  Scale knobs (environment variables):
     Runs per (instance, method) to average, default 2 (the paper uses 10).
 ``REPRO_BENCH_SEED``
     Root seed, default 2014.
+``REPRO_BENCH_JOBS``
+    Worker processes for the sweeps (default 1 = serial, 0 = CPU count).
+    Results are bit-identical to the serial sweeps — the sweep engine
+    guarantees it — so this only changes how fast artifacts regenerate.
 
 Artifacts (text reports + CSV series) are written to ``results/`` in the
 repository root.
@@ -29,6 +33,7 @@ from repro.eval.experiments import collect_paper_runs
 BENCH_TIER = os.environ.get("REPRO_BENCH_TIER", "medium")
 BENCH_NRUNS = int(os.environ.get("REPRO_BENCH_NRUNS", "2"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2014"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 #: p = 64 needs enough nonzeros per part to be meaningful; the paper's
@@ -51,6 +56,7 @@ def internal_sweep():
         config="mondriaan",
         base_seed=BENCH_SEED,
         progress=True,
+        jobs=BENCH_JOBS,
     )
 
 
@@ -64,6 +70,7 @@ def patoh_sweep():
         base_seed=BENCH_SEED,
         with_bsp=True,
         progress=True,
+        jobs=BENCH_JOBS,
     )
 
 
@@ -79,4 +86,5 @@ def patoh_sweep_p64():
         with_bsp=True,
         min_nnz=P64_MIN_NNZ,
         progress=True,
+        jobs=BENCH_JOBS,
     )

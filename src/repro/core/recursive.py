@@ -1,4 +1,4 @@
-"""Recursive bisection into ``p`` parts.
+"""Recursive bisection into ``p`` parts, serially or on a process pool.
 
 The paper's ``p = 64`` experiments (Fig. 6b, Table II) use the
 medium-grain method "in a recursive bisection scheme": the nonzeros are
@@ -14,10 +14,36 @@ Each bisection is a full method run (any of the paper's six variants,
 including iterative refinement per step); sub-splits see the submatrix of
 their nonzeros with the original shape, so empty rows/columns are handled
 by the hypergraph models naturally.
+
+Seed discipline
+---------------
+After the first split, the two subproblems are completely independent, so
+the recursion tree is a natural source of parallelism — *if* randomness
+does not couple the nodes.  Every node therefore draws its RNG from a
+:class:`~numpy.random.SeedSequence` keyed on the node's *position* in the
+tree (:func:`~repro.utils.rng.child_sequence` of the run's root sequence
+at the node's left/right path), never from a stream shared along the
+traversal.  Results are then a pure function of ``(matrix, arguments,
+seed)`` — identical whether the tree is walked depth-first in one process
+or scheduled across a worker pool in any order.
+
+Parallel execution
+------------------
+``partition(..., jobs=N)`` (or :attr:`PartitionerConfig.jobs`) runs the
+tree on a :class:`~concurrent.futures.ProcessPoolExecutor`, mirroring the
+sweep engine's knob (``jobs=1`` serial, ``0``/``None`` = CPU count).  The
+scheduler widens the frontier with rounds of concurrent bisections until
+there are at least ``jobs`` independent subtrees, then hands each worker a
+whole subtree to solve serially — within a worker the usual per-object
+caches (``FMPassState`` per hypergraph, ``SpMVState`` per matrix) are
+reused across that subtree's bisections exactly as in a serial run.  The
+partition returned is **bit-identical** for every ``jobs`` value.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 import numpy as np
 
@@ -31,7 +57,13 @@ from repro.errors import PartitioningError
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.balance import max_allowed_part_size
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.parallel import resolve_jobs
+from repro.utils.rng import (
+    SeedLike,
+    as_generator,
+    as_seed_sequence,
+    child_sequence,
+)
 from repro.utils.timing import Timer
 from repro.utils.validation import check_eps, check_pos_int
 
@@ -61,9 +93,9 @@ class PartitionResult:
     method:
         The method label used for every bisection.
     bisection_volumes:
-        The per-bisection volumes in recursion order (diagnostics; their
-        sum generally differs from ``volume``, which is measured on the
-        final p-way partitioning of the full matrix).
+        The per-bisection volumes in recursion (depth-first pre-)order
+        (diagnostics; their sum generally differs from ``volume``, which
+        is measured on the final p-way partitioning of the full matrix).
     """
 
     parts: np.ndarray
@@ -77,6 +109,39 @@ class PartitionResult:
     bisection_volumes: list[int] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class _Node:
+    """One subproblem of the recursion tree.
+
+    ``path`` identifies the node's position — ``()`` is the root, and each
+    element descends to the left (``0``, lower part ids) or right (``1``)
+    child.  The node's RNG is ``child_sequence(root, *path)``, so the
+    stream depends on the position alone.  ``indices`` are canonical
+    nonzero indices into the node's matrix (always sorted ascending, so a
+    submatrix built from them aligns positionally).
+    """
+
+    path: tuple[int, ...]
+    indices: np.ndarray
+    first_part: int
+    nparts: int
+
+    def children(self, parts01: np.ndarray) -> tuple["_Node", "_Node"]:
+        """Split this node by a 0/1 bisection of its nonzeros."""
+        q0 = self.nparts // 2
+        q1 = self.nparts - q0
+        return (
+            _Node(
+                self.path + (0,), self.indices[parts01 == 0],
+                self.first_part, q0,
+            ),
+            _Node(
+                self.path + (1,), self.indices[parts01 == 1],
+                self.first_part + q0, q1,
+            ),
+        )
+
+
 def partition(
     matrix: SparseMatrix,
     nparts: int,
@@ -85,6 +150,7 @@ def partition(
     refine: bool = False,
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
+    jobs: int | None = None,
 ) -> PartitionResult:
     """Partition the nonzeros of ``matrix`` into ``nparts`` parts by
     recursive bisection.
@@ -94,11 +160,20 @@ def partition(
     ``nparts`` may be any positive integer (not only powers of two): an
     uneven split hands ``floor(q/2)`` parts to one side and the rest to
     the other, with proportional ceilings.
+
+    ``jobs`` schedules independent subtrees of the recursion on a process
+    pool (``1`` = serial, ``0`` = CPU count, ``None`` = the config's
+    :attr:`~repro.partitioner.config.PartitionerConfig.jobs`).  The result
+    is bit-identical for every ``jobs`` value: each bisection's randomness
+    is keyed on its tree position, not on traversal order.
     """
     nparts = check_pos_int(nparts, "nparts")
     check_eps(eps)
     cfg = get_config(config)
-    rng = as_generator(seed)
+    if jobs is None:
+        jobs = cfg.jobs
+    jobs = resolve_jobs(jobs, error=PartitioningError)
+    root_seed = as_seed_sequence(seed)
     n = matrix.nnz
     if nparts > max(n, 1):
         raise PartitioningError(
@@ -107,24 +182,21 @@ def partition(
 
     parts = np.zeros(n, dtype=np.int64)
     ceiling = max_allowed_part_size(n, nparts, eps)
-    bisection_volumes: list[int] = []
+    volumes: dict[tuple[int, ...], int] = {}
     timer = Timer()
     with timer:
         if nparts > 1:
-            _recurse(
-                matrix,
-                np.arange(n, dtype=np.int64),
-                first_part=0,
-                nparts=nparts,
-                ceiling=ceiling,
-                eps=eps,
-                method=method,
-                refine=refine,
-                cfg=cfg,
-                rng=rng,
-                out=parts,
-                volumes=bisection_volumes,
+            root = _Node((), np.arange(n, dtype=np.int64), 0, nparts)
+            job = _TreeJob(
+                ceiling=ceiling, eps=eps, method=method, refine=refine,
+                cfg=cfg, root_seed=root_seed,
             )
+            # With fewer than 4 parts at most one bisection can ever be
+            # in flight, so a pool would only add process overhead.
+            if jobs >= 2 and nparts >= 4:
+                _solve_parallel(matrix, root, job, jobs, parts, volumes)
+            else:
+                _solve_serial(matrix, root, job, parts, volumes)
 
     biggest = max_part_size(matrix, parts, nparts)
     return PartitionResult(
@@ -136,34 +208,37 @@ def partition(
         imbalance=imbalance(matrix, parts, nparts),
         seconds=timer.elapsed,
         method=method + ("+ir" if refine else ""),
-        bisection_volumes=bisection_volumes,
+        bisection_volumes=[volumes[p] for p in sorted(volumes)],
     )
 
 
-def _recurse(
-    matrix: SparseMatrix,
-    indices: np.ndarray,
-    first_part: int,
-    nparts: int,
-    ceiling: int,
-    eps: float,
-    method: str,
-    refine: bool,
-    cfg: PartitionerConfig,
-    rng: np.random.Generator,
-    out: np.ndarray,
-    volumes: list[int],
-) -> None:
-    """Assign parts ``first_part .. first_part + nparts - 1`` to the
-    nonzeros selected by ``indices`` (canonical indices into ``matrix``)."""
-    if nparts == 1:
-        out[indices] = first_part
-        return
-    q0 = nparts // 2
-    q1 = nparts - q0
-    sub = matrix.select(indices)
-    cap0, cap1 = ceiling * q0, ceiling * q1
-    if indices.size > cap0 + cap1:
+@dataclass(frozen=True)
+class _TreeJob:
+    """The per-run constants every tree node shares (picklable, so one
+    object describes the job to pool workers as well)."""
+
+    ceiling: int
+    eps: float
+    method: str
+    refine: bool
+    cfg: PartitionerConfig
+    root_seed: np.random.SeedSequence
+
+
+def _bisect_node(
+    matrix: SparseMatrix, node: _Node, job: _TreeJob
+) -> tuple[np.ndarray, int]:
+    """Run one bisection; returns the 0/1 parts (aligned with
+    ``node.indices``) and its communication volume."""
+    q0 = node.nparts // 2
+    q1 = node.nparts - q0
+    sub = (
+        matrix
+        if node.indices.size == matrix.nnz
+        else matrix.select(node.indices)
+    )
+    cap0, cap1 = job.ceiling * q0, job.ceiling * q1
+    if node.indices.size > cap0 + cap1:
         # An ancestor bisection could not satisfy its ceilings (e.g. a 1D
         # model facing an unsplittable dense line) and overloaded this
         # subproblem.  Proceed best-effort with proportionally relaxed
@@ -171,26 +246,162 @@ def _recurse(
         # ``partition`` reports via ``feasible=False``; aborting here
         # would be worse than finishing with the smallest achievable
         # imbalance (Mondriaan behaves the same way).
-        relaxed = max_allowed_part_size(indices.size, nparts, eps)
+        relaxed = max_allowed_part_size(node.indices.size, node.nparts, job.eps)
         cap0 = max(cap0, relaxed * q0)
         cap1 = max(cap1, relaxed * q1)
-    max_weights = (cap0, cap1)
     result = bipartition(
         sub,
-        method=method,
-        refine=refine,
-        config=cfg,
-        seed=rng,
-        max_weights=max_weights,
+        method=job.method,
+        refine=job.refine,
+        config=job.cfg,
+        seed=as_generator(child_sequence(job.root_seed, *node.path)),
+        max_weights=(cap0, cap1),
     )
-    volumes.append(result.volume)
-    left = indices[result.parts == 0]
-    right = indices[result.parts == 1]
-    _recurse(
-        matrix, left, first_part, q0, ceiling, eps, method, refine, cfg,
-        rng, out, volumes,
-    )
-    _recurse(
-        matrix, right, first_part + q0, q1, ceiling, eps, method, refine,
-        cfg, rng, out, volumes,
-    )
+    return result.parts, result.volume
+
+
+def _solve_serial(
+    matrix: SparseMatrix,
+    node: _Node,
+    job: _TreeJob,
+    out: np.ndarray,
+    volumes: dict,
+) -> None:
+    """Depth-first reference traversal; assigns parts ``node.first_part ..
+    first_part + nparts - 1`` to the nonzeros in ``node.indices``."""
+    if node.nparts == 1:
+        out[node.indices] = node.first_part
+        return
+    parts01, volume = _bisect_node(matrix, node, job)
+    volumes[node.path] = volume
+    left, right = node.children(parts01)
+    _solve_serial(matrix, left, job, out, volumes)
+    _solve_serial(matrix, right, job, out, volumes)
+
+
+def _bisect_remote(payload) -> tuple[np.ndarray, int]:
+    """Pool worker: one bisection of a shipped submatrix (the node arrives
+    index-free; the worker addresses the submatrix positionally)."""
+    sub, node, job = payload
+    local = _Node(node.path, np.arange(sub.nnz, dtype=np.int64), 0, node.nparts)
+    return _bisect_node(sub, local, job)
+
+
+def _subtree_remote(payload) -> tuple[np.ndarray, dict]:
+    """Pool worker: solve a whole subtree serially on a shipped submatrix.
+
+    ``node.path`` stays absolute so every descendant derives the same
+    seed stream it would in a single-process run; the returned parts are
+    relative (``0 .. node.nparts - 1``), the caller re-offsets them.
+    """
+    sub, node, job = payload
+    local = _Node(node.path, np.arange(sub.nnz, dtype=np.int64), 0, node.nparts)
+    out = np.zeros(sub.nnz, dtype=np.int64)
+    volumes: dict = {}
+    _solve_serial(sub, local, job, out, volumes)
+    return out, volumes
+
+
+#: The persistent worker pool (at most one, tagged with its size).  A
+#: p-way partitioning is often one call among many (a sweep, a service
+#: loop), so the fork/spawn cost of a fresh pool is paid once per process
+#: instead of once per call; workers are stateless between tasks (payloads
+#: are self-contained), so reuse cannot leak results across calls.  A call
+#: requesting a different ``jobs`` count retires the old pool first, so
+#: idle workers never accumulate across sizes.
+_POOL: tuple[int, ProcessPoolExecutor] | None = None
+
+
+def _pool_for(jobs: int) -> ProcessPoolExecutor:
+    """The shared executor for ``jobs`` workers (created/resized on use)."""
+    global _POOL
+    if _POOL is not None and _POOL[0] == jobs:
+        return _POOL[1]
+    if _POOL is not None:
+        _POOL[1].shutdown(wait=False)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    _POOL = (jobs, pool)
+    return pool
+
+
+def _drop_pool() -> None:
+    """Forget the cached pool (it is poisoned or being replaced)."""
+    global _POOL
+    _POOL = None
+
+
+def _solve_parallel(
+    matrix: SparseMatrix,
+    root: _Node,
+    job: _TreeJob,
+    jobs: int,
+    out: np.ndarray,
+    volumes: dict,
+) -> None:
+    """Scheduler for ``jobs >= 2``: frontier-widening rounds of concurrent
+    bisections, then one serial subtree per worker.
+
+    Because every node's randomness is position-keyed, the schedule has no
+    influence on the result — this produces exactly the partition of
+    :func:`_solve_serial`.
+    """
+    try:
+        _schedule_tree(matrix, root, job, _pool_for(jobs), jobs, out, volumes)
+    except BrokenProcessPool:
+        # A worker died (OOM, signal); drop the poisoned pool so the next
+        # call starts fresh instead of failing forever.
+        _drop_pool()
+        raise
+
+
+def _schedule_tree(
+    matrix: SparseMatrix,
+    root: _Node,
+    job: _TreeJob,
+    pool: ProcessPoolExecutor,
+    jobs: int,
+    out: np.ndarray,
+    volumes: dict,
+) -> None:
+    """Widen the frontier until every worker has a subtree, then dispatch."""
+    frontier: list[_Node] = [root]
+    while True:
+        splittable = [nd for nd in frontier if nd.nparts > 1]
+        if not splittable or len(splittable) >= jobs:
+            break
+        if len(splittable) == 1:
+            # A single bisection gains nothing from the pool; run it
+            # in-process and skip the submatrix round-trip.
+            results = [_bisect_node(matrix, splittable[0], job)]
+        else:
+            payloads = [
+                (matrix.select(nd.indices),
+                 _Node(nd.path, None, nd.first_part, nd.nparts), job)
+                for nd in splittable
+            ]
+            results = list(pool.map(_bisect_remote, payloads))
+        results_iter = iter(results)
+        widened: list[_Node] = []
+        for nd in frontier:
+            if nd.nparts == 1:
+                widened.append(nd)
+                continue
+            parts01, volume = next(results_iter)
+            volumes[nd.path] = volume
+            widened.extend(nd.children(parts01))
+        frontier = widened
+    subtrees = [nd for nd in frontier if nd.nparts > 1]
+    for nd in frontier:
+        if nd.nparts == 1:
+            out[nd.indices] = nd.first_part
+    if subtrees:
+        payloads = [
+            (matrix.select(nd.indices),
+             _Node(nd.path, None, nd.first_part, nd.nparts), job)
+            for nd in subtrees
+        ]
+        for nd, (local, vols) in zip(
+            subtrees, pool.map(_subtree_remote, payloads)
+        ):
+            out[nd.indices] = nd.first_part + local
+            volumes.update(vols)

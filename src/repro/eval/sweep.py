@@ -35,13 +35,13 @@ items:
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import EvaluationError
 from repro.sparse.collection import CollectionEntry, load_instance
+from repro.utils.parallel import resolve_jobs as _resolve_jobs
 from repro.utils.rng import spawn_seeds
 
 __all__ = [
@@ -213,11 +213,7 @@ def _chunk_by_instance(specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
 
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``jobs`` request: ``None``/``0`` means the CPU count."""
-    if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise EvaluationError(f"jobs must be positive, got {jobs}")
-    return jobs
+    return _resolve_jobs(jobs, error=EvaluationError)
 
 
 def run_sweep(

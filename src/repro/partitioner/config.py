@@ -64,6 +64,15 @@ class PartitionerConfig:
         instance is also accepted (the benchmark harness injects frozen
         baselines this way).  Backends are bit-compatible, so this is a
         speed knob only.
+    jobs:
+        Default worker-process count for recursive bisection
+        (:func:`repro.core.recursive.partition`): ``1`` walks the
+        recursion tree serially, ``N >= 2`` schedules independent
+        subtrees on a process pool, ``0`` means one worker per CPU.
+        Like ``kernel_backend`` this is a speed knob only — the
+        partition is bit-identical for every value (each bisection's
+        randomness is keyed on its tree position).  An explicit
+        ``jobs=`` argument to ``partition`` overrides it.
     """
 
     name: str = "mondriaan"
@@ -79,6 +88,7 @@ class PartitionerConfig:
     fm_early_exit_frac: float = 0.22
     boundary_only: bool = False
     kernel_backend: str = "auto"
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.matching not in ("hcm", "absorption"):
@@ -103,6 +113,10 @@ class PartitionerConfig:
             raise PartitioningError("n_initial must be at least 1")
         if self.fm_max_passes < 1:
             raise PartitioningError("fm_max_passes must be at least 1")
+        if self.jobs < 0:
+            raise PartitioningError(
+                "jobs must be non-negative (0 = one worker per CPU)"
+            )
 
 
 PRESETS: dict[str, PartitionerConfig] = {

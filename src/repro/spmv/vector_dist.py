@@ -18,7 +18,9 @@ The incidence lists and the greedy loop itself run through
 :mod:`repro.kernels.spmv`: incidences come from the boolean-scatter
 group-by (no per-call lexsort), singleton lines are assigned vectorized,
 and only the cut lines go through the sequential greedy kernel (scalar
-reference or numba JIT, bit-identical by contract).
+reference or numba JIT, bit-identical by contract).  The ``equal=True``
+path applies the same split: forced zero-cost indices are assigned
+vectorized and only contended indices run through its greedy loop.
 """
 
 from __future__ import annotations
@@ -165,19 +167,45 @@ def _greedy_equal_owners(
     Choosing owner ``s`` for index ``j`` costs ``|P_j \\ {s}|`` fan-out
     sends plus ``|R_j \\ {s}|`` fan-in receives; any ``s`` in the
     intersection achieves the eqn-(3) minimum for that index.
+
+    Indices whose column and row sets union to a single part are *forced*
+    (the owner has no alternative) and *free* (both set differences are
+    empty, so they never touch the running loads) — they are assigned
+    vectorized, and only the contended indices go through the sequential
+    greedy loop, in index order.  Because the hoisted indices contribute
+    zero load, the loop sees the exact load sequence of the historical
+    all-indices loop: the result is bit-identical.
     """
     owners = np.full(extent, -1, dtype=np.int64)
-    load = [0] * nparts
-    for j in range(extent):
-        cols = set(col_flat[col_ptr[j] : col_ptr[j + 1]].tolist())
-        rows = set(row_flat[row_ptr[j] : row_ptr[j + 1]].tolist())
-        both = cols & rows
-        candidates = both or (cols | rows)
-        if not candidates:
-            continue
-        s = min(candidates, key=lambda p: (load[p], p))
-        owners[j] = s
-        load[s] += len(cols - {s}) + len(rows - {s})
+    col_lam = np.diff(col_ptr)
+    row_lam = np.diff(row_ptr)
+    col_single = col_lam == 1
+    row_single = row_lam == 1
+    first_col = np.full(extent, -1, dtype=np.int64)
+    first_col[col_single] = col_flat[col_ptr[:-1][col_single]]
+    first_row = np.full(extent, -1, dtype=np.int64)
+    first_row[row_single] = row_flat[row_ptr[:-1][row_single]]
+    forced = (
+        (col_single & (row_lam == 0))
+        | (row_single & (col_lam == 0))
+        | (col_single & row_single & (first_col == first_row))
+    )
+    owners[forced] = np.where(
+        col_single[forced], first_col[forced], first_row[forced]
+    )
+    contended = np.flatnonzero(~forced & (col_lam + row_lam > 0))
+    if contended.size:
+        load = [0] * nparts
+        col_ptr_l = col_ptr.tolist()
+        row_ptr_l = row_ptr.tolist()
+        for j in contended.tolist():
+            cols = set(col_flat[col_ptr_l[j] : col_ptr_l[j + 1]].tolist())
+            rows = set(row_flat[row_ptr_l[j] : row_ptr_l[j + 1]].tolist())
+            both = cols & rows
+            candidates = both or (cols | rows)
+            s = min(candidates, key=lambda p: (load[p], p))
+            owners[j] = s
+            load[s] += len(cols - {s}) + len(rows - {s})
     empty = owners < 0
     if empty.any():
         idx = np.flatnonzero(empty)

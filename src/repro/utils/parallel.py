@@ -1,0 +1,30 @@
+"""Shared helpers for process-parallel execution.
+
+Two subsystems run work on a :class:`~concurrent.futures.ProcessPoolExecutor`
+— the sweep engine (:mod:`repro.eval.sweep`, parallel *across* runs) and
+recursive bisection (:mod:`repro.core.recursive`, parallel *within* one
+p-way partitioning).  Both accept the same ``jobs`` convention, normalized
+here: ``1`` is serial, ``N >= 2`` uses ``N`` worker processes, and
+``None``/``0`` means "one worker per CPU".
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None, *, error: type = ValueError) -> int:
+    """Normalize a ``jobs`` request: ``None``/``0`` means the CPU count.
+
+    ``error`` is the exception type raised on a negative request, so each
+    subsystem reports the failure in its own error family.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise error(
+            f"jobs must be non-negative (0 = one worker per CPU), got {jobs}"
+        )
+    return int(jobs)

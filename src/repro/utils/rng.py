@@ -5,6 +5,15 @@ be ``None``, an integer, or a :class:`numpy.random.Generator`, and converts it
 through :func:`as_generator`.  Experiments that need many independent streams
 derive child seeds with :func:`spawn_seeds` so that runs are reproducible and
 independent of execution order.
+
+Tree-structured computations (recursive bisection) need one independent
+stream *per node* whose identity depends only on the node's position, never
+on traversal order — otherwise a parallel traversal could not reproduce the
+serial result.  :func:`as_seed_sequence` normalizes a seed into a root
+:class:`numpy.random.SeedSequence` and :func:`child_sequence` derives the
+child at any tree path statelessly: ``child_sequence(root, 0, 1)`` is the
+right child of the left child of the root, identical to
+``root.spawn(...)``'s spawn-key scheme but without mutating spawn counters.
 """
 
 from __future__ import annotations
@@ -13,7 +22,13 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_seeds", "SeedLike"]
+__all__ = [
+    "as_generator",
+    "as_seed_sequence",
+    "child_sequence",
+    "spawn_seeds",
+    "SeedLike",
+]
 
 SeedLike = Union[None, int, np.integer, np.random.Generator, np.random.SeedSequence]
 
@@ -39,6 +54,57 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
             raise ValueError(f"seed must be non-negative, got {seed}")
         return np.random.default_rng(int(seed))
     raise TypeError(f"cannot interpret {type(seed).__name__} as a random seed")
+
+
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Normalize ``seed`` into a root :class:`numpy.random.SeedSequence`.
+
+    Integers and existing sequences map deterministically; ``None`` draws
+    fresh OS entropy.  A live ``Generator`` is consumed *exactly once* (one
+    63-bit draw seeds the root), so the caller's stream advances by a single
+    value regardless of how many children are later derived from the root.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(
+            int(seed.integers(0, 2**63 - 1, dtype=np.int64))
+        )
+    if seed is None:
+        return np.random.SeedSequence()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.SeedSequence(int(seed))
+    raise TypeError(f"cannot interpret {type(seed).__name__} as a random seed")
+
+
+def child_sequence(
+    parent: np.random.SeedSequence, *path: int
+) -> np.random.SeedSequence:
+    """The child sequence at ``path`` below ``parent``, statelessly.
+
+    ``SeedSequence.spawn`` appends the child's index to the parent's
+    ``spawn_key`` but tracks a mutable spawn counter; this reimplements the
+    same derivation as a pure function of the position, so any process can
+    reconstruct any node's stream from the root alone:
+
+    >>> import numpy as np
+    >>> root = np.random.SeedSequence(42)
+    >>> spawned = np.random.SeedSequence(42).spawn(2)[1]
+    >>> derived = child_sequence(root, 1)
+    >>> bool((derived.generate_state(4) == spawned.generate_state(4)).all())
+    True
+
+    An empty path returns ``parent`` itself.
+    """
+    if not path:
+        return parent
+    return np.random.SeedSequence(
+        entropy=parent.entropy,
+        spawn_key=tuple(parent.spawn_key) + tuple(int(i) for i in path),
+        pool_size=parent.pool_size,
+    )
 
 
 def spawn_seeds(seed: SeedLike, n: int) -> list[int]:

@@ -61,11 +61,16 @@ def test_bipartition_volumes_pinned(instance, method, refine):
 
 
 def test_recursive_p8_pinned():
+    """Pinned under the position-keyed seed streams: every bisection
+    derives its RNG from the node's tree path (the scheme that makes the
+    parallel recursion bit-identical to serial), so this value is stable
+    for every ``jobs``.  Regenerated when that scheme replaced the
+    traversal-order stream (previously (110, 152))."""
     matrix = load_instance("sym_grid2d_s")
     result = partition(
         matrix, 8, method="mediumgrain", refine=True, seed=SEED
     )
-    assert (result.volume, result.max_part) == (110, 152)
+    assert (result.volume, result.max_part) == (107, 153)
 
 
 def test_initial_split_pinned():
