@@ -3,7 +3,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-numba bench-regress bench-regress-update bench \
-        bench-e2e bench-e2e-update install-numba
+        bench-e2e bench-e2e-update bench-e2e-smoke install-numba
 
 # Tier-1 verification: the fast test suite (bench marker deselected).
 test:
@@ -38,6 +38,12 @@ bench-e2e:
 # baseline) and rewrite BENCH_e2e.json (commit the result).
 bench-e2e-update:
 	$(PYTHON) -m benchmarks.bench_e2e
+
+# CI smoke for the execution layer: tiny instances, every kernel x
+# execution backend with --jobs 2, gated on completion + bit-identity
+# only (never on wall clock — CI runners are noisy).
+bench-e2e-smoke:
+	$(PYTHON) -m benchmarks.bench_e2e --smoke --jobs 2
 
 # The full pytest-benchmark micro-bench suite (slow, informational).
 bench:

@@ -38,6 +38,7 @@ from repro.core.methods import METHOD_NAMES, bipartition
 from repro.core.recursive import partition
 from repro.eval import experiments as exp
 from repro.kernels import BACKEND_CHOICES, resolve_backend
+from repro.utils.executor import EXEC_BACKEND_CHOICES, JobsBudget
 from repro.partitioner.config import get_config
 from repro.sparse.collection import collection_names, load_instance
 from repro.sparse.io_mm import read_matrix_market
@@ -88,9 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help=(
-            "worker processes for recursive bisection when --nparts > 2 "
+            "workers for recursive bisection when --nparts > 2 "
             "(1 = serial, 0 = CPU count); the partition is bit-identical "
             "to the serial one, only faster"
+        ),
+    )
+    p_part.add_argument(
+        "--exec-backend",
+        default="auto",
+        choices=EXEC_BACKEND_CHOICES,
+        help=(
+            "how parallel bisection workers run and receive submatrices: "
+            "threads over the nogil kernels, shared-memory worker "
+            "processes, or the legacy pickled-payload pool (auto picks "
+            "per environment; results are identical)"
         ),
     )
     p_part.add_argument("--seed", type=int, default=None)
@@ -124,8 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help=(
-            "worker processes for the sweep (1 = serial, 0 = CPU count); "
-            "results are bit-identical to the serial sweep, only faster"
+            "total worker budget for the sweep (1 = serial, 0 = CPU "
+            "count), split automatically between sweep-level and "
+            "recursion-level parallelism for p-way artifacts; results "
+            "are bit-identical to the serial sweep, only faster"
         ),
     )
     p_exp.add_argument(
@@ -151,7 +165,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     print(f"matrix {name}: {matrix.nrows} x {matrix.ncols}, "
           f"nnz = {matrix.nnz}")
     cfg = dataclasses.replace(
-        get_config(args.config), kernel_backend=args.backend, jobs=args.jobs
+        get_config(args.config),
+        kernel_backend=args.backend,
+        jobs=args.jobs,
+        exec_backend=args.exec_backend,
     )
     print(f"kernel backend    : {resolve_backend(args.backend).name} "
           f"(requested: {args.backend})")
@@ -222,6 +239,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     out = Path(args.out)
     wanted = args.artifact
+    # One composable budget for the whole run: the sweep engine splits it
+    # between sweep-level workers and the recursion workers inside the
+    # p = 64 artifacts, so nested parallelism never oversubscribes.
+    args.jobs = JobsBudget.resolve(args.jobs) if args.jobs != 1 else 1
     reports: list[exp.ExperimentReport] = []
     if wanted in ("fig3", "all"):
         reports.append(exp.run_fig3_demo())

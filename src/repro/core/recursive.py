@@ -30,20 +30,24 @@ or scheduled across a worker pool in any order.
 Parallel execution
 ------------------
 ``partition(..., jobs=N)`` (or :attr:`PartitionerConfig.jobs`) runs the
-tree on a :class:`~concurrent.futures.ProcessPoolExecutor`, mirroring the
-sweep engine's knob (``jobs=1`` serial, ``0``/``None`` = CPU count).  The
-scheduler widens the frontier with rounds of concurrent bisections until
-there are at least ``jobs`` independent subtrees, then hands each worker a
-whole subtree to solve serially — within a worker the usual per-object
-caches (``FMPassState`` per hypergraph, ``SpMVState`` per matrix) are
-reused across that subtree's bisections exactly as in a serial run.  The
-partition returned is **bit-identical** for every ``jobs`` value.
+tree on the shared execution layer (:mod:`repro.utils.executor`),
+mirroring the sweep engine's knob (``jobs=1`` serial, ``0``/``None`` =
+CPU count).  The scheduler widens the frontier with rounds of concurrent
+bisections until there are at least ``jobs`` independent subtrees, then
+hands each worker a whole subtree to solve serially — within a worker
+the usual per-object caches (``FMPassState`` per hypergraph,
+``SpMVState`` per matrix) are reused across that subtree's bisections
+exactly as in a serial run.  How a worker *receives* its subproblem is
+the ``exec_backend`` knob: threads share the matrix in-process (the
+numba kernels run ``nogil``), the default process backend publishes the
+matrix once to a shared-memory store and ships only index ranges, and
+the legacy ``"process-pickle"`` backend pickles whole submatrices.  The
+partition returned is **bit-identical** for every ``jobs`` value and
+every backend.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 import numpy as np
 
@@ -57,6 +61,7 @@ from repro.errors import PartitioningError
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.balance import max_allowed_part_size
+from repro.utils.executor import MatrixExecutor, resolve_exec_backend
 from repro.utils.parallel import resolve_jobs
 from repro.utils.rng import (
     SeedLike,
@@ -151,6 +156,7 @@ def partition(
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
     jobs: int | None = None,
+    exec_backend: str | None = None,
 ) -> PartitionResult:
     """Partition the nonzeros of ``matrix`` into ``nparts`` parts by
     recursive bisection.
@@ -166,6 +172,13 @@ def partition(
     :attr:`~repro.partitioner.config.PartitionerConfig.jobs`).  The result
     is bit-identical for every ``jobs`` value: each bisection's randomness
     is keyed on its tree position, not on traversal order.
+
+    ``exec_backend`` picks how those workers run and receive their
+    submatrices (threads / shared-memory processes / pickled-payload
+    processes; ``None`` = the config's
+    :attr:`~repro.partitioner.config.PartitionerConfig.exec_backend`,
+    whose ``"auto"`` default resolves per environment).  Also a pure
+    speed knob — every backend returns the identical partition.
     """
     nparts = check_pos_int(nparts, "nparts")
     check_eps(eps)
@@ -173,6 +186,15 @@ def partition(
     if jobs is None:
         jobs = cfg.jobs
     jobs = resolve_jobs(jobs, error=PartitioningError)
+    if exec_backend is None:
+        exec_backend = cfg.exec_backend
+    try:
+        # Validate (and resolve "auto") up front, on every path — a typo
+        # must fail loudly even when jobs=1 never reaches the pool, and
+        # in this module's error family.
+        exec_backend = resolve_exec_backend(exec_backend)
+    except ValueError as exc:
+        raise PartitioningError(str(exc)) from None
     root_seed = as_seed_sequence(seed)
     n = matrix.nnz
     if nparts > max(n, 1):
@@ -194,7 +216,9 @@ def partition(
             # With fewer than 4 parts at most one bisection can ever be
             # in flight, so a pool would only add process overhead.
             if jobs >= 2 and nparts >= 4:
-                _solve_parallel(matrix, root, job, jobs, parts, volumes)
+                _solve_parallel(
+                    matrix, root, job, jobs, exec_backend, parts, volumes
+                )
             else:
                 _solve_serial(matrix, root, job, parts, volumes)
 
@@ -279,55 +303,40 @@ def _solve_serial(
     _solve_serial(matrix, right, job, out, volumes)
 
 
-def _bisect_remote(payload) -> tuple[np.ndarray, int]:
-    """Pool worker: one bisection of a shipped submatrix (the node arrives
-    index-free; the worker addresses the submatrix positionally)."""
-    sub, node, job = payload
-    local = _Node(node.path, np.arange(sub.nnz, dtype=np.int64), 0, node.nparts)
+def _bisect_task(sub: SparseMatrix, extra) -> tuple[np.ndarray, int]:
+    """Executor task: one bisection of a delivered submatrix (the node
+    arrives index-free; the worker addresses the submatrix positionally).
+    """
+    path, nparts, job = extra
+    local = _Node(path, np.arange(sub.nnz, dtype=np.int64), 0, nparts)
     return _bisect_node(sub, local, job)
 
 
-def _subtree_remote(payload) -> tuple[np.ndarray, dict]:
-    """Pool worker: solve a whole subtree serially on a shipped submatrix.
+def _subtree_task(sub: SparseMatrix, extra) -> tuple[np.ndarray, dict]:
+    """Executor task: solve a whole subtree serially on a delivered
+    submatrix.
 
-    ``node.path`` stays absolute so every descendant derives the same
-    seed stream it would in a single-process run; the returned parts are
-    relative (``0 .. node.nparts - 1``), the caller re-offsets them.
+    ``path`` stays absolute so every descendant derives the same seed
+    stream it would in a single-process run; the returned parts are
+    relative (``0 .. nparts - 1``), the caller re-offsets them.
     """
-    sub, node, job = payload
-    local = _Node(node.path, np.arange(sub.nnz, dtype=np.int64), 0, node.nparts)
+    path, nparts, job = extra
+    local = _Node(path, np.arange(sub.nnz, dtype=np.int64), 0, nparts)
     out = np.zeros(sub.nnz, dtype=np.int64)
     volumes: dict = {}
     _solve_serial(sub, local, job, out, volumes)
     return out, volumes
 
 
-#: The persistent worker pool (at most one, tagged with its size).  A
-#: p-way partitioning is often one call among many (a sweep, a service
-#: loop), so the fork/spawn cost of a fresh pool is paid once per process
-#: instead of once per call; workers are stateless between tasks (payloads
-#: are self-contained), so reuse cannot leak results across calls.  A call
-#: requesting a different ``jobs`` count retires the old pool first, so
-#: idle workers never accumulate across sizes.
-_POOL: tuple[int, ProcessPoolExecutor] | None = None
+def _node_task(matrix: SparseMatrix, nd: _Node, job: _TreeJob):
+    """The executor ``(indices, extra)`` item for one node.
 
-
-def _pool_for(jobs: int) -> ProcessPoolExecutor:
-    """The shared executor for ``jobs`` workers (created/resized on use)."""
-    global _POOL
-    if _POOL is not None and _POOL[0] == jobs:
-        return _POOL[1]
-    if _POOL is not None:
-        _POOL[1].shutdown(wait=False)
-    pool = ProcessPoolExecutor(max_workers=jobs)
-    _POOL = (jobs, pool)
-    return pool
-
-
-def _drop_pool() -> None:
-    """Forget the cached pool (it is poisoned or being replaced)."""
-    global _POOL
-    _POOL = None
+    The root node (all nonzeros) ships ``None`` so no index array — and
+    under the shared-memory backend no nonzero data at all — crosses the
+    worker boundary.
+    """
+    indices = None if nd.indices.size == matrix.nnz else nd.indices
+    return (indices, (nd.path, nd.nparts, job))
 
 
 def _solve_parallel(
@@ -335,6 +344,7 @@ def _solve_parallel(
     root: _Node,
     job: _TreeJob,
     jobs: int,
+    exec_backend: str,
     out: np.ndarray,
     volumes: dict,
 ) -> None:
@@ -343,43 +353,32 @@ def _solve_parallel(
 
     Because every node's randomness is position-keyed, the schedule has no
     influence on the result — this produces exactly the partition of
-    :func:`_solve_serial`.
+    :func:`_solve_serial` under every execution backend.
     """
-    try:
-        _schedule_tree(matrix, root, job, _pool_for(jobs), jobs, out, volumes)
-    except BrokenProcessPool:
-        # A worker died (OOM, signal); drop the poisoned pool so the next
-        # call starts fresh instead of failing forever.
-        _drop_pool()
-        raise
+    with MatrixExecutor(matrix, jobs, exec_backend) as ex:
+        _schedule_tree(ex, root, job, jobs, out, volumes)
 
 
 def _schedule_tree(
-    matrix: SparseMatrix,
+    ex: MatrixExecutor,
     root: _Node,
     job: _TreeJob,
-    pool: ProcessPoolExecutor,
     jobs: int,
     out: np.ndarray,
     volumes: dict,
 ) -> None:
     """Widen the frontier until every worker has a subtree, then dispatch."""
+    matrix = ex.matrix
     frontier: list[_Node] = [root]
     while True:
         splittable = [nd for nd in frontier if nd.nparts > 1]
         if not splittable or len(splittable) >= jobs:
             break
-        if len(splittable) == 1:
-            # A single bisection gains nothing from the pool; run it
-            # in-process and skip the submatrix round-trip.
-            results = [_bisect_node(matrix, splittable[0], job)]
-        else:
-            payloads = [
-                (matrix.select(nd.indices),
-                 _Node(nd.path, None, nd.first_part, nd.nparts), job)
-                for nd in splittable
-            ]
-            results = list(pool.map(_bisect_remote, payloads))
+        # (A single bisection runs inline — the executor short-circuits
+        # one-task maps — so the round-trip is skipped automatically.)
+        results = ex.map(
+            _bisect_task, [_node_task(matrix, nd, job) for nd in splittable]
+        )
         results_iter = iter(results)
         widened: list[_Node] = []
         for nd in frontier:
@@ -395,13 +394,9 @@ def _schedule_tree(
         if nd.nparts == 1:
             out[nd.indices] = nd.first_part
     if subtrees:
-        payloads = [
-            (matrix.select(nd.indices),
-             _Node(nd.path, None, nd.first_part, nd.nparts), job)
-            for nd in subtrees
-        ]
-        for nd, (local, vols) in zip(
-            subtrees, pool.map(_subtree_remote, payloads)
-        ):
+        results = ex.map(
+            _subtree_task, [_node_task(matrix, nd, job) for nd in subtrees]
+        )
+        for nd, (local, vols) in zip(subtrees, results):
             out[nd.indices] = nd.first_part + local
             volumes.update(vols)

@@ -87,6 +87,7 @@ def iterative_refine(
     start_direction: int = 0,
     alternate: bool = True,
     backend: KernelBackend | None = None,
+    initial_volume: int | None = None,
 ) -> tuple[np.ndarray, RefinementTrace]:
     """Iteratively refine a bipartitioning (Algorithm 2).
 
@@ -118,6 +119,12 @@ def iterative_refine(
     backend:
         Pre-resolved kernel backend shared by all KL runs; defaults to
         ``config.kernel_backend``.
+    initial_volume:
+        The communication volume of ``parts``, when the caller already
+        knows it (a multilevel run's connectivity-1 cut *is* the matrix
+        volume by eqn (6), so e.g. the full iterative method hands it
+        down instead of paying one redundant volume evaluation per
+        iteration).  ``None`` computes it.
 
     Returns
     -------
@@ -142,7 +149,9 @@ def iterative_refine(
     if backend is None:
         backend = resolve_backend(cfg.kernel_backend)
     trace = RefinementTrace()
-    volumes = [communication_volume(matrix, parts)]
+    if initial_volume is None:
+        initial_volume = communication_volume(matrix, parts)
+    volumes = [int(initial_volume)]
     direction = start_direction
     k = 1
     while k <= max_iterations:

@@ -148,7 +148,7 @@ def collect_paper_runs(
     with_bsp: bool = False,
     min_nnz: int = 0,
     progress: bool = False,
-    jobs: int | None = 1,
+    jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
 ) -> ExperimentData:
     """Run (and memoize) the six-method sweep used by several artifacts.

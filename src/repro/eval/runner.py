@@ -162,7 +162,7 @@ def run_methods(
     base_seed: int = 2014,
     with_bsp: bool = False,
     progress: bool = False,
-    jobs: int | None = 1,
+    jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
 ) -> ExperimentData:
     """Run the paper's protocol over a set of collection entries.
@@ -190,8 +190,12 @@ def run_methods(
         Print one line per instance (useful for the long benches).
     jobs:
         Worker processes; 1 (default) runs serially in this process,
-        ``None``/0 uses the CPU count.  Results are bit-identical to the
-        serial sweep apart from the measured ``seconds``.
+        ``None``/0 uses the CPU count.  A
+        :class:`~repro.utils.executor.JobsBudget` splits its total
+        between sweep-level workers and recursion-level workers inside
+        each p-way run (no nested-pool oversubscription).  Results are
+        bit-identical to the serial sweep apart from the measured
+        ``seconds``.
     backend:
         Kernel backend for the hot loops (``"auto"`` / ``"python"`` /
         ``"numba"``); bit-compatible, so a speed knob only.

@@ -16,16 +16,23 @@ items:
     results are a pure function of its inputs regardless of ``jobs``.
 :func:`run_sweep`
     Streams :class:`~repro.eval.runner.RunRecord` results in spec
-    order.  ``jobs=1`` executes inline (the reference path);
-    ``jobs>=2`` dispatches chunks to a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  Chunks follow
-    instance boundaries so each worker's matrix cache
-    (:func:`~repro.sparse.collection.load_instance` is memoized per
-    process, and the kernel/SpMV states hang off the cached objects)
+    order.  ``jobs=1`` executes inline (the reference path); ``jobs>=2``
+    dispatches chunks to the shared execution layer's persistent worker
+    pool (:func:`repro.utils.executor.process_pool` — the same pool
+    recursive bisection schedules its tree on, shut down once via
+    atexit).  Chunks follow instance boundaries so each worker's matrix
+    cache (:func:`~repro.sparse.collection.load_instance` is memoized
+    per process, and the kernel/SpMV states hang off the cached objects)
     stays hot for a whole instance.  Because every record is determined
     by its spec alone, the parallel sweep is **bit-identical** to the
     serial one — same seeds, volumes, feasibility, BSP costs, and
     ordering — apart from the measured wall-clock ``seconds``.
+
+    ``jobs`` also accepts a :class:`~repro.utils.executor.JobsBudget`:
+    the total is then *split* between sweep-level workers and the
+    recursion-level workers inside each p-way run (``outer * inner <=
+    total``), so ``experiment --jobs N`` composes across both levels
+    instead of oversubscribing with nested pools.
 :class:`SweepAggregator`
     Incremental aggregation: per-(method, instance) running sums of
     volume/seconds/BSP cost.  Consuming the stream through an
@@ -35,12 +42,14 @@ items:
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import dataclasses
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import EvaluationError
 from repro.sparse.collection import CollectionEntry, load_instance
+from repro.utils.executor import JobsBudget, drop_process_pool, pool_map
 from repro.utils.parallel import resolve_jobs as _resolve_jobs
 from repro.utils.rng import spawn_seeds
 
@@ -81,6 +90,11 @@ class RunSpec:
     #: volume cross-checked against the partitioner's.  This is the
     #: "whole pipeline" the end-to-end benchmark times.
     verify_spmv: bool = False
+    #: Recursion-level worker count *inside* this run (p-way runs only;
+    #: a bipartitioning has no inner parallelism).  Set by the sweep's
+    #: :class:`~repro.utils.executor.JobsBudget` split — a speed knob
+    #: only, the record is bit-identical for every value.
+    jobs: int = 1
 
 
 def build_runspecs(
@@ -168,6 +182,7 @@ def execute_runspec(spec: RunSpec):
             refine=spec.refine,
             config=cfg,
             seed=spec.seed,
+            jobs=spec.jobs,
         )
     bsp = None
     if spec.with_bsp:
@@ -219,19 +234,49 @@ def resolve_jobs(jobs: int | None) -> int:
 def run_sweep(
     specs: Sequence[RunSpec],
     *,
-    jobs: int | None = 1,
+    jobs: "int | None | JobsBudget" = 1,
+    exec_backend: str = "process",
     progress: bool = False,
 ) -> Iterator:
     """Execute specs and yield their records in spec order.
 
     ``jobs=1`` runs inline; ``jobs>=2`` dispatches instance-aligned
-    chunks to a process pool (splitting down to per-run items when there
-    are fewer instances than workers), streaming chunk results as they
-    complete (``ProcessPoolExecutor.map`` preserves submission order).
-    Records are bit-identical across ``jobs`` values except for the
-    measured ``seconds``.
+    chunks to the shared persistent worker pool (splitting down to
+    per-run items when there are fewer instances than workers),
+    streaming chunk results as they complete (``map`` preserves
+    submission order).  A :class:`~repro.utils.executor.JobsBudget`
+    instead *splits* its total between sweep workers and the recursion
+    workers inside each p-way run — chunks then stay instance-aligned
+    and the remainder of the budget is handed down via ``RunSpec.jobs``.
+    Records are bit-identical across every ``jobs`` value and backend
+    except for the measured ``seconds``.
+
+    ``exec_backend`` selects the worker flavour: ``"process"`` (the
+    default — sweeps are dominated by per-run Python orchestration, so
+    processes sidestep the GIL) or ``"thread"`` (in-process workers;
+    chunks never split below instance boundaries there, so concurrent
+    threads never share one instance's cached kernel states).
     """
-    jobs = resolve_jobs(jobs)
+    if exec_backend not in ("process", "thread"):
+        raise EvaluationError(
+            f"run_sweep exec_backend must be 'process' or 'thread', "
+            f"got {exec_backend!r}"
+        )
+    inner = None
+    if isinstance(jobs, JobsBudget):
+        budget = jobs
+        chunks = _chunk_by_instance(specs)
+        workers, inner = budget.split(len(chunks))
+        if inner > 1:
+            chunks = [
+                [dataclasses.replace(spec, jobs=inner) for spec in chunk]
+                for chunk in chunks
+            ]
+            specs = [spec for chunk in chunks for spec in chunk]
+        jobs = workers
+    else:
+        jobs = resolve_jobs(jobs)
+        chunks = None
     if jobs == 1 or len(specs) <= 1:
         last = None
         for spec in specs:
@@ -240,19 +285,28 @@ def run_sweep(
                 last = spec.instance
             yield execute_runspec(spec)
         return
-    chunks = _chunk_by_instance(specs)
-    if len(chunks) < jobs:
+    if chunks is None:
+        chunks = _chunk_by_instance(specs)
+    if len(chunks) < jobs and inner is None and exec_backend != "thread":
         # Fewer instances than workers (e.g. many seeds of one matrix):
         # instance-aligned chunks would leave workers idle, so fall back
         # to per-run items — cache locality matters less than an empty
-        # pool.
+        # pool.  (Not under a budget — the leftover went to the inner
+        # level — and not under threads, where two workers sharing one
+        # instance would share its cached kernel states.)
         chunks = [[spec] for spec in specs]
     workers = min(jobs, len(chunks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for chunk, records in zip(chunks, pool.map(_execute_chunk, chunks)):
+    results = pool_map(exec_backend, workers, _execute_chunk, chunks)
+    try:
+        for chunk, records in zip(chunks, results):
             if progress:  # pragma: no cover - console side effect
                 print(f"[sweep] {chunk[0].instance}", flush=True)
             yield from records
+    except BrokenProcessPool:
+        # A worker died; forget the poisoned pool so the next sweep
+        # starts fresh instead of failing forever.
+        drop_process_pool()
+        raise
 
 
 @dataclass

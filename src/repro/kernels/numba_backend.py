@@ -7,7 +7,11 @@ matching scores and balance metrics — so for a fixed hypergraph and seed
 the two backends return bit-identical partitions and matchings (the RNG
 is consumed *outside* the kernels, by the shared orchestration code).
 The first call per signature pays JIT compilation; kernels are cached on
-disk (``cache=True``) so subsequent processes start warm.
+disk (``cache=True``) so subsequent processes start warm.  Every kernel
+is also compiled ``nogil=True``: the loops touch only flat arrays, so
+they release the GIL and the execution layer's thread backend
+(:mod:`repro.utils.executor`) genuinely overlaps independent bisections
+in one address space.
 
 When numba is not installed the module still imports — ``njit`` degrades
 to an identity decorator — so the flat-array kernels stay testable (the
@@ -45,7 +49,7 @@ from repro.kernels.state import FMPassState, compute_fm_setup
 __all__ = ["NumbaBackend", "NUMBA_JIT"]
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _bucket_insert(head, nxt, prv, inside, maxptr, bgain, offset, u, su):
     """File free vertex ``u`` (on side ``su``) at the head of its bucket."""
     b = bgain[u] + offset
@@ -60,7 +64,7 @@ def _bucket_insert(head, nxt, prv, inside, maxptr, bgain, offset, u, su):
         maxptr[su] = b
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _bucket_remove(head, nxt, prv, inside, bgain, offset, u, su):
     """Unlink vertex ``u`` from its bucket on side ``su``."""
     if not inside[u]:
@@ -76,7 +80,7 @@ def _bucket_remove(head, nxt, prv, inside, bgain, offset, u, su):
     inside[u] = False
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _gain_touch(
     head, nxt, prv, inside, locked, maxptr, bgain, parts, offset, u, delta
 ):
@@ -111,7 +115,7 @@ def _gain_touch(
             )
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _best_movable(head, nxt, maxptr, vwgt, s, room):
     """Highest-gain vertex on side ``s`` with ``vwgt[v] <= room``.
 
@@ -133,7 +137,7 @@ def _best_movable(head, nxt, maxptr, vwgt, s, room):
     return -1
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _balance_metric(w0, w1, maxw0, maxw1):
     """max of the per-side weight/ceiling ratios (ceiling 0 -> 0/1 flag)."""
     if maxw0 != 0:
@@ -147,7 +151,7 @@ def _balance_metric(w0, w1, maxw0, maxw1):
     return max(m0, m1)
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _fm_move_loop(
     xpins,
     pins,
@@ -346,7 +350,7 @@ def _fm_move_loop(
     return best_cum, True
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _match_loop(
     xpins,
     pins,
@@ -416,7 +420,7 @@ def _match_loop(
                 match[best_u] = v
 
 
-@njit(cache=True)
+@njit(cache=True, nogil=True)
 def _greedy_owner_loop(ptr, flat, lines, nparts, owners):
     """Greedy owner assignment over the cut lines, in the given order.
 

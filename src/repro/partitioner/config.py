@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.errors import PartitioningError
 from repro.kernels import BACKEND_CHOICES, KernelBackend
+from repro.utils.executor import EXEC_BACKEND_CHOICES
 
 __all__ = ["PartitionerConfig", "get_config", "PRESETS"]
 
@@ -73,6 +74,14 @@ class PartitionerConfig:
         partition is bit-identical for every value (each bisection's
         randomness is keyed on its tree position).  An explicit
         ``jobs=`` argument to ``partition`` overrides it.
+    exec_backend:
+        How parallel bisection workers execute and receive their
+        submatrices (see :mod:`repro.utils.executor`): ``"auto"``
+        (threads over the nogil numba kernels when numba is installed,
+        shared-memory worker processes otherwise), ``"thread"``,
+        ``"process"`` (shared-memory store), ``"process-pickle"`` (the
+        legacy pickled-payload pool), or ``"serial"``.  Bit-identical by
+        contract — a delivery knob only.
     """
 
     name: str = "mondriaan"
@@ -89,6 +98,7 @@ class PartitionerConfig:
     boundary_only: bool = False
     kernel_backend: str = "auto"
     jobs: int = 1
+    exec_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.matching not in ("hcm", "absorption"):
@@ -116,6 +126,11 @@ class PartitionerConfig:
         if self.jobs < 0:
             raise PartitioningError(
                 "jobs must be non-negative (0 = one worker per CPU)"
+            )
+        if self.exec_backend not in EXEC_BACKEND_CHOICES:
+            raise PartitioningError(
+                f"unknown execution backend {self.exec_backend!r}; "
+                f"expected one of {EXEC_BACKEND_CHOICES}"
             )
 
 

@@ -258,6 +258,33 @@ class SparseMatrix:
     # Constructors / converters
     # ------------------------------------------------------------------ #
     @classmethod
+    def from_canonical(
+        cls,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> "SparseMatrix":
+        """Trusted zero-copy constructor for *already canonical* arrays.
+
+        Skips validation, the lexsort, and duplicate merging, and does
+        not copy: the given arrays (typically views of a shared-memory
+        segment, see :class:`repro.utils.executor.MatrixHandle`) are
+        marked read-only and adopted directly.  The caller guarantees the
+        canonical invariant — ``(row, col)`` strictly lexicographically
+        increasing, indices in range, matching dtypes/lengths; arrays
+        that came out of another :class:`SparseMatrix` satisfy it by
+        construction.
+        """
+        self = object.__new__(cls)
+        self._shape = tuple(shape)
+        self._rows = _readonly(rows)
+        self._cols = _readonly(cols)
+        self._vals = _readonly(vals)
+        self._cache = {}
+        return self
+
+    @classmethod
     def from_scipy(cls, a: sp.spmatrix | sp.sparray) -> "SparseMatrix":
         """Build from any SciPy sparse matrix/array (pattern + values)."""
         coo = sp.coo_matrix(a)
@@ -340,6 +367,15 @@ class SparseMatrix:
             idx = mask.astype(np.int64, copy=False)
             if idx.size and (idx.min() < 0 or idx.max() >= self.nnz):
                 raise SparseFormatError("index mask out of range")
+        if idx.size < 2 or bool((idx[1:] > idx[:-1]).all()):
+            # Strictly increasing indices (every boolean mask, and the
+            # index sets recursive bisection hands around) induce a
+            # submatrix that is canonical by construction — unique
+            # (row, col) pairs in lexicographic order — so the O(n log n)
+            # re-canonicalization of the constructor can be skipped.
+            return SparseMatrix.from_canonical(
+                self._shape, self._rows[idx], self._cols[idx], self._vals[idx]
+            )
         return SparseMatrix(
             self._shape, self._rows[idx], self._cols[idx], self._vals[idx]
         )

@@ -1,0 +1,698 @@
+"""Unified zero-copy execution layer for every parallel subsystem.
+
+Two subsystems run work concurrently — the sweep engine
+(:mod:`repro.eval.sweep`, parallel *across* runs) and recursive bisection
+(:mod:`repro.core.recursive`, parallel *within* one p-way partitioning).
+Before this layer existed each owned a private
+:class:`~concurrent.futures.ProcessPoolExecutor` and every bisection task
+pickled a full submatrix (rows + cols + vals, 24 bytes per nonzero) into
+its worker.  This module replaces both with one shared engine built from
+three pieces:
+
+Shared-memory matrix store
+    :class:`SharedMatrixStore` publishes a matrix's canonical flat arrays
+    **once** via :mod:`multiprocessing.shared_memory`; workers receive a
+    :class:`MatrixHandle` (a name plus the shape — a few dozen bytes) and
+    an index range instead of a pickled submatrix.  The handle attaches
+    zero-copy: the worker-side :class:`~repro.sparse.matrix.SparseMatrix`
+    views the shared segment directly through
+    :meth:`~repro.sparse.matrix.SparseMatrix.from_canonical`.
+
+Execution backends
+    :class:`MatrixExecutor` delivers ``(submatrix, extra)`` tasks to
+    workers under four interchangeable backends: ``"serial"`` (inline),
+    ``"thread"`` (a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+    — zero-copy by construction; the numba kernels are compiled with
+    ``nogil=True`` so threads genuinely overlap in the hot loops),
+    ``"process"`` (process pool + shared-memory store), and
+    ``"process-pickle"`` (the legacy pickled-payload pool, kept as the
+    fallback and the benchmark baseline).  ``"auto"`` picks ``"thread"``
+    when the numba JIT is importable and ``"process"`` otherwise.  All
+    backends are bit-identical by construction: they only change how a
+    task's inputs travel, never what the task computes.
+
+Jobs budget
+    :class:`JobsBudget` makes one ``--jobs N`` composable across nesting
+    levels: ``budget.split(n_outer)`` divides the total between
+    outer-level workers (sweep chunks) and inner-level workers (the
+    recursion tree inside each run) so ``outer * inner <= total`` —
+    nested pools can no longer oversubscribe the machine.
+
+The worker pools are persistent (fork/spawn cost paid once per process,
+not once per call) and shut down exactly once through exit hooks that
+cover both plain interpreters (:mod:`atexit`) and multiprocessing
+children (:class:`multiprocessing.util.Finalize` — children skip atexit),
+so no live executor or shared-memory segment leaks at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.parallel import resolve_jobs
+
+__all__ = [
+    "EXEC_BACKEND_CHOICES",
+    "JobsBudget",
+    "MatrixHandle",
+    "SharedMatrixStore",
+    "MatrixExecutor",
+    "resolve_exec_backend",
+    "process_pool",
+    "thread_pool",
+    "pool_map",
+    "shutdown_pools",
+    "close_matrix_stores",
+    "payload_audit",
+]
+
+#: Valid values of ``PartitionerConfig.exec_backend`` / ``--exec-backend``.
+EXEC_BACKEND_CHOICES = ("auto", "serial", "thread", "process", "process-pickle")
+
+
+def resolve_exec_backend(spec: str = "auto") -> str:
+    """Resolve an execution-backend spec to a concrete backend name.
+
+    ``"auto"`` picks ``"thread"`` when the numba JIT is importable (the
+    kernels are compiled ``nogil=True``, so threads overlap in the hot
+    loops and share the address space for free) and ``"process"`` —
+    worker processes over the shared-memory matrix store — otherwise.
+    """
+    if spec == "auto":
+        from repro.kernels import numba_available
+
+        return "thread" if numba_available() else "process"
+    if spec not in EXEC_BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown execution backend {spec!r}; "
+            f"expected one of {EXEC_BACKEND_CHOICES}"
+        )
+    return spec
+
+
+# --------------------------------------------------------------------- #
+# Jobs budget
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class JobsBudget:
+    """A global worker budget composable across nesting levels.
+
+    One ``--jobs N`` request names the *total* number of workers the user
+    wants busy; :meth:`split` divides it between an outer level (sweep
+    chunks) and an inner level (the recursion tree inside each run) so
+    that ``outer * inner <= total`` — the invariant that keeps nested
+    parallelism from oversubscribing the machine.
+
+    The split is a pure function of ``(total, outer_tasks)``, and every
+    ``jobs`` value is a speed knob only (results are bit-identical by the
+    position-keyed seed-stream contract), so budgets never change what a
+    sweep or partitioning computes.
+    """
+
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError(
+                f"JobsBudget.total must be >= 1, got {self.total}"
+            )
+
+    @classmethod
+    def resolve(cls, jobs: int | None) -> "JobsBudget":
+        """Budget from a user ``jobs`` request (``None``/``0`` = CPUs)."""
+        return cls(resolve_jobs(jobs))
+
+    def split(self, outer_tasks: int) -> tuple[int, int]:
+        """Divide the budget over ``outer_tasks`` independent outer items.
+
+        Returns ``(outer_workers, inner_jobs)`` with ``outer_workers <=
+        max(1, outer_tasks)`` and ``outer_workers * inner_jobs <= total``.
+        The outer level is saturated first (outer items are fully
+        independent, so they scale perfectly); whatever remains is handed
+        down — e.g. a budget of 8 over 2 instances runs 2 sweep workers
+        with 4 recursion workers each, while a budget of 8 over 16
+        instances runs 8 sweep workers with serial recursion.
+        """
+        if outer_tasks < 0:
+            raise ValueError(f"outer_tasks must be >= 0, got {outer_tasks}")
+        if self.total <= 1 or outer_tasks <= 1:
+            return (1, self.total)
+        outer = min(self.total, outer_tasks)
+        return outer, max(1, self.total // outer)
+
+
+# --------------------------------------------------------------------- #
+# Persistent pools (shared by the sweep engine and recursive bisection)
+# --------------------------------------------------------------------- #
+#: ``(owner_pid, size, pool)`` — the pid guards against fork inheritance:
+#: a worker process forked from a parent that held a live pool inherits
+#: the pool *object* but not its management thread or worker processes,
+#: so using it would hang forever.  Nested parallelism (a sweep worker
+#: running parallel recursion under a :class:`JobsBudget`) therefore
+#: creates its own pool on first use in each process.
+_PROCESS_POOL: tuple[int, int, ProcessPoolExecutor] | None = None
+_THREAD_POOL: tuple[int, int, ThreadPoolExecutor] | None = None
+
+#: Guards every module-level singleton (the two pools, the store
+#: registry): the thread backend makes concurrent calls into this module
+#: a normal condition, and unguarded check-then-act would let two
+#: threads each create (or worse, one retire while the other submits to)
+#: the "shared" pool.
+_LOCK = threading.RLock()
+
+#: Thread-local nesting state.  ``in_worker`` is set (via the pool
+#: initializer) in every thread the layer creates; a nested
+#: ``thread_pool`` request from such a thread gets a *private*
+#: per-thread pool instead of the shared one — handing a worker the very
+#: pool it runs on would deadlock the moment all workers block on
+#: futures only they could execute (the sweep x recursion composition
+#: under the thread backend).
+_TLS = threading.local()
+
+
+def _mark_worker() -> None:
+    _TLS.in_worker = True
+
+#: Which process has exit hooks installed (fork resets the guard's
+#: meaning, hence a pid, not a bool).
+_EXIT_HOOK_PID: int | None = None
+
+
+def _ensure_exit_hook() -> None:
+    """Install the pool-shutdown exit hook in *this* process, once.
+
+    Plain interpreters run :mod:`atexit` handlers, but multiprocessing
+    children exit through ``os._exit`` after ``util._exit_function`` —
+    which joins every non-daemon child process *without* running atexit.
+    A sweep worker holding an inner recursion pool would therefore hang
+    forever joining grandchildren nobody told to stop.  Registering the
+    shutdown as a :class:`multiprocessing.util.Finalize` (exitpriority
+    ``>= 0`` runs *before* the join) covers both worlds.
+    """
+    global _EXIT_HOOK_PID
+    pid = os.getpid()
+    if _EXIT_HOOK_PID == pid:
+        return
+    _EXIT_HOOK_PID = pid
+    atexit.register(shutdown_pools)
+    try:
+        from multiprocessing import util
+
+        util.Finalize(None, shutdown_pools, kwargs={"wait": True},
+                      exitpriority=100)
+    except Exception:  # pragma: no cover - exotic mp configurations
+        pass
+
+
+def process_pool(jobs: int) -> ProcessPoolExecutor:
+    """The shared process pool for ``jobs`` workers (created/resized on
+    use).  Workers are stateless between tasks — every payload is
+    self-contained — so reuse cannot leak results across calls, and the
+    fork/spawn cost is paid once per interpreter instead of once per
+    call.  Requesting a different size retires the old pool first
+    (``shutdown(wait=False)`` lets already-submitted work drain; use
+    :func:`pool_map` to make fetch + submit atomic against a concurrent
+    resize)."""
+    global _PROCESS_POOL
+    with _LOCK:
+        pid = os.getpid()
+        if _PROCESS_POOL is not None:
+            if _PROCESS_POOL[:2] == (pid, jobs):
+                return _PROCESS_POOL[2]
+            if _PROCESS_POOL[0] == pid:
+                _PROCESS_POOL[2].shutdown(wait=False)
+        _ensure_exit_hook()
+        try:
+            # Spawn the (singleton) shared-memory resource tracker
+            # *before* forking workers, so they inherit its pipe.  A
+            # worker that attaches a segment with no inherited tracker
+            # would spawn its own, which then mis-reports the
+            # parent-owned segments as leaked when the worker exits.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - exotic mp configurations
+            pass
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _PROCESS_POOL = (pid, jobs, pool)
+        return pool
+
+
+def thread_pool(jobs: int) -> ThreadPoolExecutor:
+    """The shared thread pool (grown to at least ``jobs``, never shrunk —
+    idle threads are nearly free, unlike idle processes).
+
+    Calls from *inside* one of the layer's own worker threads (a sweep
+    chunk running parallel recursion under a :class:`JobsBudget`) get a
+    private per-thread pool instead: the shared pool's workers are
+    exactly the threads blocking on the nested futures, so handing it
+    back would deadlock permanently.
+    """
+    if getattr(_TLS, "in_worker", False):
+        cached = getattr(_TLS, "pool", None)
+        if cached is not None and cached[0] >= jobs:
+            return cached[1]
+        if cached is not None:
+            cached[1].shutdown(wait=False)
+        pool = ThreadPoolExecutor(max_workers=jobs, initializer=_mark_worker)
+        _TLS.pool = (jobs, pool)
+        return pool
+    global _THREAD_POOL
+    with _LOCK:
+        pid = os.getpid()
+        if _THREAD_POOL is not None:
+            if _THREAD_POOL[0] == pid and _THREAD_POOL[1] >= jobs:
+                return _THREAD_POOL[2]
+            if _THREAD_POOL[0] == pid:
+                _THREAD_POOL[2].shutdown(wait=False)
+        _ensure_exit_hook()
+        pool = ThreadPoolExecutor(max_workers=jobs, initializer=_mark_worker)
+        _THREAD_POOL = (pid, jobs, pool)
+        return pool
+
+
+def pool_map(kind: str, jobs: int, fn, items, chunksize: int = 1):
+    """Fetch the shared pool and submit ``items`` atomically.
+
+    Submission happens under the layer's lock so a concurrent resize
+    cannot retire the pool between the fetch and the submit (executor
+    ``map`` submits every item eagerly; only result consumption is
+    lazy, and retired pools drain already-submitted work).
+    """
+    with _LOCK:
+        if kind == "thread":
+            return thread_pool(jobs).map(fn, items)
+        return process_pool(jobs).map(fn, items, chunksize=chunksize)
+
+
+def drop_process_pool() -> None:
+    """Forget the shared process pool (it is broken or being replaced).
+
+    Called after :class:`BrokenProcessPool` so the next parallel call
+    starts a fresh pool instead of failing forever.
+    """
+    global _PROCESS_POOL
+    with _LOCK:
+        _PROCESS_POOL = None
+
+
+def shutdown_pools(wait: bool = False) -> None:
+    """Shut down every shared pool (idempotent; registered with atexit).
+
+    Before this layer, :mod:`repro.core.recursive` kept a module-level
+    pool alive at interpreter exit; the atexit hook guarantees worker
+    processes are reaped no matter which subsystem created them.
+    """
+    global _PROCESS_POOL, _THREAD_POOL
+    # Detach the singletons under the lock, but run the (possibly
+    # blocking, wait=True) shutdowns outside it: a still-running worker
+    # that needs the lock must not deadlock against the join.
+    pools = []
+    with _LOCK:
+        pid = os.getpid()
+        if _PROCESS_POOL is not None:
+            if _PROCESS_POOL[0] == pid:
+                pools.append(_PROCESS_POOL[2])
+            _PROCESS_POOL = None
+        if _THREAD_POOL is not None:
+            if _THREAD_POOL[0] == pid:
+                pools.append(_THREAD_POOL[2])
+            _THREAD_POOL = None
+    for pool in pools:
+        pool.shutdown(wait=wait)
+    close_matrix_stores()
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory matrix store
+# --------------------------------------------------------------------- #
+#: Per-process cache of attached segments: name -> (shm, matrix).  A
+#: worker typically serves many tasks of the same partitioning call, so
+#: the attach (open + mmap + view construction) is paid once per matrix
+#: per worker.  Bounded: entries beyond the cap are closed oldest-first
+#: (a worker only ever needs the segments of the calls in flight).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, SparseMatrix]] = {}
+_ATTACH_CAP = 4
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """A picklable, few-dozen-byte reference to a published matrix.
+
+    ``open()`` reconstructs the matrix zero-copy in any process on the
+    same machine: the arrays are read-only views of the shared segment,
+    so *no* nonzero data crosses the pickle boundary.
+    """
+
+    name: str
+    shape: tuple[int, int]
+    nnz: int
+
+    def open(self) -> SparseMatrix:
+        """Attach (cached per process) and view the published matrix."""
+        cached = _ATTACHED.get(self.name)
+        if cached is not None:
+            return cached[1]
+        # NOTE: attaching re-registers the name with the (single, shared)
+        # resource tracker; that is a set-add no-op, and the creator's
+        # unlink unregisters it exactly once — so no explicit untracking
+        # here (an attach-side unregister would *steal* the creator's
+        # entry and make its unlink-time unregister fail).
+        shm = shared_memory.SharedMemory(name=self.name)
+        matrix = _matrix_from_buffer(shm.buf, self.shape, self.nnz)
+        while len(_ATTACHED) >= _ATTACH_CAP:
+            stale = next(iter(_ATTACHED))
+            _close_attachment(*_ATTACHED.pop(stale))
+        _ATTACHED[self.name] = (shm, matrix)
+        return matrix
+
+
+def _close_attachment(shm: shared_memory.SharedMemory, matrix) -> None:
+    """Close a cached attachment, tolerating still-live array views.
+
+    ``mmap`` refuses to close while NumPy views of the buffer exist
+    (callers may legitimately hold the matrix a little longer); the
+    mapping is then reclaimed when the views die or the process exits —
+    the *segment* itself is owned and unlinked by the creating process
+    either way.
+    """
+    del matrix
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - caller still holds views
+        pass
+
+
+def _matrix_from_buffer(
+    buf, shape: tuple[int, int], nnz: int
+) -> SparseMatrix:
+    """Zero-copy matrix over a packed ``rows | cols | vals`` buffer."""
+    nb = 8 * nnz
+    rows = np.ndarray(nnz, dtype=np.int64, buffer=buf, offset=0)
+    cols = np.ndarray(nnz, dtype=np.int64, buffer=buf, offset=nb)
+    vals = np.ndarray(nnz, dtype=np.float64, buffer=buf, offset=2 * nb)
+    return SparseMatrix.from_canonical(shape, rows, cols, vals)
+
+
+#: Live stores in creation order, for exit cleanup and the LRU cap.  A
+#: long-running service partitioning many matrices keeps at most
+#: ``_STORE_CAP`` segments alive; evicted stores are closed (and lazily
+#: re-published if their matrix comes back).
+_STORES: list["SharedMatrixStore"] = []
+_STORE_CAP = 8
+_STORE_KEY = "shm_store"
+
+
+class SharedMatrixStore:
+    """Publish one matrix's flat arrays in shared memory, once.
+
+    The segment packs the canonical ``rows``/``cols``/``vals`` arrays
+    back to back (all 8-byte dtypes, so the layout is three contiguous
+    blocks of ``8 * nnz`` bytes).  Use :meth:`for_matrix` in preference
+    to the constructor: the store is then cached on the (immutable)
+    matrix like ``SpMVState``, so the 24-bytes-per-nonzero publication
+    is paid once per matrix per process — repeated partitionings of one
+    matrix (a sweep, a service loop, the benchmark's repeats) reuse the
+    live segment.
+
+    The creating process owns the segment's lifetime: :meth:`close`
+    detaches and unlinks it, cached stores are closed at interpreter
+    exit (and on LRU eviction past ``_STORE_CAP`` matrices) via
+    :func:`close_matrix_stores`, and a forked child that inherits the
+    object can never unlink the parent's segment (pid-guarded).  Worker
+    crashes therefore cannot leak ``/dev/shm`` space — cleanup always
+    runs in the owning parent.
+    """
+
+    def __init__(self, matrix: SparseMatrix) -> None:
+        nnz = matrix.nnz
+        self._owner_pid = os.getpid()
+        self._shm: shared_memory.SharedMemory | None = (
+            shared_memory.SharedMemory(create=True, size=max(1, 24 * nnz))
+        )
+        buf = self._shm.buf
+        nb = 8 * nnz
+        np.ndarray(nnz, dtype=np.int64, buffer=buf)[:] = matrix.rows
+        np.ndarray(nnz, dtype=np.int64, buffer=buf, offset=nb)[:] = matrix.cols
+        np.ndarray(nnz, dtype=np.float64, buffer=buf, offset=2 * nb)[:] = (
+            matrix.vals
+        )
+        self.handle = MatrixHandle(self._shm.name, matrix.shape, nnz)
+
+    @classmethod
+    def for_matrix(cls, matrix: SparseMatrix) -> "SharedMatrixStore":
+        """The cached live store for ``matrix`` (published on first use,
+        re-published transparently if a previous store was evicted)."""
+        with _LOCK:
+            _ensure_exit_hook()
+            store = matrix._cache.get(_STORE_KEY)
+            if store is not None and store._shm is not None \
+                    and store._owner_pid == os.getpid():
+                return store
+            store = cls(matrix)
+            matrix._cache[_STORE_KEY] = store
+            _STORES.append(store)
+            while len(_STORES) > _STORE_CAP:
+                _STORES.pop(0).close()
+            return store
+
+    def close(self) -> None:
+        """Detach — and, in the owning process, unlink — the segment
+        (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        # The creator may also appear in its own attach cache (tests and
+        # the serial fallback open handles in-process).
+        cached = _ATTACHED.pop(self.handle.name, None)
+        if cached is not None:
+            _close_attachment(*cached)
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - live in-process views
+            pass
+        if self._owner_pid != os.getpid():
+            # A forked child inherited the object; the parent still owns
+            # the segment and will unlink it.
+            return
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedMatrixStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def close_matrix_stores() -> None:
+    """Close every cached store this process owns (idempotent; part of
+    the exit hook alongside :func:`shutdown_pools`)."""
+    with _LOCK:
+        while _STORES:
+            _STORES.pop().close()
+
+
+# --------------------------------------------------------------------- #
+# Payload accounting
+# --------------------------------------------------------------------- #
+#: When active (see :func:`payload_audit`), every dispatched task's
+#: pickled size is folded in here.  Off by default — the accounting
+#: itself costs a pickle pass, so timed runs never pay it.
+_AUDIT: dict | None = None
+
+
+@contextmanager
+def payload_audit():
+    """Record the bytes each executor task ships to its worker.
+
+    Yields a dict with running ``bytes`` and ``tasks`` counters; inline
+    (serial/thread) execution ships nothing and counts zero.  The
+    end-to-end benchmark uses this to demonstrate the pickling cut of
+    the shared-memory store without taxing the timed runs.
+    """
+    global _AUDIT
+    prev, _AUDIT = _AUDIT, {"bytes": 0, "tasks": 0}
+    try:
+        yield _AUDIT
+    finally:
+        _AUDIT = prev
+
+
+def _account(items: list) -> None:
+    if _AUDIT is not None:
+        _AUDIT["tasks"] += len(items)
+        _AUDIT["bytes"] += sum(
+            len(pickle.dumps(it, protocol=pickle.HIGHEST_PROTOCOL))
+            for it in items
+        )
+
+
+# --------------------------------------------------------------------- #
+# The matrix executor
+# --------------------------------------------------------------------- #
+def _shm_task(arg):
+    """Process worker: attach the published matrix, select, run."""
+    handle, fn, indices, extra = arg
+    matrix = handle.open()
+    sub = matrix if indices is None else matrix.select(indices)
+    return fn(sub, extra)
+
+
+def _pickle_task(arg):
+    """Process worker (legacy path): the submatrix arrived pickled."""
+    fn, sub, extra = arg
+    return fn(sub, extra)
+
+
+def _thread_task(arg):
+    """Thread worker: select *inside* the worker so the nogil kernels and
+    the NumPy select of sibling tasks overlap."""
+    matrix, fn, indices, extra = arg
+    sub = matrix if indices is None else matrix.select(indices)
+    return fn(sub, extra)
+
+
+class MatrixExecutor:
+    """Run ``fn(submatrix, extra)`` tasks against one matrix.
+
+    Tasks are ``(indices, extra)`` pairs: ``indices`` selects the
+    submatrix (``None`` = the whole matrix), ``extra`` is a small
+    picklable payload.  ``fn`` must be a module-level function (process
+    backends pickle it by reference).  :meth:`map` returns results in
+    task order for every backend, which is what lets callers treat the
+    backend purely as a speed knob.
+
+    Backend delivery semantics:
+
+    ``"serial"``
+        Everything inline, zero copies.
+    ``"thread"``
+        Workers share the address space; each worker thread selects its
+        own submatrix from the live matrix (no serialization at all).
+    ``"process"``
+        The matrix is published once to a :class:`SharedMatrixStore`
+        (lazily, on the first ``map``); each task ships a handle plus
+        its index array — 8 bytes per selected nonzero instead of the
+        24-plus of a pickled submatrix, and nothing at all for the
+        nonzero values.
+    ``"process-pickle"``
+        The legacy path: the parent selects and pickles each submatrix.
+        Kept as the portable fallback and as the benchmark baseline the
+        shared-memory path is measured against.
+    """
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        jobs: int,
+        backend: str = "auto",
+    ) -> None:
+        self.matrix = matrix
+        self.jobs = resolve_jobs(jobs)
+        self.backend = resolve_exec_backend(backend)
+        if self.jobs <= 1:
+            self.backend = "serial"
+        self._store: SharedMatrixStore | None = None
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "MatrixExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release executor-held references.
+
+        The store itself is cached on the matrix (published once, see
+        :meth:`SharedMatrixStore.for_matrix`) and the pools are shared —
+        :func:`shutdown_pools` / :func:`close_matrix_stores` own both
+        lifetimes, so closing an executor is free and repeated calls
+        against one matrix never republish.
+        """
+        self._store = None
+
+    def _handle(self) -> MatrixHandle:
+        if self._store is None:
+            self._store = SharedMatrixStore.for_matrix(self.matrix)
+        return self._store.handle
+
+    def _sub(self, indices) -> SparseMatrix:
+        if indices is None:
+            return self.matrix
+        return self.matrix.select(indices)
+
+    # ------------------------------------------------------------------ #
+    def map(self, fn, tasks: list) -> list:
+        """Execute ``fn(submatrix, extra)`` per task; ordered results."""
+        if not tasks:
+            return []
+        if self.backend == "serial" or len(tasks) == 1:
+            # A single task gains nothing from any pool; run it inline
+            # and skip the payload round-trip entirely.
+            return [fn(self._sub(idx), extra) for idx, extra in tasks]
+        if self.backend == "thread":
+            items = [
+                (self.matrix, fn, idx, extra) for idx, extra in tasks
+            ]
+            return list(pool_map("thread", self.jobs, _thread_task, items))
+        if self.backend == "process":
+            handle = self._handle()
+            items = [
+                (handle, fn, idx, extra) for idx, extra in tasks
+            ]
+        else:  # process-pickle
+            items = [(fn, self._sub(idx), extra) for idx, extra in tasks]
+        _account(items)
+        worker = _shm_task if self.backend == "process" else _pickle_task
+        # Batch small tasks per pipe round-trip (map preserves order for
+        # any chunksize): a p = 64 schedule on 2 workers would otherwise
+        # pay 64 dispatch round-trips of per-task fixed cost.
+        chunksize = max(1, len(items) // (4 * self.jobs))
+        try:
+            return list(
+                pool_map("process", self.jobs, worker, items, chunksize)
+            )
+        except BrokenProcessPool:
+            # A worker died (OOM, signal): drop the poisoned pool so the
+            # next call starts fresh.  The store is unaffected — it is
+            # owned by this process and cleaned by close_matrix_stores().
+            drop_process_pool()
+            raise
+
+    def payload_nbytes(self, tasks: list) -> int:
+        """Bytes :meth:`map` would ship for ``tasks`` (without running).
+
+        Zero for inline backends; for process backends, the pickled size
+        of the exact task tuples ``map`` dispatches.
+        """
+        if not tasks or self.backend in ("serial", "thread") or len(tasks) == 1:
+            return 0
+        if self.backend == "process":
+            items = [(self._handle(), None, idx, extra) for idx, extra in tasks]
+        else:
+            items = [(None, self._sub(idx), extra) for idx, extra in tasks]
+        return sum(
+            len(pickle.dumps(it, protocol=pickle.HIGHEST_PROTOCOL))
+            for it in items
+        )

@@ -54,6 +54,34 @@ class TestParallelDeterminism:
         np.testing.assert_array_equal(ref.parts, par.parts)
         assert ref.bisection_volumes == par.bisection_volumes
 
+    @pytest.mark.parametrize(
+        "exec_backend", ["thread", "process", "process-pickle"]
+    )
+    def test_bit_identical_across_exec_backends(self, er, exec_backend):
+        """The execution backend only changes how submatrices travel
+        (shared address space / shared-memory store / pickle), never the
+        partition."""
+        ref = partition(er, 16, seed=SEED, jobs=1)
+        res = partition(er, 16, seed=SEED, jobs=3, exec_backend=exec_backend)
+        np.testing.assert_array_equal(ref.parts, res.parts)
+        assert ref.bisection_volumes == res.bisection_volumes
+
+    def test_config_exec_backend_is_the_default(self, er):
+        cfg = PartitionerConfig(jobs=2, exec_backend="process-pickle")
+        res = partition(er, 4, config=cfg, seed=SEED)
+        ref = partition(er, 4, seed=SEED, jobs=1)
+        np.testing.assert_array_equal(ref.parts, res.parts)
+
+    def test_bad_exec_backend_rejected_even_when_serial(self, er):
+        """A typo'd backend must fail loudly in the library's error
+        family on *every* path — including jobs=1, which never reaches
+        the pool (silently accepting it would defer the crash to the
+        first scaled-up run)."""
+        with pytest.raises(PartitioningError):
+            partition(er, 8, seed=SEED, jobs=1, exec_backend="proces")
+        with pytest.raises(PartitioningError):
+            partition(er, 8, seed=SEED, jobs=4, exec_backend="mpi")
+
     def test_non_power_of_two_identical(self, er):
         """Uneven splits schedule unequal subtrees; results still match."""
         ref = partition(er, 11, seed=SEED, jobs=1)

@@ -23,6 +23,7 @@ from repro.eval.sweep import (
     run_sweep,
 )
 from repro.sparse.collection import build_collection
+from repro.utils.executor import JobsBudget
 from repro.utils.rng import spawn_seeds
 
 FAST_METHODS = (
@@ -138,6 +139,68 @@ class TestRunSweep:
         assert resolve_jobs(0) >= 1
         with pytest.raises(EvaluationError):
             resolve_jobs(-2)
+
+    def test_thread_backend_bit_identical(self, specs, serial_records):
+        threaded = list(run_sweep(specs, jobs=2, exec_backend="thread"))
+        assert _norm(threaded) == _norm(serial_records)
+
+    def test_unknown_exec_backend_rejected(self, specs):
+        with pytest.raises(EvaluationError):
+            list(run_sweep(specs, jobs=2, exec_backend="mpi"))
+
+
+class TestJobsBudgetSweep:
+    """One --jobs N composed across sweep x recursion levels."""
+
+    @pytest.fixture(scope="class")
+    def pway_specs(self, entries):
+        return build_runspecs(
+            entries[:2], FAST_METHODS[:1], nruns=2, nparts=4, base_seed=5
+        )
+
+    def test_budget_bit_identical(self, pway_specs):
+        serial = list(run_sweep(pway_specs, jobs=1))
+        budgeted = list(run_sweep(pway_specs, jobs=JobsBudget(4)))
+        assert _norm(budgeted) == _norm(serial)
+
+    def test_budget_of_one_runs_inline(self, pway_specs):
+        serial = list(run_sweep(pway_specs, jobs=1))
+        one = list(run_sweep(pway_specs, jobs=JobsBudget(1)))
+        assert _norm(one) == _norm(serial)
+
+    def test_budget_larger_than_instances(self, pway_specs):
+        """jobs > instances: the leftover goes to recursion, chunks stay
+        instance-aligned, results stay bit-identical."""
+        serial = list(run_sweep(pway_specs, jobs=1))
+        wide = list(run_sweep(pway_specs, jobs=JobsBudget(8)))
+        assert _norm(wide) == _norm(serial)
+
+    def test_prime_budget(self, pway_specs):
+        serial = list(run_sweep(pway_specs, jobs=1))
+        prime = list(run_sweep(pway_specs, jobs=JobsBudget(5)))
+        assert _norm(prime) == _norm(serial)
+
+    def test_runspec_jobs_is_a_speed_knob(self, entries):
+        """An explicit RunSpec.jobs changes nothing but wall clock."""
+        import dataclasses as dc
+
+        base = build_runspecs(
+            entries[:1], FAST_METHODS[:1], nruns=1, nparts=4, base_seed=5
+        )
+        fast = [dc.replace(s, jobs=2) for s in base]
+        assert _norm(
+            [execute_runspec(s) for s in base]
+        ) == _norm([execute_runspec(s) for s in fast])
+
+    def test_run_methods_accepts_budget(self, entries):
+        d1 = run_methods(
+            entries[:1], FAST_METHODS[:1], nruns=1, nparts=4, base_seed=3
+        )
+        d2 = run_methods(
+            entries[:1], FAST_METHODS[:1], nruns=1, nparts=4, base_seed=3,
+            jobs=JobsBudget(4),
+        )
+        assert _norm(d1.records) == _norm(d2.records)
 
 
 class TestExecuteRunspec:

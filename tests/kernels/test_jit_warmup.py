@@ -1,0 +1,82 @@
+"""JIT compilation hygiene: disk caching and GIL release.
+
+Two contracts on the numba backend, one per environment:
+
+* **Statically** (runs everywhere, numba or not): every ``@njit`` kernel
+  is declared ``cache=True`` — so the compilation cost is paid once per
+  machine, not once per worker process — and ``nogil=True`` — so the
+  execution layer's thread backend genuinely overlaps kernels in one
+  address space.
+* **Dynamically** (numba installed): a cold interpreter importing the
+  backend and driving a first partitioning through every kernel stays
+  under a generous sanity bound.  ``cache=True`` makes the *second* cold
+  process dramatically cheaper; the bound catches regressions like a
+  kernel losing its cache flag and recompiling per process.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import numba_available
+
+SOURCE = Path(__file__).resolve().parents[2] / (
+    "src/repro/kernels/numba_backend.py"
+)
+
+#: Generous ceiling for one cold import + first JIT'd partitioning.  A
+#: warm disk cache finishes in a few seconds; a full recompile of every
+#: kernel stays well under this too — the bound exists to catch hangs
+#: and pathological per-process recompilation, not to race the JIT.
+COLD_START_BOUND_S = 120.0
+
+
+def test_every_njit_kernel_is_cached_and_nogil():
+    """All ``@njit`` decorators carry ``cache=True`` and ``nogil=True``."""
+    text = SOURCE.read_text(encoding="utf-8")
+    decorators = re.findall(r"@njit\(([^)]*)\)", text)
+    assert decorators, "no @njit kernels found — did the backend move?"
+    for args in decorators:
+        assert "cache=True" in args, f"@njit({args}) lacks cache=True"
+        assert "nogil=True" in args, f"@njit({args}) lacks nogil=True"
+
+
+@pytest.mark.skipif(not numba_available(), reason="numba not installed")
+def test_cold_process_first_call_within_bound():
+    """A fresh interpreter's import + first kernel call stays sane."""
+    code = (
+        "from repro.kernels import get_backend\n"
+        "from repro.core.recursive import partition\n"
+        "from repro.sparse.generators import erdos_renyi\n"
+        "from repro.partitioner.config import PartitionerConfig\n"
+        "cfg = PartitionerConfig(kernel_backend='numba')\n"
+        "m = erdos_renyi(80, 80, 500, seed=3)\n"
+        "res = partition(m, 4, config=cfg, seed=11)\n"
+        "print(res.volume)\n"
+    )
+    src = str(SOURCE.parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=2 * COLD_START_BOUND_S,
+    )
+    elapsed = time.perf_counter() - t0
+    assert proc.returncode == 0, proc.stderr
+    assert elapsed < COLD_START_BOUND_S, (
+        f"cold import + first JIT call took {elapsed:.1f}s "
+        f"(bound {COLD_START_BOUND_S}s) — is cache=True still set?"
+    )
