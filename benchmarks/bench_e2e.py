@@ -40,6 +40,17 @@ removes (the full-partition times are recorded as context).  When numba
 is installed the ``"thread"`` backend (nogil kernels, zero payload) is
 measured as well.
 
+A fourth stage benchmarks the **direct k-way partitioner**
+(``algo="kway"`` — :mod:`repro.core.kway`) head-to-head against
+recursive bisection at the same p values, on the bench set plus the
+k-diagonal structured instance: per (matrix, p) it verifies the k-way
+result is bit-identical across every kernel backend, execution backend
+and ``jobs`` value (the partitioner has no recursion tree, so the knobs
+must be exact no-ops), that every part respects the eqn-(1) ceiling,
+and records interleaved min-of wall clocks and the volume ratio
+``kway / recursive`` — the quality/speed trade-off the ROADMAP's
+bisection-vs-direct comparison asks for.
+
 A second stage times **p-way recursive bisection** (p in {4, 16, 64} —
 the paper's Fig. 6b / Table II workload) three ways on every bench
 matrix: the frozen pre-PR serial recursion
@@ -81,9 +92,10 @@ from benchmarks._baseline_e2e import (
 )
 from repro.core.methods import bipartition
 from repro.core.recursive import partition
+from repro.core.volume import max_allowed_part_size
 from repro.eval.geomean import geometric_mean as _geomean
 from repro.eval.sweep import RunSpec, run_sweep
-from repro.kernels import numba_available, resolve_backend
+from repro.kernels import available_backends, numba_available, resolve_backend
 from repro.partitioner.config import get_config
 from repro.sparse.collection import build_collection, load_instance
 from repro.utils.executor import JobsBudget, MatrixExecutor, payload_audit
@@ -284,6 +296,99 @@ def bench_pway_matrix(
             "speedup_serial": round(base_s / cur_s, 3),
             "speedup_parallel": round(base_s / par_s, 3),
             "parallel_vs_serial": round(cur_s / par_s, 3),
+        }
+    return entry
+
+
+#: Extra instances for the k-way stage on top of the bench set: the
+#: structured k-diagonal case — long off-diagonals are where
+#: contiguous-block bisection and direct k-way genuinely diverge.
+KWAY_EXTRA_MATRICES = ("sym_kdiag_m",)
+
+
+def bench_kway_matrix(name: str, ps, repeats: int, jobs: int) -> dict:
+    """Direct k-way vs recursive bisection on one matrix.
+
+    Gates before any timing is trusted, per p:
+
+    * the k-way partition is **bit-identical** across every available
+      kernel backend, every execution backend, and ``jobs`` in
+      ``{1, jobs}`` (no recursion tree — the knobs must change nothing);
+    * every part respects the eqn-(1) ceiling (``feasible``).
+
+    Timings are interleaved min-of wall clocks of the two algorithms;
+    ``volume_ratio`` (kway / recursive) records the quality side of the
+    trade-off.
+    """
+    matrix = load_instance(name)
+    entry: dict = {"nnz": matrix.nnz, "by_p": {}}
+    for p in ps:
+        rec = partition(
+            matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=1
+        )
+        kw = partition(
+            matrix, p, method="mediumgrain", seed=BASE_SEED, algo="kway"
+        )
+        ceiling = max_allowed_part_size(matrix.nnz, p, 0.03)
+        if not kw.feasible or kw.max_part > ceiling:
+            raise AssertionError(
+                f"{name} p={p}: kway max part {kw.max_part} exceeds the "
+                f"eqn-(1) ceiling {ceiling}"
+            )
+        for kb in available_backends():
+            cfg = dataclasses.replace(
+                get_config("mondriaan"), kernel_backend=kb
+            )
+            res = partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED,
+                config=cfg, algo="kway",
+            )
+            if not np.array_equal(kw.parts, res.parts):
+                raise AssertionError(
+                    f"{name} p={p}: kway partition differs under kernel "
+                    f"backend {kb!r}"
+                )
+        exec_backends = ["process-pickle", "process", "thread"]
+        for jv, eb in [(1, "serial")] + [(jobs, m) for m in exec_backends]:
+            res = partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED,
+                algo="kway", jobs=jv, exec_backend=eb,
+            )
+            if not np.array_equal(kw.parts, res.parts):
+                raise AssertionError(
+                    f"{name} p={p}: kway partition differs under "
+                    f"jobs={jv} exec_backend={eb}"
+                )
+        best_kw = float("inf")
+        best_rec = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED,
+                algo="kway",
+            )
+            best_kw = min(best_kw, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=1
+            )
+            best_rec = min(best_rec, time.perf_counter() - t0)
+        entry["by_p"][str(p)] = {
+            "volume_kway": kw.volume,
+            "volume_recursive": rec.volume,
+            "volume_ratio": round(kw.volume / rec.volume, 3)
+            if rec.volume
+            else float("inf"),
+            "kway_s": round(best_kw, 6),
+            "recursive_s": round(best_rec, 6),
+            "speedup_kway": round(best_rec / best_kw, 3)
+            if best_kw > 0
+            else float("inf"),
+            "max_part_kway": kw.max_part,
+            "imbalance_kway": round(kw.imbalance, 6),
+            "ceiling": ceiling,
+            "feasible": True,
+            "bit_identical": True,
         }
     return entry
 
@@ -514,6 +619,46 @@ def run_benchmarks(
         ]), 3,
     )
     report["exec"] = exec_section
+
+    # Direct k-way vs recursive bisection stage.
+    kway_names = tuple(
+        dict.fromkeys(tuple(matrices) + KWAY_EXTRA_MATRICES)
+    )
+    kway_section: dict = {
+        "method": "mediumgrain",
+        "baseline": "recursive",
+        "current": "kway",
+        "ps": [int(p) for p in pway_parts],
+        "eps": 0.03,
+        "matrices": {},
+    }
+    for name in kway_names:
+        entry = bench_kway_matrix(name, pway_parts, repeats, jobs)
+        kway_section["matrices"][name] = entry
+        for p in pway_parts:
+            e = entry["by_p"][str(p)]
+            print(
+                f"  {name:14s} p={p:<3d} kway vol {e['volume_kway']:>6d} "
+                f"({e['kway_s']:7.3f} s)   recursive vol "
+                f"{e['volume_recursive']:>6d} ({e['recursive_s']:7.3f} s)  "
+                f"ratio x{e['volume_ratio']:.2f}  speed x{e['speedup_kway']:.2f}"
+            )
+    kway_section["geomean_volume_ratio_by_p"] = {
+        str(p): round(
+            _geomean([
+                kway_section["matrices"][m]["by_p"][str(p)]["volume_ratio"]
+                for m in kway_names
+            ]), 3,
+        )
+        for p in pway_parts
+    }
+    kway_section["geomean_speedup_kway"] = round(
+        _geomean([
+            kway_section["matrices"][m]["by_p"][str(p)]["speedup_kway"]
+            for m in kway_names for p in pway_parts
+        ]), 3,
+    )
+    report["kway"] = kway_section
     return report
 
 
@@ -525,11 +670,13 @@ SMOKE_MATRICES = ("sym_grid2d_s", "rec_td_small_a", "sqr_er_s")
 def run_smoke(jobs: int) -> int:
     """CI smoke: completion + bit-identity across every backend combo.
 
-    Runs the whole-pipeline sweep and a p=4 recursive bisection on tiny
-    instances with ``--jobs`` workers, under every available kernel
-    backend x execution backend, asserting the results equal the serial
-    reference.  **No wall-clock gating** — this exists so a cold CI
-    runner proves the parallel plumbing end to end, not to race it.
+    Runs the whole-pipeline sweep, a p=4 recursive bisection, and a p=4
+    direct k-way partitioning (``--algo kway``) on tiny instances with
+    ``--jobs`` workers, under every available kernel backend x execution
+    backend, asserting the results equal the serial reference and (for
+    k-way) that every part respects the eqn-(1) ceiling.  **No
+    wall-clock gating** — this exists so a cold CI runner proves the
+    parallel plumbing end to end, not to race it.
     """
     import repro.kernels as kernels
 
@@ -560,24 +707,39 @@ def run_smoke(jobs: int) -> int:
                 matrix, 4, method="mediumgrain", seed=BASE_SEED,
                 config=cfg, jobs=1,
             )
+            kway_serial = partition(
+                matrix, 4, method="mediumgrain", seed=BASE_SEED,
+                config=cfg, jobs=1, algo="kway",
+            )
+            ceiling = max_allowed_part_size(matrix.nnz, 4, 0.03)
+            if kway_serial.max_part > ceiling:
+                print(f"FAIL kway ceiling {name} kernel={kb}")
+                failures += 1
             for eb in exec_backends:
                 res = partition(
                     matrix, 4, method="mediumgrain", seed=BASE_SEED,
                     config=cfg, jobs=jobs, exec_backend=eb,
                 )
                 ok = np.array_equal(serial.parts, res.parts)
-                failures += not ok
+                kres = partition(
+                    matrix, 4, method="mediumgrain", seed=BASE_SEED,
+                    config=cfg, jobs=jobs, exec_backend=eb, algo="kway",
+                )
+                kok = np.array_equal(kway_serial.parts, kres.parts)
+                failures += (not ok) + (not kok)
                 print(
                     f"  {name:14s} kernel={kb:6s} exec={eb:14s} "
                     f"volume={res.volume:<6d} "
-                    f"{'ok' if ok else 'MISMATCH'}"
+                    f"{'ok' if ok else 'MISMATCH'}  "
+                    f"kway={kres.volume:<6d} "
+                    f"{'ok' if kok else 'MISMATCH'}"
                 )
     resolved = kernels.resolve_backend("auto").name
     print(
         f"\nsmoke: {len(kernel_backends)} kernel backend(s) x "
         f"{len(exec_backends)} exec backend(s) x {len(SMOKE_MATRICES)} "
-        f"matrices, jobs={jobs} (auto kernel backend: {resolved}); "
-        f"{failures} failure(s)"
+        f"matrices x (recursive + kway), jobs={jobs} "
+        f"(auto kernel backend: {resolved}); {failures} failure(s)"
     )
     return 1 if failures else 0
 
@@ -698,6 +860,9 @@ def main(argv=None) -> int:
           f"baseline): x{report['pway']['geomean_speedup_parallel']}")
     print(f"geomean exec-layer speedup (shared-memory vs pickled pool): "
           f"x{report['exec']['geomean_speedup_shm']}")
+    print(f"geomean kway speedup over recursive bisection: "
+          f"x{report['kway']['geomean_speedup_kway']} at volume ratio "
+          f"{report['kway']['geomean_volume_ratio_by_p']}")
     print(f"written to {out}")
     return 0
 

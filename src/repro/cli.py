@@ -34,7 +34,7 @@ from pathlib import Path
 
 import dataclasses
 
-from repro.core.methods import METHOD_NAMES, bipartition
+from repro.core.methods import ALGO_NAMES, METHOD_NAMES, bipartition
 from repro.core.recursive import partition
 from repro.eval import experiments as exp
 from repro.kernels import BACKEND_CHOICES, resolve_backend
@@ -70,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=METHOD_NAMES,
     )
     p_part.add_argument("--nparts", type=int, default=2)
+    p_part.add_argument(
+        "--algo",
+        default="recursive",
+        choices=ALGO_NAMES,
+        help=(
+            "p-way scheme when --nparts > 2: recursive bisection "
+            "(the paper's), or the direct k-way partitioner optimizing "
+            "the connectivity-(lambda-1) volume in one shot"
+        ),
+    )
     p_part.add_argument("--eps", type=float, default=0.03)
     p_part.add_argument("--refine", action="store_true",
                         help="apply Algorithm-2 iterative refinement")
@@ -152,6 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
             "independently, so numba JIT warm-up is paid once per worker)"
         ),
     )
+    p_exp.add_argument(
+        "--algo",
+        default="recursive",
+        choices=ALGO_NAMES,
+        help=(
+            "p-way scheme for the p = 64 artifacts (fig6/table2): "
+            "recursive bisection or the direct k-way partitioner; "
+            "bipartition artifacts are unaffected"
+        ),
+    )
     return parser
 
 
@@ -169,6 +189,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         kernel_backend=args.backend,
         jobs=args.jobs,
         exec_backend=args.exec_backend,
+        algo=args.algo,
     )
     print(f"kernel backend    : {resolve_backend(args.backend).name} "
           f"(requested: {args.backend})")
@@ -201,7 +222,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         parts = res.parts
-        print(f"method            : {res.method} (recursive bisection)")
+        scheme = (
+            "direct k-way" if args.algo == "kway" else "recursive bisection"
+        )
+        print(f"method            : {res.method} ({scheme})")
         print(f"nparts            : {res.nparts} (jobs = {cfg.jobs})")
         print(f"communication vol : {res.volume}")
         print(f"max part size     : {res.max_part}")
@@ -283,6 +307,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             progress=args.progress,
             jobs=args.jobs,
             backend=args.backend,
+            algo=args.algo,
         )
         if wanted in ("fig6", "all"):
             reports.append(exp.run_fig6_profiles(data_p2, data_p64))

@@ -1,0 +1,282 @@
+"""Direct k-way partitioning over the paper's hypergraph models.
+
+Every ``p``-way result elsewhere in this repository comes from recursive
+bisection (:mod:`repro.core.recursive`): each cut optimizes a two-sided
+objective blind to the final k-way connectivity-(λ−1) volume.  This
+module is the head-to-head alternative the literature frames against it
+(Knigge & Bisseling, arXiv:1811.02043; Fagginger Auer & Bisseling,
+arXiv:1105.4490): partition the hypergraph into ``p`` parts *directly*,
+optimizing the k-way metric itself.
+
+Pipeline (``method="mediumgrain"``):
+
+1. Algorithm-1 split of the full matrix, composite hypergraph
+   (:mod:`repro.core.medium_grain`) — one build, no recursion tree;
+2. balanced greedy initial assignment of the group vertices, heaviest
+   vertex first into the lightest part *with room* under the eqn-(1)
+   ceiling (:func:`greedy_kway_vertex_parts`);
+3. k-way FM refinement (:func:`repro.partitioner.fm.kway_refine`) whose
+   move loop maintains per-net part-occupancy counts and exact
+   connectivity-λ gains through the kernel backends;
+4. eqn-(5) mapping back to the nonzeros; by eqn (6) the hypergraph's
+   connectivity-(λ−1) cut *is* the matrix communication volume.
+5. optionally (``refine=True``) the k-way iterate loop: re-encode the
+   partitioning with majority splits and refine again, keeping the best
+   (:func:`repro.core.refine.iterative_refine` with ``nparts > 2``).
+
+The 1D models and the fine-grain model plug into the same engine (their
+vertex weights are nonzero counts too), so every method label of
+:data:`repro.core.methods.METHOD_NAMES` works under ``algo="kway"``.
+
+Determinism: the result is a pure function of ``(matrix, arguments,
+seed)``.  There is no recursion tree to schedule, so ``jobs`` and
+``exec_backend`` do not apply — the partition is trivially bit-identical
+across every parallelism knob, and across kernel backends by the usual
+bit-compatibility contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.medium_grain import build_medium_grain
+from repro.core.methods import METHOD_NAMES, _build_model
+from repro.core.recursive import PartitionResult
+from repro.core.refine import iterative_refine
+from repro.core.split import initial_split
+from repro.core.volume import (
+    communication_volume,
+    imbalance,
+    max_part_size,
+)
+from repro.errors import PartitioningError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.kernels import KernelBackend, resolve_backend
+from repro.partitioner.config import PartitionerConfig, get_config
+from repro.partitioner.fm import kway_refine
+from repro.sparse.matrix import SparseMatrix
+from repro.utils.balance import max_allowed_part_size
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Timer
+from repro.utils.validation import check_eps, check_pos_int
+
+__all__ = ["partition_kway", "greedy_kway_vertex_parts"]
+
+
+def greedy_kway_vertex_parts(
+    h: Hypergraph,
+    nparts: int,
+    ceilings: np.ndarray,
+    rng: np.random.Generator,
+    strategy: str = "balance",
+) -> np.ndarray:
+    """Balanced greedy initial k-way assignment of the vertices.
+
+    Heaviest vertex first (ties shuffled by ``rng`` so restarts differ);
+    when no part has room the lightest part overall takes the vertex —
+    the start is then infeasible and the k-way FM pass drives it
+    feasible with forced moves.  Two placement disciplines:
+
+    ``"balance"``
+        Each vertex into the lightest part with room (ties to the lowest
+        part id) — longest-processing-time, keeping ``max_k w_k`` near
+        the eqn-(1) ceiling and the start maximally even.
+    ``"pack"``
+        First-fit decreasing: each vertex into the lowest-id part with
+        room.  Packs early parts tight and leaves the tail parts slack —
+        worse spread, but it fits tight instances (nearly uniform heavy
+        weights against a snug ceiling) that defeat the even spread.
+    """
+    if strategy not in ("balance", "pack"):
+        raise PartitioningError(
+            f"unknown initial-assignment strategy {strategy!r}"
+        )
+    pack = strategy == "pack"
+    k = int(nparts)
+    nverts = h.nverts
+    perm = rng.permutation(nverts)
+    order = perm[np.argsort(-h.vwgt[perm], kind="stable")]
+    ceil_l = [int(c) for c in ceilings]
+    vw_l = h.vwgt.tolist()
+    pw = [0] * k
+    out = np.empty(nverts, dtype=np.int64)
+    for v in order.tolist():
+        wv = vw_l[v]
+        best = -1
+        best_w = -1
+        any_p = 0
+        any_w = pw[0]
+        for p in range(k):
+            w = pw[p]
+            if w < any_w:
+                any_w = w
+                any_p = p
+            if w + wv <= ceil_l[p]:
+                if pack:
+                    best = p
+                    break
+                if best == -1 or w < best_w:
+                    best = p
+                    best_w = w
+        if best == -1:
+            best = any_p
+        out[v] = best
+        pw[best] += wv
+    return out
+
+
+def _kway_vertex_partition(
+    h: Hypergraph,
+    nparts: int,
+    ceilings: np.ndarray,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    backend: KernelBackend,
+) -> np.ndarray:
+    """Greedy initial assignment + k-way FM on one hypergraph.
+
+    A feasible start provably stays feasible through the FM passes (the
+    best-prefix bookkeeping never records an infeasible state once one
+    feasible state exists), so the initial assignment is retried with
+    fresh tie-break orders — up to ``cfg.n_initial`` times, mirroring
+    the coarsest-level restarts of the 2-way engine — until the packing
+    fits, alternating the even-spread and first-fit disciplines (an
+    instance of nearly uniform heavy weights against a snug ceiling
+    defeats the even spread on *every* order, but first-fit packs it);
+    the least-overweight attempt is kept otherwise and the FM
+    rebalancing pass gets to repair it.
+    """
+    best: np.ndarray | None = None
+    best_over: int | None = None
+    for attempt in range(max(1, cfg.n_initial)):
+        vparts = greedy_kway_vertex_parts(
+            h, nparts, ceilings, rng,
+            strategy="balance" if attempt % 2 == 0 else "pack",
+        )
+        pw = np.bincount(vparts, weights=h.vwgt, minlength=nparts)
+        over = int((pw - ceilings).max(initial=0))
+        if best_over is None or over < best_over:
+            best, best_over = vparts, over
+        if over <= 0:
+            break
+    assert best is not None
+    result = kway_refine(
+        h, best, nparts, ceilings, cfg, rng, backend=backend
+    )
+    return result.parts
+
+
+def partition_kway(
+    matrix: SparseMatrix,
+    nparts: int,
+    method: str = "mediumgrain",
+    eps: float = 0.03,
+    refine: bool = False,
+    config: PartitionerConfig | str = "mondriaan",
+    seed: SeedLike = None,
+) -> PartitionResult:
+    """Partition the nonzeros of ``matrix`` into ``nparts`` parts directly.
+
+    The k-way counterpart of recursive bisection — same signature core,
+    same :class:`~repro.core.recursive.PartitionResult`, reached through
+    :func:`repro.core.recursive.partition` with ``algo="kway"``.  Every
+    part shares the single eqn-(1) ceiling
+    ``max_allowed_part_size(nnz, nparts, eps)``.
+
+    ``refine=True`` runs the generalized Algorithm-2 iterate loop after
+    the direct partitioning (alternating majority re-encodings, keeping
+    the best — see :func:`repro.core.refine.iterative_refine`).
+
+    ``bisection_volumes`` of the result stays empty: there are no
+    bisections.
+    """
+    nparts = check_pos_int(nparts, "nparts")
+    check_eps(eps)
+    if method not in METHOD_NAMES:
+        raise PartitioningError(
+            f"unknown method {method!r}; expected one of {METHOD_NAMES}"
+        )
+    cfg = get_config(config)
+    rng = as_generator(seed)
+    backend = resolve_backend(cfg.kernel_backend)
+    n = matrix.nnz
+    if nparts > max(n, 1):
+        raise PartitioningError(
+            f"cannot split {n} nonzeros into {nparts} non-trivial parts"
+        )
+    ceiling = max_allowed_part_size(n, nparts, eps)
+    ceilings = np.full(nparts, ceiling, dtype=np.int64)
+
+    timer = Timer()
+    with timer:
+        if nparts == 1:
+            parts = np.zeros(n, dtype=np.int64)
+        elif method == "localbest":
+            parts = _run_localbest_kway(
+                matrix, nparts, ceilings, cfg, rng, backend
+            )
+        elif method == "mediumgrain":
+            split = initial_split(matrix, rng)
+            instance = build_medium_grain(split)
+            vparts = _kway_vertex_partition(
+                instance.hypergraph, nparts, ceilings, cfg, rng, backend
+            )
+            parts = instance.nonzero_parts(vparts)
+        else:
+            model = _build_model(matrix, method)
+            vparts = _kway_vertex_partition(
+                model.hypergraph, nparts, ceilings, cfg, rng, backend
+            )
+            parts = model.nonzero_parts(vparts)
+        if refine and nparts > 1:
+            parts, _trace = iterative_refine(
+                matrix,
+                parts,
+                eps,
+                cfg,
+                rng,
+                nparts=nparts,
+                max_weights=ceilings if nparts > 2 else (ceiling, ceiling),
+                backend=backend,
+            )
+
+    biggest = max_part_size(matrix, parts, nparts)
+    return PartitionResult(
+        parts=parts,
+        nparts=nparts,
+        volume=communication_volume(matrix, parts),
+        max_part=biggest,
+        feasible=biggest <= ceiling,
+        imbalance=imbalance(matrix, parts, nparts),
+        seconds=timer.elapsed,
+        method=method + ("+ir" if refine else ""),
+        bisection_volumes=[],
+    )
+
+
+def _run_localbest_kway(
+    matrix: SparseMatrix,
+    nparts: int,
+    ceilings: np.ndarray,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    backend: KernelBackend,
+) -> np.ndarray:
+    """Row-net and column-net k-way runs, keep the lower volume (ties:
+    better balance, then row-net) — the k-way mirror of ``localbest``."""
+    best_parts: np.ndarray | None = None
+    best_key: tuple | None = None
+    for name in ("rownet", "colnet"):
+        model = _build_model(matrix, name)
+        vparts = _kway_vertex_partition(
+            model.hypergraph, nparts, ceilings, cfg, rng, backend
+        )
+        parts = model.nonzero_parts(vparts)
+        key = (
+            communication_volume(matrix, parts),
+            max_part_size(matrix, parts, nparts),
+        )
+        if best_key is None or key < best_key:
+            best_parts, best_key = parts, key
+    assert best_parts is not None
+    return best_parts

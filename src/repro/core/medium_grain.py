@@ -40,7 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PartitioningError
-from repro.core.split import Split
+from repro.core.split import Split, majority_parts
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.sparse.matrix import SparseMatrix
 
@@ -78,6 +78,17 @@ class MediumGrainInstance:
         return self.split.matrix
 
     # ------------------------------------------------------------------ #
+    def _nonzero_groups(self) -> np.ndarray:
+        """Group-vertex id per canonical nonzero (``Ar`` entries map to
+        their row group, ``Ac`` entries to their column group) — the
+        shared index both lift directions are built on."""
+        a = self.matrix
+        ar = self.split.ar_mask
+        group = np.empty(a.nnz, dtype=np.int64)
+        group[ar] = self.row_group_vertex[a.rows[ar]]
+        group[~ar] = self.col_group_vertex[a.cols[~ar]]
+        return group
+
     def nonzero_parts(self, vertex_parts: np.ndarray) -> np.ndarray:
         """Map a vertex partitioning of ``B`` back to the nonzeros of ``A``
         (paper eqn (5)): an ``Ar`` nonzero follows its row group, an ``Ac``
@@ -117,10 +128,7 @@ class MediumGrainInstance:
         parts = parts.astype(np.int64, copy=False)
         nv = self.hypergraph.nverts
         vparts = np.full(nv, -1, dtype=np.int64)
-        ar = self.split.ar_mask
-        group = np.empty(a.nnz, dtype=np.int64)
-        group[ar] = self.row_group_vertex[a.rows[ar]]
-        group[~ar] = self.col_group_vertex[a.cols[~ar]]
+        group = self._nonzero_groups()
         # Fancy assignment keeps the last writer per group; constancy is
         # then verified in one vectorized comparison.
         vparts[group] = parts
@@ -136,6 +144,39 @@ class MediumGrainInstance:
                 "internal error: some medium-grain vertex received no part"
             )
         return vparts
+
+    def vertex_parts_majority(
+        self, parts: np.ndarray, nparts: int
+    ) -> np.ndarray:
+        """Lift *any* nonzero partitioning to a vertex partitioning by
+        per-group majority vote (ties to the lowest part id).
+
+        The tolerant counterpart of :meth:`vertex_parts_from_nonzero`:
+        groups whose nonzeros disagree take their most frequent part
+        instead of raising.  Exact (identical to the strict lift) when
+        the partitioning is constant on every group — the k-way iterate
+        loop uses this to re-encode partitionings no split can express
+        exactly (see :func:`repro.core.split.split_from_kway`).
+        """
+        parts = np.asarray(parts)
+        a = self.matrix
+        if parts.shape != (a.nnz,):
+            raise PartitioningError(
+                f"parts must have shape ({a.nnz},), got {parts.shape}"
+            )
+        parts = parts.astype(np.int64, copy=False)
+        k = int(nparts)
+        if parts.size and (parts.min() < 0 or parts.max() >= k):
+            raise PartitioningError(
+                f"part ids must lie in [0, {k})"
+            )
+        # Every active group holds at least one nonzero, so each group's
+        # vote is over a non-empty set and the argmax (ties to the
+        # lowest part id, same discipline as the split-side votes) is a
+        # genuine majority.
+        return majority_parts(
+            self._nonzero_groups(), parts, self.hypergraph.nverts, k
+        )
 
 
 def build_medium_grain(split: Split) -> MediumGrainInstance:

@@ -45,14 +45,18 @@ from repro.hypergraph.models import (
     row_net_model,
 )
 from repro.partitioner.bipartition import bipartition_hypergraph
-from repro.partitioner.config import PartitionerConfig, get_config
+from repro.partitioner.config import (
+    ALGO_CHOICES,
+    PartitionerConfig,
+    get_config,
+)
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.balance import max_allowed_part_size
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 from repro.utils.validation import check_eps
 
-__all__ = ["METHOD_NAMES", "BipartitionResult", "bipartition"]
+__all__ = ["METHOD_NAMES", "ALGO_NAMES", "BipartitionResult", "bipartition"]
 
 METHOD_NAMES = (
     "rownet",
@@ -61,6 +65,13 @@ METHOD_NAMES = (
     "finegrain",
     "mediumgrain",
 )
+
+#: The registered p-way partitioning algorithms every method above can
+#: run under (see :func:`repro.core.recursive.partition`'s ``algo``):
+#: ``"recursive"`` — recursive bisection, each split a full method run;
+#: ``"kway"`` — the direct k-way partitioner (:mod:`repro.core.kway`)
+#: optimizing the connectivity-(λ−1) volume in one shot.
+ALGO_NAMES = ALGO_CHOICES
 
 
 @dataclass

@@ -157,21 +157,31 @@ def partition(
     seed: SeedLike = None,
     jobs: int | None = None,
     exec_backend: str | None = None,
+    algo: str | None = None,
 ) -> PartitionResult:
-    """Partition the nonzeros of ``matrix`` into ``nparts`` parts by
-    recursive bisection.
+    """Partition the nonzeros of ``matrix`` into ``nparts`` parts.
 
     Parameters mirror :func:`repro.core.methods.bipartition`; ``refine``
-    applies Algorithm-2 iterative refinement inside every bisection step.
-    ``nparts`` may be any positive integer (not only powers of two): an
-    uneven split hands ``floor(q/2)`` parts to one side and the rest to
-    the other, with proportional ceilings.
+    applies Algorithm-2 iterative refinement inside every bisection step
+    (or, under ``algo="kway"``, the generalized k-way iterate loop after
+    the direct partitioning).  ``nparts`` may be any positive integer
+    (not only powers of two): an uneven split hands ``floor(q/2)`` parts
+    to one side and the rest to the other, with proportional ceilings.
+
+    ``algo`` selects the p-way scheme (``None`` = the config's
+    :attr:`~repro.partitioner.config.PartitionerConfig.algo`):
+    ``"recursive"`` — the paper's recursive bisection, implemented here —
+    or ``"kway"`` — the direct k-way partitioner of
+    :mod:`repro.core.kway`, which optimizes the connectivity-(λ−1)
+    volume in one shot and is delegated to after validation.
 
     ``jobs`` schedules independent subtrees of the recursion on a process
     pool (``1`` = serial, ``0`` = CPU count, ``None`` = the config's
     :attr:`~repro.partitioner.config.PartitionerConfig.jobs`).  The result
     is bit-identical for every ``jobs`` value: each bisection's randomness
-    is keyed on its tree position, not on traversal order.
+    is keyed on its tree position, not on traversal order.  The direct
+    k-way partitioner has no tree to schedule, so ``jobs`` and
+    ``exec_backend`` are validated but do not apply there.
 
     ``exec_backend`` picks how those workers run and receive their
     submatrices (threads / shared-memory processes / pickled-payload
@@ -183,6 +193,8 @@ def partition(
     nparts = check_pos_int(nparts, "nparts")
     check_eps(eps)
     cfg = get_config(config)
+    if algo is None:
+        algo = cfg.algo
     if jobs is None:
         jobs = cfg.jobs
     jobs = resolve_jobs(jobs, error=PartitioningError)
@@ -195,6 +207,20 @@ def partition(
         exec_backend = resolve_exec_backend(exec_backend)
     except ValueError as exc:
         raise PartitioningError(str(exc)) from None
+    if algo == "kway":
+        from repro.core.kway import partition_kway
+
+        return partition_kway(
+            matrix, nparts, method=method, eps=eps, refine=refine,
+            config=cfg, seed=seed,
+        )
+    if algo != "recursive":
+        from repro.partitioner.config import ALGO_CHOICES
+
+        raise PartitioningError(
+            f"unknown partitioning algorithm {algo!r}; "
+            f"expected one of {ALGO_CHOICES}"
+        )
     root_seed = as_seed_sequence(seed)
     n = matrix.nnz
     if nparts > max(n, 1):

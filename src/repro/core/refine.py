@@ -24,12 +24,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.medium_grain import build_medium_grain
-from repro.core.split import split_from_bipartition
+from repro.core.split import split_from_bipartition, split_from_kway
 from repro.core.volume import check_nonzero_parts, communication_volume
 from repro.errors import PartitioningError
 from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
-from repro.partitioner.fm import fm_refine
+from repro.partitioner.fm import fm_refine, kway_refine
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.balance import max_allowed_part_size
 from repro.utils.rng import SeedLike, as_generator
@@ -82,35 +82,52 @@ def iterative_refine(
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
     *,
-    max_weights: tuple[int, int] | None = None,
+    nparts: int | None = None,
+    max_weights=None,
     max_iterations: int = 64,
     start_direction: int = 0,
     alternate: bool = True,
     backend: KernelBackend | None = None,
     initial_volume: int | None = None,
 ) -> tuple[np.ndarray, RefinementTrace]:
-    """Iteratively refine a bipartitioning (Algorithm 2).
+    """Iteratively refine a partitioning (Algorithm 2, generalized).
 
     Parameters
     ----------
     matrix:
         The partitioned matrix.
     parts:
-        0/1 part per canonical nonzero; not modified.
+        Part id per canonical nonzero; not modified.
     eps:
-        Load-imbalance fraction defining the per-side ceilings when
+        Load-imbalance fraction defining the per-part ceilings when
         ``max_weights`` is not given.
     config, seed:
         Partitioner preset (its FM settings drive the KL runs) and RNG.
+    nparts:
+        Number of parts.  ``None`` (default) or ``2`` runs the paper's
+        Algorithm 2 on a bipartitioning, unchanged.  ``nparts > 2``
+        drives the k-way generalization: each iteration re-encodes the
+        best partitioning with a *majority* split
+        (:func:`repro.core.split.split_from_kway` — no split can express
+        an arbitrary k-way partitioning exactly), lifts the impure side
+        by group majority, runs one k-way FM refinement
+        (:func:`repro.partitioner.fm.kway_refine`), and keeps the result
+        under a balance-first lexicographic rule: restored feasibility
+        always wins, then strictly lower volume.  The traced best-so-far
+        volume sequence is monotone non-increasing (up to one jump when
+        feasibility is first restored); the direction alternation and
+        the double-stagnation stopping rule carry over verbatim.
     max_weights:
-        Explicit per-side nonzero-count ceilings (recursive bisection
-        hands down its budget here).
+        Explicit per-part nonzero-count ceilings: a ``(maxW0, maxW1)``
+        pair for bipartitionings (recursive bisection hands down its
+        budget here), a length-``nparts`` sequence for ``nparts > 2``.
     max_iterations:
         Safety cap; Algorithm 2 as published always terminates (monotone
         integer sequence), but each iteration costs an FM run, so runaway
         plateaus are cut off.
     start_direction:
-        Which encoding to try first (0: ``Ar <- A0``, the paper's choice).
+        Which encoding to try first (0: ``Ar <- A0``, the paper's choice;
+        for k parts: rows take their majority part first).
     alternate:
         The paper's policy switches the encoding direction whenever an
         iteration stagnates (default).  ``alternate=False`` keeps a single
@@ -132,19 +149,40 @@ def iterative_refine(
         The refined part vector (fresh array) and a
         :class:`RefinementTrace`.
     """
-    parts = check_nonzero_parts(matrix, parts, 2).copy()
-    if parts.size and int(parts.max()) > 1:
+    k = 2 if nparts is None else int(nparts)
+    if k < 1:
+        raise PartitioningError(f"nparts must be positive, got {nparts}")
+    parts = check_nonzero_parts(matrix, parts, k).copy()
+    if k == 2 and parts.size and int(parts.max()) > 1:
         raise PartitioningError("iterative_refine expects a bipartitioning")
     cfg = get_config(config)
     rng = as_generator(seed)
-    if max_weights is None:
-        check_eps(eps)
-        ceiling = max_allowed_part_size(matrix.nnz, 2, eps)
-        max_weights = (ceiling, ceiling)
     if start_direction not in (0, 1):
         raise PartitioningError(
             f"start_direction must be 0 or 1, got {start_direction}"
         )
+    if k > 2:
+        return _kway_iterative_refine(
+            matrix, parts, k, eps, cfg, rng,
+            max_weights=max_weights,
+            max_iterations=max_iterations,
+            start_direction=start_direction,
+            alternate=alternate,
+            backend=backend,
+            initial_volume=initial_volume,
+        )
+    if k == 1:
+        trace = RefinementTrace(converged=True)
+        trace.volumes = [
+            int(initial_volume)
+            if initial_volume is not None
+            else communication_volume(matrix, parts)
+        ]
+        return parts, trace
+    if max_weights is None:
+        check_eps(eps)
+        ceiling = max_allowed_part_size(matrix.nnz, 2, eps)
+        max_weights = (ceiling, ceiling)
 
     if backend is None:
         backend = resolve_backend(cfg.kernel_backend)
@@ -181,6 +219,96 @@ def iterative_refine(
     trace.volumes = volumes
     trace.iterations = len(trace.directions)
     return parts, trace
+
+
+def _kway_iterative_refine(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    nparts: int,
+    eps: float,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    *,
+    max_weights,
+    max_iterations: int,
+    start_direction: int,
+    alternate: bool,
+    backend: KernelBackend | None,
+    initial_volume: int | None,
+) -> tuple[np.ndarray, RefinementTrace]:
+    """The ``nparts > 2`` body of :func:`iterative_refine` (keep-best
+    alternation over majority re-encodings; see its docstring)."""
+    if max_weights is None:
+        check_eps(eps)
+        ceiling = max_allowed_part_size(matrix.nnz, nparts, eps)
+        ceilings = np.full(nparts, ceiling, dtype=np.int64)
+    else:
+        ceilings = np.ascontiguousarray(max_weights, dtype=np.int64)
+        if ceilings.shape != (nparts,):
+            raise PartitioningError(
+                f"max_weights must have length {nparts}, "
+                f"got shape {ceilings.shape}"
+            )
+    if backend is None:
+        backend = resolve_backend(cfg.kernel_backend)
+    trace = RefinementTrace()
+    if initial_volume is None:
+        initial_volume = communication_volume(matrix, parts)
+
+    def _feasible(p: np.ndarray) -> bool:
+        return bool(
+            (np.bincount(p, minlength=nparts) <= ceilings).all()
+        )
+
+    volumes = [int(initial_volume)]
+    best = parts
+    best_feasible = _feasible(parts)
+    direction = start_direction
+    k = 1
+    while k <= max_iterations:
+        split = split_from_kway(matrix, best, direction, nparts=nparts)
+        instance = build_medium_grain(split)
+        vparts = instance.vertex_parts_majority(best, nparts)
+        result = kway_refine(
+            instance.hypergraph, vparts, nparts, ceilings, cfg, rng,
+            backend=backend,
+        )
+        cand = instance.nonzero_parts(result.parts)
+        vol = communication_volume(matrix, cand)
+        # The majority lift may not reproduce ``best`` exactly, so an
+        # iteration can regress — in volume OR in balance (an infeasible
+        # encoding the FM pass failed to rebalance comes back with its
+        # low volume intact).  Keep-best is therefore *lexicographic*,
+        # balance first: a feasible candidate always replaces an
+        # infeasible best (even at higher volume — restoring eqn (1) is
+        # worth volume, the same priority the FM pass itself applies),
+        # and within equal feasibility only a strictly lower volume
+        # wins.  The traced sequence is monotone non-increasing except
+        # for at most one jump, when feasibility is first restored.
+        cand_feasible = _feasible(cand)
+        if (cand_feasible, -vol) > (best_feasible, -volumes[k - 1]):
+            best = cand
+            best_feasible = cand_feasible
+            vk = vol
+        else:
+            vk = volumes[k - 1]
+        volumes.append(vk)
+        trace.directions.append(direction)
+        if vk == volumes[k - 1]:
+            if not alternate:
+                trace.converged = True
+                k += 1
+                break
+            direction = 1 - direction
+        if k > 1 and vk == volumes[k - 2]:
+            trace.converged = True
+            k += 1
+            break
+        k += 1
+
+    trace.volumes = volumes
+    trace.iterations = len(trace.directions)
+    return best, trace
 
 
 def vcycle_refine_bipartition(

@@ -34,7 +34,13 @@ from repro.errors import SplitError
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["Split", "initial_split", "split_from_bipartition"]
+__all__ = [
+    "Split",
+    "initial_split",
+    "split_from_bipartition",
+    "split_from_kway",
+    "majority_parts",
+]
 
 
 @dataclass(frozen=True)
@@ -229,4 +235,75 @@ def split_from_bipartition(
     if direction not in (0, 1):
         raise SplitError(f"direction must be 0 or 1, got {direction}")
     in_ar = parts == 0 if direction == 0 else parts == 1
+    return Split(matrix, in_ar)
+
+
+def majority_parts(
+    index: np.ndarray, parts: np.ndarray, extent: int, nparts: int
+) -> np.ndarray:
+    """Majority part per group of ``index`` (ties to the lowest id).
+
+    The shared majority-vote kernel of the k-way re-encoding machinery:
+    :func:`split_from_kway` votes per row/column here, and
+    :meth:`repro.core.medium_grain.MediumGrainInstance.
+    vertex_parts_majority` votes per medium-grain group — one
+    implementation so the tie discipline cannot silently diverge
+    between the two lifts.
+    """
+    counts = np.bincount(
+        index * np.int64(nparts) + parts, minlength=extent * nparts
+    ).reshape(extent, nparts)
+    return counts.argmax(axis=1).astype(np.int64)
+
+
+def split_from_kway(
+    matrix: SparseMatrix,
+    parts: np.ndarray,
+    direction: int,
+    nparts: int | None = None,
+) -> Split:
+    """Re-encode a k-way partitioning as a split (majority rule).
+
+    The k-way generalization of :func:`split_from_bipartition`.  For two
+    parts every bipartitioning is exactly expressible under the re-
+    encoded split; for ``k > 2`` no split can make an arbitrary k-way
+    partitioning constant on all groups (a row and a column may each see
+    three parts), so the re-encoding is *majority-driven* instead:
+
+    * ``direction == 0`` — every row takes its majority part (ties to
+      the lowest id); a nonzero joins ``Ar`` iff it matches its row's
+      majority.  Row groups are then pure by construction; column groups
+      collect the strays.
+    * ``direction == 1`` — dually: a nonzero joins ``Ac`` iff it matches
+      its column's majority, making the column groups pure.
+
+    The k-way iterate loop (:func:`repro.core.refine.iterative_refine`
+    with ``nparts > 2``) alternates the two directions and lifts the
+    impure side by group majority, keeping the best result — monotone by
+    best-keeping where Algorithm 2 is monotone by exact expressibility.
+    """
+    parts = np.asarray(parts)
+    if parts.shape != (matrix.nnz,):
+        raise SplitError(
+            f"parts must have shape ({matrix.nnz},), got {parts.shape}"
+        )
+    parts = parts.astype(np.int64, copy=False)
+    if parts.size and parts.min() < 0:
+        raise SplitError("negative part id in k-way partitioning")
+    if direction not in (0, 1):
+        raise SplitError(f"direction must be 0 or 1, got {direction}")
+    k = int(nparts) if nparts is not None else (
+        int(parts.max()) + 1 if parts.size else 1
+    )
+    if parts.size and int(parts.max()) >= k:
+        raise SplitError(
+            f"part id {int(parts.max())} out of range for nparts={k}"
+        )
+    m, n = matrix.shape
+    if direction == 0:
+        majority = majority_parts(matrix.rows, parts, m, k)
+        in_ar = parts == majority[matrix.rows]
+    else:
+        majority = majority_parts(matrix.cols, parts, n, k)
+        in_ar = parts != majority[matrix.cols]
     return Split(matrix, in_ar)

@@ -150,6 +150,7 @@ def collect_paper_runs(
     progress: bool = False,
     jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
+    algo: str = "recursive",
 ) -> ExperimentData:
     """Run (and memoize) the six-method sweep used by several artifacts.
 
@@ -158,11 +159,13 @@ def collect_paper_runs(
     not part of the memoization key.  ``backend`` IS part of the key:
     volumes are bit-compatible across backends, but the recorded
     ``seconds`` — a first-class metric (Fig. 5, Table I) — depends
-    systematically on which backend ran.
+    systematically on which backend ran.  ``algo`` (the p-way scheme for
+    ``nparts > 2``) changes results outright, so it is part of the key
+    too.
     """
     key = (
         tier, max_tier, nruns, nparts, config, base_seed, with_bsp,
-        min_nnz, backend,
+        min_nnz, backend, algo,
     )
     if key in _sweep_cache:
         return _sweep_cache[key]
@@ -184,6 +187,7 @@ def collect_paper_runs(
         progress=progress,
         jobs=jobs,
         backend=backend,
+        algo=algo,
     )
     _sweep_cache[key] = data
     return data

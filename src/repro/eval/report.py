@@ -16,7 +16,15 @@ import numpy as np
 from repro.errors import EvaluationError
 from repro.eval.profiles import PerformanceProfile
 
-__all__ = ["ascii_profile_chart", "markdown_table", "write_csv", "format_float"]
+__all__ = [
+    "ascii_profile_chart",
+    "markdown_table",
+    "write_csv",
+    "format_float",
+    "PWAY_COLUMNS",
+    "pway_rows",
+    "pway_table",
+]
 
 _GLYPHS = "ox+*#@%&$"
 
@@ -96,6 +104,53 @@ def markdown_table(
                         cells[i] = f"**{cells[i]}**"
         out.append("| " + " | ".join(cells) + " |")
     return "\n".join(out)
+
+
+#: Column order of the p-way record tables: the connectivity-(λ−1)
+#: communication volume plus the eqn-(1) balance outcome per run.
+PWAY_COLUMNS = (
+    "instance",
+    "method",
+    "nparts",
+    "volume",
+    "max_part",
+    "imbalance",
+    "feasible",
+    "seconds",
+)
+
+
+def pway_rows(records) -> list[list[object]]:
+    """Rows (one per record) for the p-way comparison tables.
+
+    Each :class:`~repro.eval.runner.RunRecord` contributes its
+    connectivity-(λ−1) ``volume`` together with the balance columns —
+    ``max_part`` and the achieved ``imbalance`` (``max_k |A_k| / (N/p) -
+    1``) — that a k-way-vs-recursive comparison needs first-class.
+    Records predating those fields render them as ``"-"``.
+    """
+    rows: list[list[object]] = []
+    for r in records:
+        rows.append([
+            r.instance,
+            r.method,
+            r.nparts,
+            r.volume,
+            r.max_part if r.max_part is not None else "-",
+            (
+                format_float(r.imbalance, 4)
+                if r.imbalance is not None
+                else "-"
+            ),
+            r.feasible,
+            format_float(r.seconds, 3),
+        ])
+    return rows
+
+
+def pway_table(records) -> str:
+    """Markdown table of p-way records (see :func:`pway_rows`)."""
+    return markdown_table(PWAY_COLUMNS, pway_rows(records))
 
 
 def write_csv(

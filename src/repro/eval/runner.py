@@ -61,7 +61,13 @@ PAPER_METHODS: tuple[MethodSpec, ...] = (
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One (instance, method, run) measurement."""
+    """One (instance, method, run) measurement.
+
+    ``volume`` is the connectivity-(λ−1) communication volume for any
+    ``nparts``; ``max_part`` / ``imbalance`` carry the eqn-(1) balance
+    outcome so p-way comparisons (k-way direct vs recursive bisection)
+    report balance first-class instead of only the boolean ``feasible``.
+    """
 
     instance: str
     matrix_class: str  # "Rec" / "Sym" / "Sqr"
@@ -72,6 +78,8 @@ class RunRecord:
     seconds: float
     feasible: bool
     bsp: Optional[int] = None
+    max_part: Optional[int] = None
+    imbalance: Optional[float] = None
 
 
 @dataclass
@@ -164,6 +172,7 @@ def run_methods(
     progress: bool = False,
     jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
+    algo: str = "recursive",
 ) -> ExperimentData:
     """Run the paper's protocol over a set of collection entries.
 
@@ -199,6 +208,11 @@ def run_methods(
     backend:
         Kernel backend for the hot loops (``"auto"`` / ``"python"`` /
         ``"numba"``); bit-compatible, so a speed knob only.
+    algo:
+        p-way partitioning scheme for ``nparts > 2`` runs:
+        ``"recursive"`` bisection (default) or the direct ``"kway"``
+        partitioner.  Unlike ``backend`` this changes the results — it
+        is the comparison axis of the kway-vs-recursive experiments.
 
     Returns
     -------
@@ -214,6 +228,7 @@ def run_methods(
         base_seed=base_seed,
         with_bsp=with_bsp,
         backend=backend,
+        algo=algo,
     )
     data = ExperimentData()
     for record in run_sweep(specs, jobs=jobs, progress=progress):

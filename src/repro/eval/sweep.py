@@ -43,13 +43,22 @@ items:
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import EvaluationError
 from repro.sparse.collection import CollectionEntry, load_instance
-from repro.utils.executor import JobsBudget, drop_process_pool, pool_map
+from repro.utils.executor import (
+    STORE_CAP,
+    JobsBudget,
+    SharedMatrixStore,
+    account_payload,
+    drop_process_pool,
+    pool_map,
+    pool_submit,
+)
 from repro.utils.parallel import resolve_jobs as _resolve_jobs
 from repro.utils.rng import spawn_seeds
 
@@ -95,6 +104,11 @@ class RunSpec:
     #: :class:`~repro.utils.executor.JobsBudget` split — a speed knob
     #: only, the record is bit-identical for every value.
     jobs: int = 1
+    #: p-way partitioning scheme for ``nparts > 2`` runs: ``"recursive"``
+    #: bisection or the direct ``"kway"`` partitioner (see
+    #: :func:`repro.core.recursive.partition`'s ``algo``).  Ignored for
+    #: bipartitionings.
+    algo: str = "recursive"
 
 
 def build_runspecs(
@@ -109,6 +123,7 @@ def build_runspecs(
     with_bsp: bool = False,
     backend: str = "auto",
     verify_spmv: bool = False,
+    algo: str = "recursive",
 ) -> list[RunSpec]:
     """Expand a sweep into specs in the canonical (serial) order.
 
@@ -139,18 +154,22 @@ def build_runspecs(
                         backend=backend,
                         with_bsp=with_bsp,
                         verify_spmv=verify_spmv,
+                        algo=algo,
                     )
                 )
     return specs
 
 
-def execute_runspec(spec: RunSpec):
+def execute_runspec(spec: RunSpec, matrix=None):
     """Execute one work item and return its :class:`RunRecord`.
 
     Importable at module level (process-pool workers pickle the function
     by reference).  The heavy per-instance objects — the matrix, its
     hypergraph models, kernel states — are cached per process via
-    :func:`load_instance` and the object caches hanging off it.
+    :func:`load_instance` and the object caches hanging off it;
+    ``matrix`` short-circuits the load when the caller already holds the
+    instance (shared-memory chunk delivery hands workers the published
+    matrix instead of rebuilding it by name).
     """
     import dataclasses
 
@@ -160,7 +179,8 @@ def execute_runspec(spec: RunSpec):
     from repro.partitioner.config import get_config
     from repro.spmv.bsp import bsp_cost
 
-    matrix = load_instance(spec.instance)
+    if matrix is None:
+        matrix = load_instance(spec.instance)
     cfg = get_config(spec.config)
     if spec.backend != cfg.kernel_backend:
         cfg = dataclasses.replace(cfg, kernel_backend=spec.backend)
@@ -183,6 +203,7 @@ def execute_runspec(spec: RunSpec):
             config=cfg,
             seed=spec.seed,
             jobs=spec.jobs,
+            algo=spec.algo,
         )
     bsp = None
     if spec.with_bsp:
@@ -207,12 +228,37 @@ def execute_runspec(spec: RunSpec):
         seconds=res.seconds,
         feasible=res.feasible,
         bsp=bsp,
+        max_part=res.max_part,
+        imbalance=res.imbalance,
     )
 
 
 def _execute_chunk(specs: list[RunSpec]) -> list:
     """Worker entry point: execute one chunk of specs in order."""
     return [execute_runspec(spec) for spec in specs]
+
+
+def _execute_chunk_shm(payload) -> list:
+    """Worker entry point for shared-memory chunk delivery.
+
+    The payload carries a :class:`~repro.utils.executor.MatrixHandle`
+    (a few dozen bytes) instead of relying on the worker rebuilding the
+    instance by name; attaching is zero-copy and cached per process, so
+    consecutive chunks of one instance in one worker share the matrix
+    object — and with it the kernel/SpMV state caches — exactly like the
+    name-loaded path did.  A ``None`` handle (the parent paced its
+    publications past the store cap) or an already-evicted segment falls
+    back to the by-name load; records are identical either way.
+    """
+    handle, name, specs = payload
+    if handle is None:
+        matrix = load_instance(name)
+    else:
+        try:
+            matrix = handle.open()
+        except FileNotFoundError:
+            matrix = load_instance(name)
+    return [execute_runspec(spec, matrix=matrix) for spec in specs]
 
 
 def _chunk_by_instance(specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
@@ -253,9 +299,14 @@ def run_sweep(
 
     ``exec_backend`` selects the worker flavour: ``"process"`` (the
     default — sweeps are dominated by per-run Python orchestration, so
-    processes sidestep the GIL) or ``"thread"`` (in-process workers;
-    chunks never split below instance boundaries there, so concurrent
-    threads never share one instance's cached kernel states).
+    processes sidestep the GIL; each chunk ships a
+    :class:`~repro.utils.executor.MatrixHandle` to its worker, which
+    attaches the published instance zero-copy instead of rebuilding it
+    by name) or ``"thread"`` (in-process workers; chunks never split
+    below instance boundaries there, so concurrent threads never share
+    one instance's cached kernel states).  Process-chunk payloads are
+    folded into any active
+    :func:`~repro.utils.executor.payload_audit`.
     """
     if exec_backend not in ("process", "thread"):
         raise EvaluationError(
@@ -296,17 +347,89 @@ def run_sweep(
         # instance would share its cached kernel states.)
         chunks = [[spec] for spec in specs]
     workers = min(jobs, len(chunks))
-    results = pool_map(exec_backend, workers, _execute_chunk, chunks)
     try:
-        for chunk, records in zip(chunks, results):
-            if progress:  # pragma: no cover - console side effect
-                print(f"[sweep] {chunk[0].instance}", flush=True)
-            yield from records
+        if exec_backend == "thread":
+            results = pool_map("thread", workers, _execute_chunk, chunks)
+            for chunk, records in zip(chunks, results):
+                if progress:  # pragma: no cover - console side effect
+                    print(f"[sweep] {chunk[0].instance}", flush=True)
+                yield from records
+        else:
+            for chunk, records in _run_chunks_shm(chunks, workers):
+                if progress:  # pragma: no cover - console side effect
+                    print(f"[sweep] {chunk[0].instance}", flush=True)
+                yield from records
     except BrokenProcessPool:
         # A worker died; forget the poisoned pool so the next sweep
         # starts fresh instead of failing forever.
         drop_process_pool()
         raise
+
+
+def _run_chunks_shm(
+    chunks: list[list[RunSpec]], workers: int
+) -> Iterator[tuple[list[RunSpec], list]]:
+    """Dispatch chunks to the shared process pool via the matrix store.
+
+    Chunks are instance-aligned, so each ships one
+    :class:`~repro.utils.executor.MatrixHandle` (publishing the instance
+    on first use — repeated chunks of one matrix reuse the live segment)
+    plus the specs; submission runs in a bounded window of ``2 *
+    workers`` — wide enough to keep every worker busy, narrow enough
+    that a long sweep publishes stores just ahead of the workers that
+    need them.  Publication itself is paced by the store cache's LRU
+    cap: while ``STORE_CAP`` *distinct instances* have handle-shipped
+    chunks in flight, chunks of further instances ship name-only (their
+    worker rebuilds the instance, exactly like the ``pool_map`` path
+    this replaces) instead of publishing a segment destined for
+    eviction before its worker attaches; chunks of already-published
+    instances always ship the live handle.  The worker-side by-name
+    fallback still covers any remaining eviction race.  Results stream
+    in submission order.
+
+    Publishing requires building each instance in the *parent* (the old
+    path had workers rebuild instances themselves, in parallel); the
+    window overlaps the parent's builds with worker compute, which wins
+    whenever partitioning dominates generation — the normal case — and
+    trades the old path's duplicated per-worker rebuilds for one
+    zero-copy publication per instance.
+    """
+    window = max(2, 2 * workers)
+    pending: deque = deque()
+    #: Distinct instances whose pending chunks shipped a handle -> count.
+    #: The publication gate works on *instances*, not chunks: a repeat
+    #: chunk of an already-published matrix reuses the live segment at
+    #: zero eviction risk, and only genuinely new instances count
+    #: against the cap.
+    live: dict[str, int] = {}
+    idx = 0
+    while idx < len(chunks) or pending:
+        while idx < len(chunks) and len(pending) < window:
+            chunk = chunks[idx]
+            name = chunk[0].instance
+            if name in live or len(live) < STORE_CAP:
+                handle = SharedMatrixStore.for_matrix(
+                    load_instance(name)
+                ).handle
+                live[name] = live.get(name, 0) + 1
+            else:
+                handle = None  # past the cap: would be evicted unused
+            payload = (handle, name, chunk)
+            account_payload([payload])
+            pending.append(
+                (chunk, handle is not None,
+                 pool_submit("process", workers,
+                             _execute_chunk_shm, payload))
+            )
+            idx += 1
+        chunk, had_handle, future = pending.popleft()
+        records = future.result()
+        if had_handle:
+            name = chunk[0].instance
+            live[name] -= 1
+            if not live[name]:
+                del live[name]
+        yield chunk, records
 
 
 @dataclass

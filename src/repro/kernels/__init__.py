@@ -39,6 +39,7 @@ import importlib.util
 
 from repro.errors import PartitioningError
 from repro.kernels.base import KernelBackend
+from repro.kernels.kway import compute_kway_setup
 from repro.kernels.python_backend import PythonBackend
 from repro.kernels.spmv import SpMVState
 from repro.kernels.state import FMPassState, compute_fm_setup
@@ -48,6 +49,7 @@ __all__ = [
     "FMPassState",
     "SpMVState",
     "compute_fm_setup",
+    "compute_kway_setup",
     "available_backends",
     "numba_available",
     "get_backend",

@@ -52,6 +52,27 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def kway_fm_pass(
+        self,
+        state: FMPassState,
+        parts: np.ndarray,
+        nparts: int,
+        ceilings: np.ndarray,
+        cfg,
+        rng: np.random.Generator,
+    ) -> tuple[int, bool]:
+        """One k-way FM pass on the connectivity-(λ−1) metric; mutates
+        ``parts`` in place.
+
+        ``parts`` holds part ids in ``[0, nparts)``; ``ceilings`` the
+        per-part weight ceilings (length ``nparts``).  The move loop
+        maintains per-net part-occupancy counts and exact connectivity
+        gains (see :mod:`repro.kernels.kway`), applies the best feasible
+        prefix, and returns ``(cut delta, feasible)`` exactly like
+        :meth:`fm_pass`.
+        """
+        raise NotImplementedError
+
     def match_vertices(
         self,
         state: FMPassState,

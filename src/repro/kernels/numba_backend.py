@@ -43,6 +43,7 @@ except ImportError:  # numba absent: keep kernels importable, interpreted
 
 
 from repro.kernels.base import KernelBackend
+from repro.kernels.kway import compute_kway_setup
 from repro.kernels.python_backend import merge_identical_nets
 from repro.kernels.state import FMPassState, compute_fm_setup
 
@@ -351,6 +352,324 @@ def _fm_move_loop(
 
 
 @njit(cache=True, nogil=True)
+def _kway_refile(head, nxt, prv, inside, bgain, maxptr, offset, u, newg):
+    """Re-key free vertex ``u`` to gain ``newg`` in the k-way buckets
+    (unlink if filed, else lazy-insert; LIFO at the new bucket head)."""
+    if inside[u]:
+        p = prv[u]
+        n2 = nxt[u]
+        if p != -1:
+            nxt[p] = n2
+        else:
+            head[bgain[u] + offset] = n2
+        if n2 != -1:
+            prv[n2] = p
+    else:
+        inside[u] = True
+    bgain[u] = newg
+    b = newg + offset
+    f = head[b]
+    nxt[u] = f
+    prv[u] = -1
+    if f != -1:
+        prv[f] = u
+    head[b] = u
+    if b > maxptr[0]:
+        maxptr[0] = b
+
+
+@njit(cache=True, nogil=True)
+def _kway_balance_metric(pw, ceilings):
+    """max over parts of the weight/ceiling ratio (ceiling 0 → 0/1 flag)."""
+    metric = 0.0
+    for p in range(pw.shape[0]):
+        cl = ceilings[p]
+        if cl != 0:
+            m = pw[p] / cl
+        else:
+            m = 1.0 if pw[p] > 0 else 0.0
+        if m > metric:
+            metric = m
+    return metric
+
+
+@njit(cache=True, nogil=True)
+def _kway_move_loop(
+    xpins,
+    pins,
+    xnets,
+    vnets,
+    ncost,
+    vwgt,
+    parts,
+    occ,
+    conn,
+    pw,
+    ceilings,
+    base,
+    bto,
+    bgain,
+    insert_mask,
+    insert_order,
+    head,
+    nxt,
+    prv,
+    inside,
+    locked,
+    moved,
+    moved_from,
+    offset,
+    slack,
+    stall_limit,
+):
+    """The sequential k-way FM move loop; mutates ``parts``/``occ``/
+    ``conn``/``pw`` and the cached best moves.
+
+    Statement-for-statement transliteration of
+    ``PythonBackend.kway_fm_pass`` (same selection order, same touch
+    rules, same tie-breaks); returns ``(best_cum, best_feasible)`` with
+    the best-prefix rollback already applied to ``parts``.
+    """
+    nverts = parts.shape[0]
+    k = pw.shape[0]
+    head[:] = -1
+    inside[:] = False
+    locked[:] = False
+    maxptr = np.empty(1, dtype=np.int64)
+    maxptr[0] = -1
+
+    for i in range(nverts):
+        v = insert_order[i]
+        if insert_mask[v]:
+            b = bgain[v] + offset
+            f = head[b]
+            nxt[v] = f
+            prv[v] = -1
+            if f != -1:
+                prv[f] = v
+            head[b] = v
+            inside[v] = True
+            if b > maxptr[0]:
+                maxptr[0] = b
+
+    n_over = 0
+    for p in range(k):
+        if pw[p] > ceilings[p]:
+            n_over += 1
+    best_feasible = n_over == 0
+    best_cum = 0
+    best_len = 0
+    best_metric = _kway_balance_metric(pw, ceilings)
+    cum = 0
+    n_moved = 0
+    stall = 0
+
+    while True:
+        # Selection: best-gain-first, first admissible vertex wins.
+        best_v = -1
+        # Transit slack only while feasible (see the reference backend).
+        if n_over == 0:
+            sl = slack
+        else:
+            sl = 0
+        while True:  # rescan after any up-refile (see reference)
+            raised = False
+            b = maxptr[0]
+            while b >= 0:
+                u = head[b]
+                if u == -1:
+                    # Tighten only if no up-refile raised the cursor.
+                    if maxptr[0] == b:
+                        maxptr[0] = b - 1
+                    b -= 1
+                    continue
+                while u != -1:
+                    s = parts[u]
+                    if n_over > 0 and pw[s] <= ceilings[s]:
+                        u = nxt[u]
+                        continue
+                    wu = vwgt[u]
+                    t = bto[u]
+                    if pw[t] + wu <= ceilings[t] + sl:
+                        best_v = u
+                        break
+                    # Cached target is full: re-aim at the best target
+                    # with room (see the reference backend).
+                    bt2 = -1
+                    bc2 = np.int64(-1)
+                    for t2 in range(k):
+                        if t2 == s:
+                            continue
+                        if pw[t2] + wu > ceilings[t2] + sl:
+                            continue
+                        cval = conn[u, t2]
+                        if cval > bc2:
+                            bc2 = cval
+                            bt2 = t2
+                    if bt2 == -1:
+                        u = nxt[u]
+                        continue
+                    newg = base[u] + bc2
+                    bto[u] = bt2
+                    if newg == bgain[u]:
+                        best_v = u
+                        break
+                    if newg > bgain[u]:
+                        raised = True
+                    unext = nxt[u]
+                    _kway_refile(
+                        head, nxt, prv, inside, bgain, maxptr,
+                        offset, u, newg,
+                    )
+                    u = unext
+                if best_v != -1:
+                    break
+                b -= 1
+            if best_v != -1 or not raised:
+                break
+        if best_v == -1:
+            break
+
+        v = best_v
+        s = parts[v]
+        t = bto[v]
+        g = bgain[v]
+        p_ = prv[v]
+        n2 = nxt[v]
+        if p_ != -1:
+            nxt[p_] = n2
+        else:
+            head[g + offset] = n2
+        if n2 != -1:
+            prv[n2] = p_
+        inside[v] = False
+        locked[v] = True
+
+        # k-way gain-update rules around the move of v from s to t.
+        for idx in range(xnets[v], xnets[v + 1]):
+            n = vnets[idx]
+            c = ncost[n]
+            if c == 0:
+                continue
+            p0 = xpins[n]
+            p1 = xpins[n + 1]
+            ot = occ[n, t]
+            if ot == 0:
+                for kk in range(p0, p1):
+                    u = pins[kk]
+                    if locked[u]:
+                        continue
+                    conn[u, t] += c
+                    bu = bto[u]
+                    if bu == t:
+                        _kway_refile(
+                            head, nxt, prv, inside, bgain, maxptr,
+                            offset, u, bgain[u] + c,
+                        )
+                    else:
+                        nc = conn[u, t]
+                        bc = conn[u, bu]
+                        if nc > bc:
+                            bto[u] = t
+                            _kway_refile(
+                                head, nxt, prv, inside, bgain, maxptr,
+                                offset, u, bgain[u] + nc - bc,
+                            )
+                        elif nc == bc and t < bu:
+                            bto[u] = t
+            elif ot == 1:
+                for kk in range(p0, p1):
+                    u = pins[kk]
+                    if parts[u] == t:
+                        if not locked[u]:
+                            base[u] -= c
+                            _kway_refile(
+                                head, nxt, prv, inside, bgain, maxptr,
+                                offset, u, bgain[u] - c,
+                            )
+                        break
+            occ[n, s] -= 1
+            occ[n, t] += 1
+            ns = occ[n, s]
+            if ns == 0:
+                for kk in range(p0, p1):
+                    u = pins[kk]
+                    if locked[u]:
+                        continue
+                    conn[u, s] -= c
+                    if bto[u] == s:
+                        pu = parts[u]
+                        bt2 = -1
+                        bc2 = np.int64(-1)
+                        for t2 in range(k):
+                            if t2 == pu:
+                                continue
+                            cval = conn[u, t2]
+                            if cval > bc2:
+                                bc2 = cval
+                                bt2 = t2
+                        bto[u] = bt2
+                        newg = base[u] + bc2
+                        if newg != bgain[u]:
+                            _kway_refile(
+                                head, nxt, prv, inside, bgain, maxptr,
+                                offset, u, newg,
+                            )
+            elif ns == 1:
+                for kk in range(p0, p1):
+                    u = pins[kk]
+                    if u != v and parts[u] == s:
+                        if not locked[u]:
+                            base[u] += c
+                            _kway_refile(
+                                head, nxt, prv, inside, bgain, maxptr,
+                                offset, u, bgain[u] + c,
+                            )
+                        break
+
+        parts[v] = t
+        wv = vwgt[v]
+        if pw[s] > ceilings[s] and pw[s] - wv <= ceilings[s]:
+            n_over -= 1
+        pw[s] -= wv
+        if pw[t] <= ceilings[t] and pw[t] + wv > ceilings[t]:
+            n_over += 1
+        pw[t] += wv
+        cum += g
+        moved[n_moved] = v
+        moved_from[n_moved] = s
+        n_moved += 1
+
+        improved = False
+        if n_over == 0:
+            metric = _kway_balance_metric(pw, ceilings)
+            if (
+                not best_feasible
+                or cum > best_cum
+                or (cum == best_cum and metric < best_metric)
+            ):
+                best_feasible = True
+                best_cum = cum
+                best_len = n_moved
+                best_metric = metric
+                improved = True
+        if improved:
+            stall = 0
+        else:
+            stall += 1
+            if stall > stall_limit and best_feasible:
+                break
+
+    # Roll back to the best prefix (each vertex moved at most once).
+    for i in range(best_len, n_moved):
+        parts[moved[i]] = moved_from[i]
+
+    if not best_feasible:
+        return 0, False
+    return best_cum, True
+
+
+@njit(cache=True, nogil=True)
 def _match_loop(
     xpins,
     pins,
@@ -510,6 +829,61 @@ class NumbaBackend(KernelBackend):
             stall_limit,
             state.total_weight - w1,
             w1,
+        )
+        return int(delta), bool(feasible)
+
+    def kway_fm_pass(
+        self,
+        state: FMPassState,
+        parts: np.ndarray,
+        nparts: int,
+        ceilings: np.ndarray,
+        cfg,
+        rng: np.random.Generator,
+    ) -> tuple[int, bool]:
+        """One k-way FM pass through the JIT move loop; mutates ``parts``."""
+        h = state.h
+        nverts = h.nverts
+        k = int(nparts)
+        if nverts == 0:
+            return 0, True
+        occ_np, pw_np, base_np, conn_np, bto_np, bgain_np, mask_np = (
+            compute_kway_setup(h, parts, k, ceilings, cfg.boundary_only)
+        )
+        insert_order = rng.permutation(nverts)
+        # The setup arrays are freshly allocated each pass and mutated
+        # by the move loop directly; only the nparts-independent bucket
+        # scratch is cached on the state.
+        scratch = state.kway_arrays()
+        ceil_arr = np.ascontiguousarray(ceilings, dtype=np.int64)
+        stall_limit = max(32, int(cfg.fm_early_exit_frac * nverts))
+        delta, feasible = _kway_move_loop(
+            h.xpins,
+            h.pins,
+            h.xnets,
+            h.vnets,
+            h.ncost,
+            h.vwgt,
+            parts,
+            occ_np,
+            conn_np,
+            pw_np,
+            ceil_arr,
+            base_np,
+            bto_np,
+            bgain_np,
+            mask_np,
+            insert_order,
+            scratch["head"],
+            scratch["nxt"],
+            scratch["prv"],
+            scratch["inside"],
+            scratch["locked"],
+            scratch["moved"],
+            scratch["moved_from"],
+            state.max_gain,
+            state.slack,
+            stall_limit,
         )
         return int(delta), bool(feasible)
 

@@ -51,6 +51,7 @@ class FMPassState:
         "total_weight",
         "lists",
         "arrays",
+        "kway",
     )
 
     def __init__(self, h: Hypergraph, backend_name: str) -> None:
@@ -64,6 +65,9 @@ class FMPassState:
         self.lists: dict | None = None
         #: Flat scratch arrays (built on demand by the numba backend).
         self.arrays: dict | None = None
+        #: k-way bucket/move scratch (built on demand, see
+        #: :meth:`kway_arrays`).
+        self.kway: dict | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -119,6 +123,30 @@ class FMPassState:
                 "touched": np.empty(n, dtype=np.int64),
             }
         return self.arrays
+
+    def kway_arrays(self) -> dict:
+        """Reusable bucket/move scratch for the k-way FM kernels.
+
+        Only the buffers the vectorized setup does *not* produce live
+        here (bucket chains, lock flags, the move log — all independent
+        of ``nparts``); the ``k``-wide state (occupancy, connectivity,
+        part weights, cached best moves) is freshly allocated by
+        :func:`repro.kernels.kway.compute_kway_setup` each pass and
+        handed to the move loop directly — copying it into cached
+        buffers would be pure overhead.
+        """
+        if self.kway is None:
+            n = self.h.nverts
+            self.kway = {
+                "head": np.empty(self.nbuckets, dtype=np.int64),
+                "nxt": np.empty(n, dtype=np.int64),
+                "prv": np.empty(n, dtype=np.int64),
+                "inside": np.empty(n, dtype=np.bool_),
+                "locked": np.empty(n, dtype=np.bool_),
+                "moved": np.empty(n, dtype=np.int64),
+                "moved_from": np.empty(n, dtype=np.int64),
+            }
+        return self.kway
 
 
 def compute_fm_setup(

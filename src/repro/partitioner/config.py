@@ -16,7 +16,14 @@ from repro.errors import PartitioningError
 from repro.kernels import BACKEND_CHOICES, KernelBackend
 from repro.utils.executor import EXEC_BACKEND_CHOICES
 
-__all__ = ["PartitionerConfig", "get_config", "PRESETS"]
+__all__ = ["PartitionerConfig", "get_config", "PRESETS", "ALGO_CHOICES"]
+
+#: Valid values of ``PartitionerConfig.algo`` / the ``--algo`` CLI flag:
+#: how a p-way partitioning is produced (see
+#: :func:`repro.core.recursive.partition`).  Defined here (a leaf module)
+#: so the config, the CLI, and the sweep engine share one registry;
+#: ``repro.core.methods`` re-exports it as ``ALGO_NAMES``.
+ALGO_CHOICES = ("recursive", "kway")
 
 
 @dataclass(frozen=True)
@@ -82,6 +89,15 @@ class PartitionerConfig:
         ``"process"`` (shared-memory store), ``"process-pickle"`` (the
         legacy pickled-payload pool), or ``"serial"``.  Bit-identical by
         contract — a delivery knob only.
+    algo:
+        How ``partition(matrix, nparts)`` produces a p-way partitioning:
+        ``"recursive"`` (the paper's recursive-bisection scheme, default)
+        or ``"kway"`` (the direct k-way partitioner of
+        :mod:`repro.core.kway`, optimizing the connectivity-(λ−1) volume
+        in one shot).  Unlike the backend knobs this genuinely changes
+        the result — the two algorithms explore different search spaces;
+        it does *not* change results across kernel/exec backends or
+        ``jobs`` values within either algorithm.
     """
 
     name: str = "mondriaan"
@@ -99,6 +115,7 @@ class PartitionerConfig:
     kernel_backend: str = "auto"
     jobs: int = 1
     exec_backend: str = "auto"
+    algo: str = "recursive"
 
     def __post_init__(self) -> None:
         if self.matching not in ("hcm", "absorption"):
@@ -131,6 +148,11 @@ class PartitionerConfig:
             raise PartitioningError(
                 f"unknown execution backend {self.exec_backend!r}; "
                 f"expected one of {EXEC_BACKEND_CHOICES}"
+            )
+        if self.algo not in ALGO_CHOICES:
+            raise PartitioningError(
+                f"unknown partitioning algorithm {self.algo!r}; "
+                f"expected one of {ALGO_CHOICES}"
             )
 
 

@@ -30,12 +30,12 @@ import numpy as np
 
 from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.metrics import connectivity_volume
+from repro.hypergraph.metrics import connectivity_volume, part_weights
 from repro.kernels import FMPassState, KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["fm_refine", "FMResult"]
+__all__ = ["fm_refine", "FMResult", "kway_refine", "KWayFMResult"]
 
 
 @dataclass
@@ -158,3 +158,106 @@ def _is_feasible(h: Hypergraph, parts: np.ndarray, maxw: tuple[int, int]) -> boo
     w1 = int(np.dot(parts, h.vwgt))
     w0 = h.total_weight() - w1
     return w0 <= maxw[0] and w1 <= maxw[1]
+
+
+@dataclass
+class KWayFMResult:
+    """Outcome of a k-way FM refinement call.
+
+    Attributes mirror :class:`FMResult`; ``cut`` is the
+    connectivity-(λ−1) cost the k-way pass optimizes directly.
+    """
+
+    parts: np.ndarray
+    cut: int
+    feasible: bool
+    passes: int
+    improvement: int
+
+
+def kway_refine(
+    h: Hypergraph,
+    parts: np.ndarray,
+    nparts: int,
+    ceilings: np.ndarray,
+    config: PartitionerConfig | str = "mondriaan",
+    seed: SeedLike = None,
+    max_passes: int | None = None,
+    *,
+    backend: KernelBackend | str | None = None,
+    state: FMPassState | None = None,
+) -> KWayFMResult:
+    """Refine a k-way partitioning of ``h`` with repeated k-way FM passes.
+
+    The direct k-way counterpart of :func:`fm_refine`: each pass
+    (``backend.kway_fm_pass``) maintains per-net part-occupancy counts
+    and exact connectivity-λ gains instead of two-sided cut gains, moves
+    vertices best-gain-first under per-part weight ``ceilings`` (length
+    ``nparts``), and rolls back to its best feasible prefix.  An
+    infeasible input is first driven feasible by forced moves off
+    overweight parts, exactly like the 2-way pass.
+
+    Parameters mirror :func:`fm_refine`; ``parts`` holds ids in
+    ``[0, nparts)`` and is not modified.  Requires ``nparts >= 2``.
+    """
+    cfg = get_config(config)
+    kb = resolve_backend(backend if backend is not None else cfg.kernel_backend)
+    nparts = int(nparts)
+    if nparts < 2:
+        raise PartitioningError(
+            f"kway_refine needs nparts >= 2, got {nparts}"
+        )
+    parts = np.asarray(parts)
+    if parts.shape != (h.nverts,):
+        raise PartitioningError(
+            f"parts must have shape ({h.nverts},), got {parts.shape}"
+        )
+    if state is None:
+        state = kb.fm_state(h)
+    elif state.h is not h:
+        raise PartitioningError(
+            "FMPassState belongs to a different hypergraph"
+        )
+    rng = as_generator(seed)
+    parts = parts.astype(np.int64, copy=True)
+    if h.nverts and (parts.min() < 0 or parts.max() >= nparts):
+        raise PartitioningError(
+            f"kway_refine expects part ids in [0, {nparts})"
+        )
+    ceilings = np.ascontiguousarray(ceilings, dtype=np.int64)
+    if ceilings.shape != (nparts,):
+        raise PartitioningError(
+            f"ceilings must have shape ({nparts},), got {ceilings.shape}"
+        )
+    if ceilings.size and int(ceilings.min()) < 0:
+        raise PartitioningError("ceilings must be non-negative")
+    if h.total_weight() > int(ceilings.sum()):
+        raise PartitioningError(
+            f"total weight {h.total_weight()} exceeds combined ceilings "
+            f"{int(ceilings.sum())}: no feasible partitioning exists"
+        )
+
+    passes_budget = max_passes if max_passes is not None else cfg.fm_max_passes
+    cut = connectivity_volume(h, parts)
+    total_delta = 0
+    passes_run = 0
+    feasible = bool(np.all(part_weights(h, parts, nparts) <= ceilings))
+    for _ in range(passes_budget):
+        started_feasible = feasible
+        delta, feasible = kb.kway_fm_pass(
+            state, parts, nparts, ceilings, cfg, rng
+        )
+        passes_run += 1
+        total_delta += delta
+        # Same stopping rule as fm_refine: a feasible-start pass that no
+        # longer reduces the cut ends the call; a rebalancing pass never
+        # does.
+        if started_feasible and delta <= 0:
+            break
+    return KWayFMResult(
+        parts=parts,
+        cut=cut - total_delta,
+        feasible=feasible,
+        passes=passes_run,
+        improvement=total_delta,
+    )

@@ -124,6 +124,9 @@ def _registry() -> list[CollectionEntry]:
     add("sym_cl_m", S, "medium", lambda s: gen.symmetrize(gen.chung_lu(1500, 1500, 4200, s)))
     add("sym_rmat_m", S, "medium", lambda s: gen.symmetrize(gen.rmat(10, 4200, s)))
     add("sym_blk_m", S, "medium", lambda s: gen.symmetrize(gen.block_diagonal(8, 28, 0.28, 260, s)))
+    # Flattened five-point stencil (long symmetric off-diagonals): the
+    # structured case where direct k-way and recursive bisection diverge.
+    add("sym_kdiag_m", S, "medium", lambda s: gen.kdiagonal(1500, (-38, -1, 0, 1, 38), s))
     add("sym_grid2d_l", S, "large", lambda _s: gen.grid2d_laplacian(78, 78))
     add("sym_grid3d_l", S, "large", lambda _s: gen.grid3d_laplacian(17, 17, 17))
     add("sym_arrow_l", S, "large", lambda s: gen.arrow(5600, 2, s))
@@ -131,6 +134,7 @@ def _registry() -> list[CollectionEntry]:
     add("sym_cl_l", S, "large", lambda s: gen.symmetrize(gen.chung_lu(5600, 5600, 16500, s)))
     add("sym_rmat_l", S, "large", lambda s: gen.symmetrize(gen.rmat(12, 16000, s)))
     add("sym_blk_l", S, "large", lambda s: gen.symmetrize(gen.block_diagonal(14, 52, 0.12, 1300, s)))
+    add("sym_kdiag_l", S, "large", lambda s: gen.kdiagonal(4200, (-65, -1, 0, 1, 65), s))
 
     # ------------------------------------------------------------------ #
     # Square non-symmetric (square, pattern symmetry < 1)
@@ -148,6 +152,8 @@ def _registry() -> list[CollectionEntry]:
     add("sqr_blk_m", Q, "medium", lambda s: gen.block_diagonal(9, 34, 0.24, 560, s))
     add("sqr_perm_m", Q, "medium", lambda s: gen.random_permute(gen.banded(1400, 4, 0.45, s), s + 1))
     add("sqr_cl_skew_m", Q, "medium", lambda s: gen.chung_lu(2000, 2000, 8000, s, row_exponent=1.9, col_exponent=2.6))
+    # Asymmetric k-diagonal structure (see sym_kdiag_m for the rationale).
+    add("sqr_kdiag_m", Q, "medium", lambda s: gen.kdiagonal(1400, (-47, -1, 0, 2, 31), s))
     add("sqr_er_l", Q, "large", lambda s: gen.erdos_renyi(5400, 5400, 21500, s))
     add("sqr_cl_l", Q, "large", lambda s: gen.chung_lu(5800, 5800, 23000, s))
     add("sqr_rmat_l", Q, "large", lambda s: gen.rmat(12, 21000, s))

@@ -32,6 +32,7 @@ __all__ = [
     "grid2d_laplacian",
     "grid3d_laplacian",
     "banded",
+    "kdiagonal",
     "block_diagonal",
     "arrow",
     "term_document",
@@ -245,6 +246,46 @@ def banded(
         keep = rng.random(cand.size) < fill
         rows_list.append(cand[keep])
         cols_list.append(cand[keep] + off)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return SparseMatrix((n, n), rows, cols, _random_values(rng, rows.size))
+
+
+def kdiagonal(
+    n: int,
+    offsets: "tuple[int, ...] | list[int]" = (-1, 0, 1),
+    seed: SeedLike = None,
+) -> SparseMatrix:
+    """Deterministic k-diagonal pattern: *full* diagonals at ``offsets``.
+
+    Unlike :func:`banded` (random fill inside a band) the structure is
+    exact: every entry of each listed diagonal is present, nothing else.
+    Symmetric offset sets (e.g. ``(-64, -1, 0, 1, 64)``, the flattened
+    2D five-point stencil) give structurally symmetric matrices;
+    asymmetric sets (e.g. ``(-3, 0, 2, 7)``) give square non-symmetric
+    ones.  Long off-diagonals couple distant index ranges, which is what
+    makes these instances interesting for direct k-way partitioning:
+    contiguous index blocks — the shape recursive bisection tends to
+    carve — cut every long diagonal they straddle.
+
+    ``seed`` randomizes only the values, never the pattern.
+    """
+    n = check_pos_int(n, "n")
+    offs = sorted({int(o) for o in offsets})
+    if not offs:
+        raise SparseFormatError("kdiagonal needs at least one offset")
+    if any(abs(o) >= n for o in offs):
+        raise SparseFormatError(
+            f"every |offset| must be < n = {n}, got {offs}"
+        )
+    rng = as_generator(seed)
+    rows_list = []
+    cols_list = []
+    for off in offs:
+        i0, i1 = max(0, -off), min(n, n - off)
+        cand = np.arange(i0, i1, dtype=np.int64)
+        rows_list.append(cand)
+        cols_list.append(cand + off)
     rows = np.concatenate(rows_list)
     cols = np.concatenate(cols_list)
     return SparseMatrix((n, n), rows, cols, _random_values(rng, rows.size))

@@ -64,6 +64,7 @@ from repro.utils.parallel import resolve_jobs
 
 __all__ = [
     "EXEC_BACKEND_CHOICES",
+    "STORE_CAP",
     "JobsBudget",
     "MatrixHandle",
     "SharedMatrixStore",
@@ -72,9 +73,11 @@ __all__ = [
     "process_pool",
     "thread_pool",
     "pool_map",
+    "pool_submit",
     "shutdown_pools",
     "close_matrix_stores",
     "payload_audit",
+    "account_payload",
 ]
 
 #: Valid values of ``PartitionerConfig.exec_backend`` / ``--exec-backend``.
@@ -184,6 +187,55 @@ _TLS = threading.local()
 def _mark_worker() -> None:
     _TLS.in_worker = True
 
+
+#: True in processes that are workers of *this layer's* process pools
+#: (set by the pool initializer in every child).  A worker creating its
+#: own inner pool passes the flag down so grandchildren know they are
+#: nested — the explicit marker the parent-death arming below keys on
+#: (``multiprocessing.parent_process()`` would be wrong: a host
+#: application may legitimately run this library inside its own mp
+#: child, whose pools are top-level as far as this layer is concerned).
+_IS_POOL_WORKER = False
+
+
+def _process_worker_init(nested: bool) -> None:
+    """Process-pool worker initializer: arm parent-death signalling.
+
+    A worker running nested parallelism (a sweep chunk driving parallel
+    recursion under a :class:`JobsBudget`) owns an *inner* pool whose
+    grandchildren inherit every fd of the worker — including the
+    sentinel write end the outer pool watches for worker death.  If the
+    worker then dies abruptly (``os._exit``, OOM kill, signal), the
+    orphaned grandchildren keep that sentinel open and the outer pool
+    never detects the death: ``map()`` blocks forever instead of
+    raising :class:`BrokenProcessPool`.  ``PR_SET_PDEATHSIG`` makes the
+    kernel SIGTERM a worker's children the moment the worker dies,
+    releasing the sentinel (and reaping the orphans).  Linux-only;
+    elsewhere this is a no-op and abrupt-death detection simply relies
+    on graceful shutdown, as before.
+
+    Only *nested* pools (``nested=True`` — created inside one of this
+    layer's own pool workers) arm this: the signal fires when the
+    forking **thread** dies, not the process (prctl(2)), and a
+    top-level pool may be lazily forked from a transient caller thread
+    — arming there would SIGTERM healthy workers when that thread
+    exits.  Inside a worker, pools are forked from the worker's task
+    loop (its main thread), which lives exactly as long as the worker,
+    so the signal means what we want.
+    """
+    global _IS_POOL_WORKER
+    _IS_POOL_WORKER = True
+    if not nested:
+        return
+    try:  # pragma: no cover - exercised via the nested crash test
+        import ctypes
+        import signal as _signal
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, _signal.SIGTERM, 0, 0, 0)  # 1 == PR_SET_PDEATHSIG
+    except Exception:
+        pass
+
 #: Which process has exit hooks installed (fork resets the guard's
 #: meaning, hence a pid, not a bool).
 _EXIT_HOOK_PID: int | None = None
@@ -244,7 +296,11 @@ def process_pool(jobs: int) -> ProcessPoolExecutor:
             resource_tracker.ensure_running()
         except Exception:  # pragma: no cover - exotic mp configurations
             pass
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_process_worker_init,
+            initargs=(_IS_POOL_WORKER,),
+        )
         _PROCESS_POOL = (pid, jobs, pool)
         return pool
 
@@ -294,6 +350,20 @@ def pool_map(kind: str, jobs: int, fn, items, chunksize: int = 1):
         if kind == "thread":
             return thread_pool(jobs).map(fn, items)
         return process_pool(jobs).map(fn, items, chunksize=chunksize)
+
+
+def pool_submit(kind: str, jobs: int, fn, item):
+    """Fetch the shared pool and submit one task atomically.
+
+    The single-item counterpart of :func:`pool_map`, for callers that
+    schedule work incrementally (the sweep engine submits chunks in a
+    bounded window so each chunk's shared-memory store is published just
+    before its worker needs it).  Returns the future.
+    """
+    with _LOCK:
+        if kind == "thread":
+            return thread_pool(jobs).submit(fn, item)
+        return process_pool(jobs).submit(fn, item)
 
 
 def drop_process_pool() -> None:
@@ -405,12 +475,16 @@ def _matrix_from_buffer(
     return SparseMatrix.from_canonical(shape, rows, cols, vals)
 
 
-#: Live stores in creation order, for exit cleanup and the LRU cap.  A
-#: long-running service partitioning many matrices keeps at most
-#: ``_STORE_CAP`` segments alive; evicted stores are closed (and lazily
-#: re-published if their matrix comes back).
+#: How many published matrices stay alive at once (LRU past this).  A
+#: long-running service partitioning many matrices keeps at most this
+#: many segments; evicted stores are closed (and lazily re-published if
+#: their matrix comes back).  Public so producers pacing their
+#: publications (the sweep engine's submission window) can stay inside
+#: the cap instead of racing their own evictions.
+STORE_CAP = 8
+
+#: Live stores in creation order, for exit cleanup and the LRU cap.
 _STORES: list["SharedMatrixStore"] = []
-_STORE_CAP = 8
 _STORE_KEY = "shm_store"
 
 
@@ -428,7 +502,7 @@ class SharedMatrixStore:
 
     The creating process owns the segment's lifetime: :meth:`close`
     detaches and unlinks it, cached stores are closed at interpreter
-    exit (and on LRU eviction past ``_STORE_CAP`` matrices) via
+    exit (and on LRU eviction past ``STORE_CAP`` matrices) via
     :func:`close_matrix_stores`, and a forked child that inherits the
     object can never unlink the parent's segment (pid-guarded).  Worker
     crashes therefore cannot leak ``/dev/shm`` space — cleanup always
@@ -463,7 +537,7 @@ class SharedMatrixStore:
             store = cls(matrix)
             matrix._cache[_STORE_KEY] = store
             _STORES.append(store)
-            while len(_STORES) > _STORE_CAP:
+            while len(_STORES) > STORE_CAP:
                 _STORES.pop(0).close()
             return store
 
@@ -545,6 +619,17 @@ def _account(items: list) -> None:
             len(pickle.dumps(it, protocol=pickle.HIGHEST_PROTOCOL))
             for it in items
         )
+
+
+def account_payload(items: list) -> None:
+    """Fold dispatched task payloads into an active :func:`payload_audit`.
+
+    No-op when no audit is active.  Exposed for subsystems that dispatch
+    through the shared pools directly rather than via
+    :class:`MatrixExecutor` (the sweep engine audits its chunk payloads
+    this way).
+    """
+    _account(items)
 
 
 # --------------------------------------------------------------------- #

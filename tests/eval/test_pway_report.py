@@ -1,0 +1,69 @@
+"""p-way report columns (volume + per-part balance, kway vs recursive)."""
+
+from repro.eval.report import PWAY_COLUMNS, pway_rows, pway_table
+from repro.eval.runner import RunRecord
+
+
+def _record(**kw):
+    base = dict(
+        instance="sym_grid2d_s",
+        matrix_class="Sym",
+        method="MG",
+        seed=1,
+        nparts=4,
+        volume=123,
+        seconds=0.25,
+        feasible=True,
+        max_part=80,
+        imbalance=0.0123,
+    )
+    base.update(kw)
+    return RunRecord(**base)
+
+
+def test_pway_rows_columns_align():
+    rows = pway_rows([_record(), _record(method="MG-kway", volume=150)])
+    assert len(rows) == 2
+    assert len(rows[0]) == len(PWAY_COLUMNS)
+    by_col = dict(zip(PWAY_COLUMNS, rows[0]))
+    assert by_col["volume"] == 123
+    assert by_col["max_part"] == 80
+    assert by_col["imbalance"] == "0.0123"
+    assert by_col["feasible"] is True
+
+
+def test_pway_rows_tolerate_missing_metrics():
+    rows = pway_rows([_record(max_part=None, imbalance=None)])
+    by_col = dict(zip(PWAY_COLUMNS, rows[0]))
+    assert by_col["max_part"] == "-"
+    assert by_col["imbalance"] == "-"
+
+
+def test_pway_table_renders_markdown():
+    table = pway_table([_record(), _record(method="MG-kway")])
+    lines = table.splitlines()
+    assert lines[0].startswith("| instance |")
+    assert "imbalance" in lines[0] and "volume" in lines[0]
+    assert len(lines) == 4  # header + separator + 2 rows
+
+
+def test_pway_rows_from_live_sweep():
+    from repro.eval.sweep import build_runspecs, run_sweep
+    from repro.sparse.collection import build_collection
+    from repro.eval.runner import PAPER_METHODS
+
+    entries = [
+        e for e in build_collection(tier="small") if e.name == "sqr_er_s"
+    ]
+    records = []
+    for algo in ("recursive", "kway"):
+        specs = build_runspecs(
+            entries, PAPER_METHODS[2:3], nruns=1, nparts=4, algo=algo
+        )
+        records.extend(run_sweep(specs, jobs=1))
+    rows = pway_rows(records)
+    assert len(rows) == 2
+    for row in rows:
+        by_col = dict(zip(PWAY_COLUMNS, row))
+        assert by_col["max_part"] != "-"
+        assert by_col["imbalance"] != "-"

@@ -1,0 +1,105 @@
+"""Sweep-level shared-memory delivery and p-way record metrics.
+
+PR-4 gave recursive bisection zero-copy workers; these tests pin the
+sweep-level extension: process workers receive a
+:class:`~repro.utils.executor.MatrixHandle` instead of rebuilding the
+instance by name, chunk payloads are audited, and the worker falls back
+to the by-name load when the parent already evicted the segment.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import PAPER_METHODS
+from repro.eval.sweep import (
+    _execute_chunk_shm,
+    build_runspecs,
+    run_sweep,
+)
+from repro.sparse.collection import build_collection, load_instance
+from repro.utils.executor import (
+    JobsBudget,
+    MatrixHandle,
+    SharedMatrixStore,
+    payload_audit,
+)
+
+
+def _entries(names):
+    table = {e.name: e for e in build_collection()}
+    return [table[n] for n in names]
+
+
+NAMES = ("sym_grid2d_s", "sqr_er_s")
+
+
+def _strip(records):
+    return [dataclasses.replace(r, seconds=0.0) for r in records]
+
+
+def test_parallel_shm_sweep_bit_identical_and_audited():
+    specs = build_runspecs(_entries(NAMES), PAPER_METHODS[:2], nruns=2)
+    serial = list(run_sweep(specs, jobs=1))
+    with payload_audit() as audit:
+        parallel = list(run_sweep(specs, jobs=2))
+    assert _strip(parallel) == _strip(serial)
+    assert audit["tasks"] >= len(NAMES)
+    # Handles + specs only: far below the 24 B/nonzero a pickled matrix
+    # would cost (the smallest instance here alone is ~20 kB).
+    nnz = min(load_instance(n).nnz for n in NAMES)
+    assert 0 < audit["bytes"] < 24 * nnz
+
+
+def test_budget_sweep_still_bit_identical():
+    specs = build_runspecs(
+        _entries(NAMES), PAPER_METHODS[:1], nruns=2, nparts=4
+    )
+    serial = list(run_sweep(specs, jobs=1))
+    budgeted = list(run_sweep(specs, jobs=JobsBudget(4)))
+    assert _strip(budgeted) == _strip(serial)
+
+
+def test_chunk_worker_falls_back_when_segment_gone():
+    """A dead handle (evicted store) or a None handle (publication paced
+    past the store cap) must not lose the chunk."""
+    name = NAMES[0]
+    matrix = load_instance(name)
+    store = SharedMatrixStore.for_matrix(matrix)
+    dead = MatrixHandle("repro_gone_segment", matrix.shape, matrix.nnz)
+    specs = build_runspecs(_entries([name]), PAPER_METHODS[:1], nruns=1)
+    via_dead = _execute_chunk_shm((dead, name, specs))
+    via_live = _execute_chunk_shm((store.handle, name, specs))
+    via_name = _execute_chunk_shm((None, name, specs))
+    assert _strip(via_dead) == _strip(via_live)
+    assert _strip(via_name) == _strip(via_live)
+
+
+def test_records_carry_balance_metrics():
+    specs = build_runspecs(
+        _entries([NAMES[0]]), PAPER_METHODS[:1], nruns=1, nparts=4
+    )
+    (record,) = list(run_sweep(specs, jobs=1))
+    assert record.max_part is not None and record.max_part > 0
+    assert record.imbalance is not None and record.imbalance >= 0.0
+
+
+@pytest.mark.parametrize("algo", ["recursive", "kway"])
+def test_algo_threaded_through_specs(algo):
+    specs = build_runspecs(
+        _entries([NAMES[1]]), PAPER_METHODS[:1], nruns=1, nparts=4,
+        algo=algo,
+    )
+    assert all(s.algo == algo for s in specs)
+    serial = list(run_sweep(specs, jobs=1))
+    parallel = list(run_sweep(specs, jobs=2))
+    assert _strip(parallel) == _strip(serial)
+    # The two algorithms genuinely differ (different search spaces).
+    from repro.core.recursive import partition
+
+    matrix = load_instance(NAMES[1])
+    direct = partition(
+        matrix, 4, method=specs[0].method, seed=specs[0].seed, algo=algo
+    )
+    assert serial[0].volume == direct.volume

@@ -1,0 +1,44 @@
+"""The deterministic k-diagonal generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.generators import kdiagonal
+from repro.sparse.stats import classify_matrix, MatrixClass
+
+
+def test_kdiagonal_exact_pattern():
+    m = kdiagonal(10, (-2, 0, 3), seed=1)
+    assert m.shape == (10, 10)
+    # Full diagonals: n - |off| entries each.
+    assert m.nnz == (10 - 2) + 10 + (10 - 3)
+    offs = np.unique(m.cols - m.rows)
+    np.testing.assert_array_equal(offs, [-2, 0, 3])
+
+
+def test_kdiagonal_pattern_independent_of_seed():
+    a = kdiagonal(40, (-5, -1, 0, 1, 5), seed=1)
+    b = kdiagonal(40, (-5, -1, 0, 1, 5), seed=2)
+    np.testing.assert_array_equal(a.rows, b.rows)
+    np.testing.assert_array_equal(a.cols, b.cols)
+    assert not np.array_equal(a.vals, b.vals)  # values are seeded
+
+
+def test_kdiagonal_symmetry_classes():
+    sym = kdiagonal(60, (-7, -1, 0, 1, 7), seed=3)
+    assert classify_matrix(sym) == MatrixClass.SYMMETRIC
+    nonsym = kdiagonal(60, (-3, 0, 2, 7), seed=3)
+    assert classify_matrix(nonsym) == MatrixClass.SQUARE_NONSYMMETRIC
+
+
+def test_kdiagonal_duplicate_offsets_collapse():
+    m = kdiagonal(12, (0, 0, 1, 1), seed=0)
+    assert m.nnz == 12 + 11
+
+
+def test_kdiagonal_validation():
+    with pytest.raises(SparseFormatError):
+        kdiagonal(5, ())
+    with pytest.raises(SparseFormatError):
+        kdiagonal(5, (0, 5))

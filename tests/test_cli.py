@@ -33,6 +33,20 @@ class TestParser:
                 ["partition", "--instance", "a", "--method", "magic"]
             )
 
+    def test_algo_flag(self):
+        args = build_parser().parse_args(
+            ["partition", "--instance", "sqr_er_s", "--algo", "kway"]
+        )
+        assert args.algo == "kway"
+        args = build_parser().parse_args(
+            ["experiment", "table2", "--algo", "kway"]
+        )
+        assert args.algo == "kway"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["partition", "--instance", "a", "--algo", "magic"]
+            )
+
 
 class TestPartitionCommand:
     def test_instance_bipartition(self, capsys):
@@ -65,6 +79,18 @@ class TestPartitionCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "recursive bisection" in out
+        assert "nparts            : 4" in out
+
+    def test_kway_partition(self, capsys):
+        rc = main(
+            [
+                "partition", "--instance", "sym_gd97_like",
+                "--nparts", "4", "--algo", "kway", "--seed", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "direct k-way" in out
         assert "nparts            : 4" in out
 
     def test_save_parts(self, tmp_path, capsys):

@@ -227,6 +227,57 @@ class TestFailurePaths:
             out = ex2.map(_nnz_and_rowsum, tasks)
         assert [o[0] for o in out] == [tasks[0][0].size, tasks[1][0].size]
 
+    def test_worker_death_detected_despite_nested_pools(self, matrix):
+        """Grandchildren (inner pools of nested budget runs) inherit the
+        worker's death sentinel; without parent-death signalling in the
+        workers, an abrupt worker death would go undetected and ``map``
+        would block forever instead of raising BrokenProcessPool."""
+        import threading
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.eval.runner import PAPER_METHODS
+        from repro.eval.sweep import build_runspecs, run_sweep
+        from repro.sparse.collection import build_collection
+        from repro.utils.executor import drop_process_pool
+
+        # Seed the shared pool's workers with inner pools: a budget
+        # sweep whose specs carry inner recursion jobs.
+        entries = [
+            e for e in build_collection(tier="small")
+            if e.name in ("sym_grid2d_s", "sqr_er_s")
+        ]
+        specs = build_runspecs(
+            entries, PAPER_METHODS[:1], nruns=1, nparts=4
+        )
+        list(run_sweep(specs, jobs=JobsBudget(4)))
+
+        idx = np.arange(matrix.nnz, dtype=np.int64)
+        tasks = [(idx[::2], 0), (idx[1::2], 1)]
+        outcome: dict = {}
+
+        def crash_map():
+            try:
+                with MatrixExecutor(matrix, jobs=2, backend="process") as ex:
+                    ex.map(_crash, tasks)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                outcome["exc"] = exc
+
+        t = threading.Thread(target=crash_map, daemon=True)
+        t.start()
+        t.join(timeout=60)
+        if t.is_alive():  # pragma: no cover - only on regression
+            drop_process_pool()
+            pytest.fail(
+                "worker death went undetected — the nested-pool sentinel "
+                "trap is back (grandchildren holding the worker sentinel)"
+            )
+        assert isinstance(outcome.get("exc"), BrokenProcessPool)
+        # And the layer recovers, as in the plain crash test.
+        with MatrixExecutor(matrix, jobs=2, backend="process") as ex2:
+            out = ex2.map(_nnz_and_rowsum, tasks)
+        assert [o[0] for o in out] == [t_[0].size for t_ in tasks]
+
     def test_shutdown_pools_idempotent(self):
         process_pool(2)
         shutdown_pools()
