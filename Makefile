@@ -2,12 +2,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-numba bench-regress bench-regress-update bench \
-        bench-e2e bench-e2e-update bench-e2e-smoke install-numba
+.PHONY: test test-numba test-chaos bench-regress bench-regress-update \
+        bench bench-e2e bench-e2e-update bench-e2e-smoke install-numba
 
-# Tier-1 verification: the fast test suite (bench marker deselected).
+# Tier-1 verification: the fast test suite (bench/chaos deselected).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fault-injection suite for the hardened execution layer: injected
+# crashes (real SIGKILLs), hangs vs the watchdog, exceptions, shm-attach
+# failures, and poisoned results, across every execution backend.
+# Opt-in — it deliberately kills and rebuilds worker pools.
+test-chaos:
+	$(PYTHON) -m pytest -m chaos -q
 
 # Install the optional numba JIT (see setup.py extras) and run the suite
 # with the JIT path exercised end to end.  The tests auto-detect numba:

@@ -734,14 +734,84 @@ def run_smoke(jobs: int) -> int:
                     f"kway={kres.volume:<6d} "
                     f"{'ok' if kok else 'MISMATCH'}"
                 )
+    failures += _smoke_retry_path(jobs)
     resolved = kernels.resolve_backend("auto").name
     print(
         f"\nsmoke: {len(kernel_backends)} kernel backend(s) x "
         f"{len(exec_backends)} exec backend(s) x {len(SMOKE_MATRICES)} "
-        f"matrices x (recursive + kway), jobs={jobs} "
+        f"matrices x (recursive + kway + retry-path), jobs={jobs} "
         f"(auto kernel backend: {resolved}); {failures} failure(s)"
     )
     return 1 if failures else 0
+
+
+def _smoke_retry_path(jobs: int) -> int:
+    """Hardened-path smoke: one injected-crash run plus the happy-path
+    watchdog overhead gate.
+
+    The retry-path run SIGKILLs the first sweep chunk worker (a real
+    kill, fired once across all processes via the harness's filesystem
+    token) and asserts the hardened sweep still streams records
+    bit-identical to the serial reference, with failure briefs recorded.
+    The overhead gate then times the same sweep plain vs armed (deadline
+    + retries configured, nothing failing) and requires the armed path
+    to stay within 2% of the plain one plus a small absolute slack for
+    CI timer noise — min over repeats, so pool/JIT warm-up cancels out.
+    """
+    import tempfile
+
+    from repro.utils import faults
+    from repro.utils.executor import shutdown_pools
+
+    failures = 0
+    seeds = spawn_seeds(BASE_SEED, 1)
+    specs = [
+        spec
+        for name in SMOKE_MATRICES
+        for spec in make_specs(name, seeds)
+    ]
+    strip = lambda rs: [
+        dataclasses.replace(r, seconds=0.0, failures=()) for r in rs
+    ]
+    serial = list(run_sweep(specs, jobs=1))
+
+    token = tempfile.mktemp(prefix="repro-smoke-fault-")
+    rule = faults.FaultRule(
+        point="sweep.chunk", kind="crash", hits=(1,), once_token=token
+    )
+    with faults.install([rule]):
+        hardened = list(
+            run_sweep(specs, jobs=jobs, task_timeout=60.0, retries=2)
+        )
+    if strip(hardened) != strip(serial):
+        print("FAIL retry-path records differ from the serial reference")
+        failures += 1
+    if not any(r.failures for r in hardened):
+        print("FAIL retry-path run recorded no failure briefs")
+        failures += 1
+    else:
+        briefs = sorted({b for r in hardened for b in r.failures})
+        print(f"  retry-path: recovered, briefs={briefs}")
+
+    def best(run_kwargs: dict) -> float:
+        t = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            list(run_sweep(specs, jobs=jobs, **run_kwargs))
+            t = min(t, time.perf_counter() - t0)
+        return t
+
+    shutdown_pools()
+    plain = best({})
+    armed = best({"task_timeout": 60.0, "retries": 2})
+    budget = plain * 1.02 + 0.25
+    ok = armed <= budget
+    print(
+        f"  watchdog overhead: plain {plain:.3f}s vs armed {armed:.3f}s "
+        f"(budget {budget:.3f}s) {'ok' if ok else 'OVER'}"
+    )
+    failures += not ok
+    return failures
 
 
 def check_regression(

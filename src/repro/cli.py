@@ -115,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
             "per environment; results are identical)"
         ),
     )
+    _add_hardening_flags(p_part)
     p_part.add_argument("--seed", type=int, default=None)
     p_part.add_argument(
         "--save-parts",
@@ -172,7 +173,39 @@ def build_parser() -> argparse.ArgumentParser:
             "bipartition artifacts are unaffected"
         ),
     )
+    _add_hardening_flags(p_exp)
     return parser
+
+
+def _add_hardening_flags(sub: argparse.ArgumentParser) -> None:
+    """The hardened-execution knobs, identical on both subcommands.
+
+    The defaults (``0``) preserve the unhardened dispatch exactly — no
+    deadlines, no retries, no watchdog (see docs/robustness.md).
+    """
+    sub.add_argument(
+        "--task-timeout",
+        type=float,
+        default=0,
+        metavar="SECONDS",
+        help=(
+            "per-task deadline for pool-executed work: a task still "
+            "running past it is killed by the watchdog and retried per "
+            "--retries (0 = no deadline, today's behavior; results are "
+            "bit-identical either way)"
+        ),
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "retry budget for crashed/timed-out/invalid pool tasks, with "
+            "capped exponential backoff; an exhausted task is completed "
+            "serially in-process so the run always finishes (0 = no "
+            "retry, today's behavior)"
+        ),
+    )
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -190,6 +223,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         exec_backend=args.exec_backend,
         algo=args.algo,
+        task_timeout=args.task_timeout or None,
+        retries=args.retries,
     )
     print(f"kernel backend    : {resolve_backend(args.backend).name} "
           f"(requested: {args.backend})")
@@ -232,6 +267,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         print(f"imbalance         : {res.imbalance:.4f} (eps = {args.eps})")
         print(f"feasible          : {res.feasible}")
         print(f"time              : {res.seconds:.3f} s")
+        if res.failures:
+            print(f"recovered faults  : {', '.join(res.failures)}")
     if args.save_parts:
         Path(args.save_parts).write_text(
             "\n".join(str(int(p)) for p in parts) + "\n", encoding="utf-8"
@@ -278,6 +315,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             progress=args.progress,
             jobs=args.jobs,
             backend=args.backend,
+            task_timeout=args.task_timeout or None,
+            retries=args.retries,
         )
         if wanted in ("fig4", "all"):
             reports.append(exp.run_fig4_profiles(data))
@@ -295,6 +334,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             progress=args.progress,
             jobs=args.jobs,
             backend=args.backend,
+            task_timeout=args.task_timeout or None,
+            retries=args.retries,
         )
         data_p64 = exp.collect_paper_runs(
             max_tier=args.max_tier,
@@ -308,6 +349,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             backend=args.backend,
             algo=args.algo,
+            task_timeout=args.task_timeout or None,
+            retries=args.retries,
         )
         if wanted in ("fig6", "all"):
             reports.append(exp.run_fig6_profiles(data_p2, data_p64))

@@ -44,6 +44,7 @@ from repro.core.methods import METHOD_NAMES, _build_model
 from repro.core.recursive import PartitionResult
 from repro.core.refine import iterative_refine
 from repro.core.split import initial_split
+from repro.core.validate import validate_parts
 from repro.core.volume import (
     communication_volume,
     imbalance,
@@ -55,6 +56,7 @@ from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import kway_refine
 from repro.sparse.matrix import SparseMatrix
+from repro.utils import faults
 from repro.utils.balance import max_allowed_part_size
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
@@ -209,6 +211,7 @@ def partition_kway(
 
     timer = Timer()
     with timer:
+        faults.fault_point("kway.partition")
         if nparts == 1:
             parts = np.zeros(n, dtype=np.int64)
         elif method == "localbest":
@@ -240,6 +243,11 @@ def partition_kway(
                 backend=backend,
             )
 
+    # The k-way kernels are trusted the same amount as every other
+    # partitioning producer: not at all.  Structural invariants are
+    # checked before the result is wrapped (the volume/balance metrics
+    # below are recomputed from ``parts`` here, so they cannot lie).
+    validate_parts(parts, n, nparts, context=f"kway:{method}")
     biggest = max_part_size(matrix, parts, nparts)
     return PartitionResult(
         parts=parts,

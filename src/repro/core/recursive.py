@@ -52,16 +52,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.methods import bipartition
+from repro.core.validate import validate_parts
 from repro.core.volume import (
     communication_volume,
     imbalance,
     max_part_size,
 )
-from repro.errors import PartitioningError
+from repro.errors import PartitioningError, ResultValidationError
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.sparse.matrix import SparseMatrix
+from repro.utils import faults
 from repro.utils.balance import max_allowed_part_size
-from repro.utils.executor import MatrixExecutor, resolve_exec_backend
+from repro.utils.executor import (
+    MatrixExecutor,
+    RetryPolicy,
+    resolve_exec_backend,
+)
 from repro.utils.parallel import resolve_jobs
 from repro.utils.rng import (
     SeedLike,
@@ -101,6 +107,12 @@ class PartitionResult:
         The per-bisection volumes in recursion (depth-first pre-)order
         (diagnostics; their sum generally differs from ``volume``, which
         is measured on the final p-way partitioning of the full matrix).
+    failures:
+        Structured failure briefs (``"TaskTimeout[...]@attempt1"``-style
+        strings, see :meth:`repro.errors.ExecutionError.brief`) the
+        hardened execution layer recorded on the way to this result —
+        retries that eventually succeeded, watchdog kills, degraded
+        serial completions.  Empty on an untroubled run.
     """
 
     parts: np.ndarray
@@ -112,6 +124,7 @@ class PartitionResult:
     seconds: float
     method: str
     bisection_volumes: list[int] = field(default_factory=list)
+    failures: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -231,6 +244,8 @@ def partition(
     parts = np.zeros(n, dtype=np.int64)
     ceiling = max_allowed_part_size(n, nparts, eps)
     volumes: dict[tuple[int, ...], int] = {}
+    failures: tuple = ()
+    policy = RetryPolicy.resolve(cfg.task_timeout, cfg.retries)
     timer = Timer()
     with timer:
         if nparts > 1:
@@ -242,8 +257,9 @@ def partition(
             # With fewer than 4 parts at most one bisection can ever be
             # in flight, so a pool would only add process overhead.
             if jobs >= 2 and nparts >= 4:
-                _solve_parallel(
-                    matrix, root, job, jobs, exec_backend, parts, volumes
+                failures = _solve_parallel(
+                    matrix, root, job, jobs, exec_backend, parts, volumes,
+                    policy,
                 )
             else:
                 _solve_serial(matrix, root, job, parts, volumes)
@@ -259,6 +275,7 @@ def partition(
         seconds=timer.elapsed,
         method=method + ("+ir" if refine else ""),
         bisection_volumes=[volumes[p] for p in sorted(volumes)],
+        failures=failures,
     )
 
 
@@ -280,6 +297,7 @@ def _bisect_node(
 ) -> tuple[np.ndarray, int]:
     """Run one bisection; returns the 0/1 parts (aligned with
     ``node.indices``) and its communication volume."""
+    faults.fault_point("recursive.bisect")
     q0 = node.nparts // 2
     q1 = node.nparts - q0
     sub = (
@@ -365,6 +383,70 @@ def _node_task(matrix: SparseMatrix, nd: _Node, job: _TreeJob):
     return (indices, (nd.path, nd.nparts, job))
 
 
+def _path_label(path: tuple[int, ...]) -> str:
+    return "node:" + ("".join(map(str, path)) or "root")
+
+
+def _node_submatrix(matrix: SparseMatrix, nd: _Node) -> SparseMatrix:
+    return (
+        matrix
+        if nd.indices.size == matrix.nnz
+        else matrix.select(nd.indices)
+    )
+
+
+def _check_bisect_result(matrix: SparseMatrix, nd: _Node, value) -> None:
+    """Boundary validation of one worker-returned bisection.
+
+    Structural invariants via :func:`validate_parts` plus eqn-(3) volume
+    consistency: the reported volume must equal the volume recomputed in
+    the driver from the parts the worker handed back.
+    """
+    label = _path_label(nd.path)
+    try:
+        parts01, volume = value
+    except Exception:
+        raise ResultValidationError(
+            f"bisect task returned {type(value).__name__}, not "
+            f"(parts, volume)", task=label,
+        ) from None
+    validate_parts(parts01, nd.indices.size, 2, context=label)
+    actual = communication_volume(_node_submatrix(matrix, nd), parts01)
+    if int(volume) != actual:
+        raise ResultValidationError(
+            f"reported bisection volume {volume} != recomputed {actual} "
+            f"({label}): result corrupted in transit", task=label,
+        )
+
+
+def _check_subtree_result(matrix: SparseMatrix, nd: _Node, value) -> None:
+    """Boundary validation of one worker-returned subtree solution.
+
+    The relative parts must be a complete in-range assignment, and the
+    subtree's *root* bisection — reconstructible from the parts alone,
+    since part ranges are deterministic — must recompute to the volume
+    the worker reported for it.
+    """
+    label = _path_label(nd.path)
+    try:
+        local, vols = value
+    except Exception:
+        raise ResultValidationError(
+            f"subtree task returned {type(value).__name__}, not "
+            f"(parts, volumes)", task=label,
+        ) from None
+    validate_parts(local, nd.indices.size, nd.nparts, context=label)
+    q0 = nd.nparts // 2
+    parts01 = (local >= q0).astype(np.int64)
+    actual = communication_volume(_node_submatrix(matrix, nd), parts01)
+    reported = vols.get(nd.path) if isinstance(vols, dict) else None
+    if reported is None or int(reported) != actual:
+        raise ResultValidationError(
+            f"reported subtree root volume {reported} != recomputed "
+            f"{actual} ({label}): result corrupted in transit", task=label,
+        )
+
+
 def _solve_parallel(
     matrix: SparseMatrix,
     root: _Node,
@@ -373,16 +455,20 @@ def _solve_parallel(
     exec_backend: str,
     out: np.ndarray,
     volumes: dict,
-) -> None:
+    policy: RetryPolicy | None = None,
+) -> tuple:
     """Scheduler for ``jobs >= 2``: frontier-widening rounds of concurrent
     bisections, then one serial subtree per worker.
 
     Because every node's randomness is position-keyed, the schedule has no
     influence on the result — this produces exactly the partition of
-    :func:`_solve_serial` under every execution backend.
+    :func:`_solve_serial` under every execution backend.  Returns the
+    failure briefs the hardened executor accumulated (empty when nothing
+    went wrong).
     """
-    with MatrixExecutor(matrix, jobs, exec_backend) as ex:
+    with MatrixExecutor(matrix, jobs, exec_backend, policy=policy) as ex:
         _schedule_tree(ex, root, job, jobs, out, volumes)
+        return tuple(f.brief() for f in ex.failures)
 
 
 def _schedule_tree(
@@ -403,7 +489,11 @@ def _schedule_tree(
         # (A single bisection runs inline — the executor short-circuits
         # one-task maps — so the round-trip is skipped automatically.)
         results = ex.map(
-            _bisect_task, [_node_task(matrix, nd, job) for nd in splittable]
+            _bisect_task,
+            [_node_task(matrix, nd, job) for nd in splittable],
+            validate=lambda i, v, nodes=splittable: _check_bisect_result(
+                matrix, nodes[i], v
+            ),
         )
         results_iter = iter(results)
         widened: list[_Node] = []
@@ -421,7 +511,11 @@ def _schedule_tree(
             out[nd.indices] = nd.first_part
     if subtrees:
         results = ex.map(
-            _subtree_task, [_node_task(matrix, nd, job) for nd in subtrees]
+            _subtree_task,
+            [_node_task(matrix, nd, job) for nd in subtrees],
+            validate=lambda i, v: _check_subtree_result(
+                matrix, subtrees[i], v
+            ),
         )
         for nd, (local, vols) in zip(subtrees, results):
             out[nd.indices] = nd.first_part + local

@@ -1,0 +1,155 @@
+"""Always-on partition-invariant validation at the executor boundary.
+
+Results computed in worker processes cross a trust boundary on their way
+back to the driver: a corrupted shared-memory segment, a buggy kernel
+backend, or a half-dead worker can hand back an array that *looks* like
+a partitioning but isn't one.  Every worker-returned result is therefore
+checked against the invariants a partitioning cannot violate before it
+is accepted:
+
+* **assignment completeness** — one part id per nonzero, the exact
+  expected length, an integer dtype;
+* **part-id range** — every id in ``[0, nparts)`` (eqn-(1) speaks about
+  parts that exist);
+* **volume consistency** — the worker-reported communication volume
+  must equal the volume recomputed from the parts it returned (eqn (3));
+* **balance consistency** — a reported ``max_part`` / ``feasible`` /
+  eqn-(1) ceiling claim must match what the parts actually imply.
+
+A violation raises :class:`~repro.errors.ResultValidationError`, which
+the hardened executor treats like a crash: the task is retried (the
+usual cure for transient corruption) and, with retries exhausted,
+recomputed serially in-process — a poisoned result is *never* silently
+kept.  The checks are vectorized single passes over the parts array,
+orders of magnitude cheaper than the partitioning that produced it, so
+they are always on rather than gated behind a debug flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ResultValidationError
+
+__all__ = [
+    "validate_parts",
+    "validate_partition",
+    "validate_run_record",
+]
+
+
+def validate_parts(
+    parts, size: int, nparts: int, *, context: str = ""
+) -> np.ndarray:
+    """Structural invariants: completeness, dtype, and part-id range.
+
+    Returns the validated array (as received — no copy).  ``context``
+    names the task for the error message (e.g. the recursion path).
+    """
+    where = f" ({context})" if context else ""
+    if not isinstance(parts, np.ndarray):
+        raise ResultValidationError(
+            f"worker returned {type(parts).__name__}, not a parts "
+            f"array{where}", task=context,
+        )
+    if parts.shape != (size,):
+        raise ResultValidationError(
+            f"parts shape {parts.shape} != ({size},): assignment is "
+            f"incomplete{where}", task=context,
+        )
+    if not np.issubdtype(parts.dtype, np.integer):
+        raise ResultValidationError(
+            f"parts dtype {parts.dtype} is not integral{where}",
+            task=context,
+        )
+    if size:
+        lo, hi = int(parts.min()), int(parts.max())
+        if lo < 0 or hi >= nparts:
+            raise ResultValidationError(
+                f"part id out of range [{lo}, {hi}] for nparts="
+                f"{nparts}{where}", task=context,
+            )
+    return parts
+
+
+def validate_partition(
+    matrix,
+    parts,
+    nparts: int,
+    *,
+    volume: int | None = None,
+    max_part: int | None = None,
+    feasible: bool | None = None,
+    ceiling: int | None = None,
+    context: str = "",
+) -> np.ndarray:
+    """Full boundary check of a worker-returned partitioning.
+
+    Beyond :func:`validate_parts`, every *reported* metric handed back
+    alongside the parts must agree with a recomputation from the parts
+    themselves: ``volume`` against eqn (3), ``max_part`` against the
+    bincount, and ``feasible`` against the eqn-(1) ``ceiling``.  Only
+    the metrics actually supplied are checked, so callers pay exactly
+    for what they assert.
+    """
+    from repro.core.volume import communication_volume, part_sizes
+
+    parts = validate_parts(parts, matrix.nnz, nparts, context=context)
+    where = f" ({context})" if context else ""
+    if volume is not None:
+        actual = communication_volume(matrix, parts)
+        if int(volume) != actual:
+            raise ResultValidationError(
+                f"reported volume {volume} != recomputed {actual}: "
+                f"result corrupted in transit{where}", task=context,
+            )
+    if max_part is not None or feasible is not None:
+        biggest = int(part_sizes(matrix, parts, nparts).max(initial=0))
+        if max_part is not None and int(max_part) != biggest:
+            raise ResultValidationError(
+                f"reported max_part {max_part} != recomputed "
+                f"{biggest}{where}", task=context,
+            )
+        if feasible is not None and ceiling is not None:
+            if bool(feasible) != (biggest <= ceiling):
+                raise ResultValidationError(
+                    f"reported feasible={feasible} contradicts max_part "
+                    f"{biggest} vs eqn-(1) ceiling {ceiling}{where}",
+                    task=context,
+                )
+    return parts
+
+
+def validate_run_record(spec, record) -> None:
+    """Boundary check of a sweep worker's :class:`RunRecord`.
+
+    The record does not carry the parts array (by design — sweeps stream
+    thousands of records), so the invariant here is *spec-echo
+    consistency*: the record must describe exactly the work item it was
+    computed for, with sane metric types.  Crossed wires between chunk
+    payloads and results — the sweep-level analogue of a corrupted
+    segment — cannot survive this.
+    """
+    label = f"{spec.instance}/{spec.label}/seed{spec.seed}"
+    checks = (
+        ("instance", record.instance, spec.instance),
+        ("seed", record.seed, spec.seed),
+        ("nparts", record.nparts, spec.nparts),
+        ("method", record.method, spec.label),
+    )
+    for name, got, expected in checks:
+        if got != expected:
+            raise ResultValidationError(
+                f"record {name}={got!r} does not echo spec "
+                f"{expected!r}: results crossed wires", task=label,
+            )
+    if not isinstance(record.volume, (int, np.integer)) or record.volume < 0:
+        raise ResultValidationError(
+            f"record volume {record.volume!r} is not a non-negative "
+            f"integer", task=label,
+        )
+    if record.max_part is not None and record.max_part <= 0:
+        raise ResultValidationError(
+            f"record max_part {record.max_part!r} is not positive",
+            task=label,
+        )

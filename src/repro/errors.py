@@ -18,6 +18,13 @@ __all__ = [
     "SplitError",
     "SimulationError",
     "EvaluationError",
+    "ExecutionError",
+    "TaskTimeout",
+    "WorkerCrash",
+    "DegradedExecution",
+    "ResultValidationError",
+    "ShmAttachError",
+    "InjectedFault",
 ]
 
 
@@ -55,3 +62,72 @@ class SimulationError(ReproError):
 
 class EvaluationError(ReproError):
     """The evaluation harness was misconfigured or given inconsistent data."""
+
+
+class ExecutionError(ReproError):
+    """The parallel execution layer failed to deliver a task's result.
+
+    Base class of the structured failure records the hardened executor
+    produces (see :mod:`repro.utils.executor`): every subclass carries
+    ``task`` (a short label of the work item) and ``attempt`` (1-based
+    attempt number) so reports can say *which* run was retried or
+    degraded, not merely that something went wrong.
+    """
+
+    def __init__(self, message: str, *, task: str = "", attempt: int = 0):
+        super().__init__(message)
+        self.task = task
+        self.attempt = attempt
+
+    def brief(self) -> str:
+        """A compact one-token-ish record for per-run failure lists."""
+        kind = type(self).__name__
+        where = f"[{self.task}]" if self.task else ""
+        when = f"@attempt{self.attempt}" if self.attempt else ""
+        return f"{kind}{where}{when}"
+
+
+class TaskTimeout(ExecutionError):
+    """A task exceeded its per-task deadline; its worker was killed by
+    the watchdog (process backends) or abandoned (thread backend)."""
+
+    def __init__(self, message: str, *, task: str = "", attempt: int = 0,
+                 timeout: float | None = None):
+        super().__init__(message, task=task, attempt=attempt)
+        self.timeout = timeout
+
+
+class WorkerCrash(ExecutionError):
+    """A worker process died abruptly (signal, OOM kill, ``os._exit``)
+    while the task was in flight; the pool was rebuilt."""
+
+
+class DegradedExecution(ExecutionError):
+    """A task exhausted its retry budget on the worker pool and was
+    completed by serial in-process execution instead.
+
+    Raised only when even the serial fallback is impossible; normally it
+    is *recorded* (``.brief()``) on the completed result so a sweep
+    finishes with an annotation instead of aborting.
+    """
+
+
+class ResultValidationError(ExecutionError):
+    """A worker-returned result violated the partition invariants
+    (assignment completeness, part-id range, or volume consistency) —
+    shared-memory corruption or a buggy backend, never silently kept."""
+
+
+class ShmAttachError(ExecutionError):
+    """Attaching a shared-memory matrix segment failed (evicted/unlinked).
+
+    Callers holding the instance name may fall back to rebuilding the
+    matrix by name (the sweep engine does); the message names both the
+    segment and the matrix so the fallback path is obvious from logs.
+    """
+
+
+class InjectedFault(ReproError):
+    """An artificial failure fired by the deterministic fault-injection
+    harness (:mod:`repro.utils.faults`).  Never raised in production —
+    only under an installed fault plan."""

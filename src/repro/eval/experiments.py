@@ -151,17 +151,21 @@ def collect_paper_runs(
     jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
     algo: str = "recursive",
+    task_timeout: float | None = None,
+    retries: int = 0,
 ) -> ExperimentData:
     """Run (and memoize) the six-method sweep used by several artifacts.
 
     ``jobs`` changes only how fast the sweep runs, never its results
     (the parallel sweep is bit-identical to the serial one), so it is
-    not part of the memoization key.  ``backend`` IS part of the key:
-    volumes are bit-compatible across backends, but the recorded
-    ``seconds`` — a first-class metric (Fig. 5, Table I) — depends
-    systematically on which backend ran.  ``algo`` (the p-way scheme for
-    ``nparts > 2``) changes results outright, so it is part of the key
-    too.
+    not part of the memoization key; ``task_timeout`` / ``retries`` (the
+    hardened-execution knobs, see ``docs/robustness.md``) never change
+    results either and are likewise excluded.  ``backend`` IS part of
+    the key: volumes are bit-compatible across backends, but the
+    recorded ``seconds`` — a first-class metric (Fig. 5, Table I) —
+    depends systematically on which backend ran.  ``algo`` (the p-way
+    scheme for ``nparts > 2``) changes results outright, so it is part
+    of the key too.
     """
     key = (
         tier, max_tier, nruns, nparts, config, base_seed, with_bsp,
@@ -188,6 +192,8 @@ def collect_paper_runs(
         jobs=jobs,
         backend=backend,
         algo=algo,
+        task_timeout=task_timeout,
+        retries=retries,
     )
     _sweep_cache[key] = data
     return data

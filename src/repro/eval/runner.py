@@ -67,6 +67,13 @@ class RunRecord:
     ``nparts``; ``max_part`` / ``imbalance`` carry the eqn-(1) balance
     outcome so p-way comparisons (k-way direct vs recursive bisection)
     report balance first-class instead of only the boolean ``feasible``.
+
+    ``failures`` lists the structured failure briefs (see
+    :meth:`repro.errors.ExecutionError.brief`) the hardened execution
+    layer recorded while producing this run — retries that eventually
+    succeeded, watchdog kills, degraded serial completions.  Empty on an
+    untroubled run, and excluded from bit-identity comparisons (like
+    ``seconds``, it describes *how* the run went, not its result).
     """
 
     instance: str
@@ -80,6 +87,7 @@ class RunRecord:
     bsp: Optional[int] = None
     max_part: Optional[int] = None
     imbalance: Optional[float] = None
+    failures: tuple = ()
 
 
 @dataclass
@@ -173,6 +181,9 @@ def run_methods(
     jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
     algo: str = "recursive",
+    task_timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
 ) -> ExperimentData:
     """Run the paper's protocol over a set of collection entries.
 
@@ -213,6 +224,15 @@ def run_methods(
         ``"recursive"`` bisection (default) or the direct ``"kway"``
         partitioner.  Unlike ``backend`` this changes the results — it
         is the comparison axis of the kway-vs-recursive experiments.
+    task_timeout / retries:
+        Hardened-execution knobs, handed to
+        :func:`~repro.eval.sweep.run_sweep` unchanged: per-task deadline
+        in seconds and retry budget for crashed / timed-out / invalid
+        pool tasks (see ``docs/robustness.md``).  ``None``/``0`` —
+        the defaults — preserve the unhardened behavior exactly.
+    checkpoint:
+        Path of a JSONL journal for crash-resumable sweeps (see
+        :func:`~repro.eval.sweep.run_sweep`); ``None`` disables it.
 
     Returns
     -------
@@ -231,6 +251,9 @@ def run_methods(
         algo=algo,
     )
     data = ExperimentData()
-    for record in run_sweep(specs, jobs=jobs, progress=progress):
+    for record in run_sweep(
+        specs, jobs=jobs, progress=progress,
+        task_timeout=task_timeout, retries=retries, checkpoint=checkpoint,
+    ):
         data.records.append(record)
     return data

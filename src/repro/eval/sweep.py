@@ -43,21 +43,35 @@ items:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+import os
+import time
 from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
-from repro.errors import EvaluationError
+from repro.core.validate import validate_run_record
+from repro.errors import (
+    EvaluationError,
+    ExecutionError,
+    ResultValidationError,
+    ShmAttachError,
+)
 from repro.sparse.collection import CollectionEntry, load_instance
+from repro.utils import faults
 from repro.utils.executor import (
     STORE_CAP,
     JobsBudget,
+    RetryPolicy,
     SharedMatrixStore,
     account_payload,
     drop_process_pool,
     pool_map,
     pool_submit,
+    resilient_map,
 )
 from repro.utils.parallel import resolve_jobs as _resolve_jobs
 from repro.utils.rng import spawn_seeds
@@ -67,6 +81,7 @@ __all__ = [
     "build_runspecs",
     "execute_runspec",
     "run_sweep",
+    "SweepCheckpoint",
     "SweepAggregator",
     "resolve_jobs",
 ]
@@ -230,12 +245,15 @@ def execute_runspec(spec: RunSpec, matrix=None):
         bsp=bsp,
         max_part=res.max_part,
         imbalance=res.imbalance,
+        failures=tuple(getattr(res, "failures", ())),
     )
 
 
 def _execute_chunk(specs: list[RunSpec]) -> list:
     """Worker entry point: execute one chunk of specs in order."""
-    return [execute_runspec(spec) for spec in specs]
+    faults.fault_point("sweep.chunk")
+    records = [execute_runspec(spec) for spec in specs]
+    return faults.fault_point("sweep.result", records)
 
 
 def _execute_chunk_shm(payload) -> list:
@@ -251,14 +269,16 @@ def _execute_chunk_shm(payload) -> list:
     back to the by-name load; records are identical either way.
     """
     handle, name, specs = payload
+    faults.fault_point("sweep.chunk")
     if handle is None:
         matrix = load_instance(name)
     else:
         try:
             matrix = handle.open()
-        except FileNotFoundError:
+        except ShmAttachError:
             matrix = load_instance(name)
-    return [execute_runspec(spec, matrix=matrix) for spec in specs]
+    records = [execute_runspec(spec, matrix=matrix) for spec in specs]
+    return faults.fault_point("sweep.result", records)
 
 
 def _chunk_by_instance(specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
@@ -277,12 +297,165 @@ def resolve_jobs(jobs: int | None) -> int:
     return _resolve_jobs(jobs, error=EvaluationError)
 
 
+def _sweep_fingerprint(specs: Sequence[RunSpec]) -> str:
+    """Identity of a sweep for checkpoint compatibility.
+
+    Every result-determining spec field participates; ``jobs`` is zeroed
+    (it is a speed knob — a sweep resumed with a different worker split
+    must still match its journal).
+    """
+    payload = [
+        dataclasses.astuple(dataclasses.replace(spec, jobs=0))
+        for spec in specs
+    ]
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+
+def _record_to_json(record) -> dict:
+    out = {}
+    for f in dataclasses.fields(record):
+        value = getattr(record, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        elif value is not None and not isinstance(value, (bool, str)):
+            value = float(value) if isinstance(value, float) else int(value)
+        out[f.name] = value
+    return out
+
+
+def _record_from_json(data: dict):
+    from repro.eval.runner import RunRecord
+
+    data = dict(data)
+    data["failures"] = tuple(data.get("failures", ()))
+    return RunRecord(**data)
+
+
+class SweepCheckpoint:
+    """JSONL journal of completed sweep records (crash-resumable sweeps).
+
+    Line 1 is a header carrying the sweep fingerprint (so a journal can
+    never be replayed against a *different* sweep); every further line is
+    ``{"index": <spec index>, "record": {...}}``, appended and fsynced
+    the moment the record is produced — a SIGKILLed sweep loses at most
+    the record being written, and a torn trailing line from the kill is
+    skipped on reload.  ``done`` maps already-completed spec indices to
+    their reloaded records; :func:`run_sweep` skips those specs and
+    yields the journal's records in their place, so an interrupted sweep
+    resumed with the same specs streams results bit-identical to an
+    uninterrupted run.
+    """
+
+    def __init__(self, path, specs: Sequence[RunSpec]) -> None:
+        self.path = Path(path)
+        self.fingerprint = _sweep_fingerprint(specs)
+        self.done: dict[int, object] = {}
+        if self.path.exists() and self.path.stat().st_size:
+            self._load()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if self._fh.tell() == 0:
+            self._write({"sweep": self.fingerprint, "version": 1})
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError):
+            raise EvaluationError(
+                f"checkpoint {self.path} has no readable header; "
+                f"delete it to start the sweep over"
+            ) from None
+        if header.get("sweep") != self.fingerprint:
+            raise EvaluationError(
+                f"checkpoint {self.path} belongs to a different sweep "
+                f"(journal {header.get('sweep')!r} != specs "
+                f"{self.fingerprint!r}); point it elsewhere or delete it"
+            )
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail write from a crash; the spec reruns
+            self.done[int(entry["index"])] = _record_from_json(
+                entry["record"]
+            )
+
+    def _write(self, obj: dict) -> None:
+        self._fh.write(json.dumps(obj) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, spec: RunSpec, record) -> None:
+        """Journal one completed record (flushed and fsynced)."""
+        self._write(
+            {"index": spec.index, "record": _record_to_json(record)}
+        )
+
+    def close(self) -> None:
+        """Close the journal file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _validate_chunk_records(chunk: list[RunSpec], records) -> None:
+    """Boundary validation of a worker-returned chunk of records."""
+    name = chunk[0].instance
+    if not isinstance(records, list) or len(records) != len(chunk):
+        got = (
+            len(records) if isinstance(records, list)
+            else type(records).__name__
+        )
+        raise ResultValidationError(
+            f"chunk of {len(chunk)} specs returned {got} records",
+            task=name,
+        )
+    for spec, record in zip(chunk, records):
+        validate_run_record(spec, record)
+
+
+def _annotate(record, briefs: tuple):
+    if not briefs:
+        return record
+    return dataclasses.replace(
+        record, failures=record.failures + briefs
+    )
+
+
+def _execute_serial(spec: RunSpec, policy: RetryPolicy):
+    """Inline execution with the retry half of ``policy``.
+
+    The serial path *is* the degradation ladder's bottom rung — there is
+    no worker to kill, so deadlines don't apply and retry exhaustion
+    propagates the error instead of degrading further.
+    """
+    briefs: list[str] = []
+    attempt = 0
+    while True:
+        try:
+            records = _execute_chunk([spec])
+            _validate_chunk_records([spec], records)
+            return _annotate(records[0], tuple(briefs))
+        except Exception as exc:
+            attempt += 1
+            if attempt > policy.retries:
+                raise
+            briefs.append(ExecutionError(
+                f"run raised {type(exc).__name__}: {exc}",
+                task=spec.instance, attempt=attempt,
+            ).brief())
+            time.sleep(policy.delay_for(attempt))
+
+
 def run_sweep(
     specs: Sequence[RunSpec],
     *,
     jobs: "int | None | JobsBudget" = 1,
     exec_backend: str = "process",
     progress: bool = False,
+    task_timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
 ) -> Iterator:
     """Execute specs and yield their records in spec order.
 
@@ -295,7 +468,9 @@ def run_sweep(
     workers inside each p-way run — chunks then stay instance-aligned
     and the remainder of the budget is handed down via ``RunSpec.jobs``.
     Records are bit-identical across every ``jobs`` value and backend
-    except for the measured ``seconds``.
+    except for the measured ``seconds`` (and any ``failures``
+    annotations — like ``seconds``, they describe how a run went, not
+    its result).
 
     ``exec_backend`` selects the worker flavour: ``"process"`` (the
     default — sweeps are dominated by per-run Python orchestration, so
@@ -307,6 +482,24 @@ def run_sweep(
     one instance's cached kernel states).  Process-chunk payloads are
     folded into any active
     :func:`~repro.utils.executor.payload_audit`.
+
+    ``task_timeout`` / ``retries`` arm the hardened execution path (see
+    ``docs/robustness.md``): each pool chunk gets a per-task deadline
+    enforced by a watchdog that kills hung workers, crashed / timed-out
+    / invalid chunks are retried with capped exponential backoff, and a
+    chunk that exhausts its budget is completed serially in the driver —
+    the sweep always finishes, annotating affected records' ``failures``
+    instead of aborting.  The defaults (``None``/``0``) preserve the
+    unhardened dispatch exactly.  Every worker-returned record is
+    boundary-validated (spec-echo consistency, sane metrics) on every
+    path, hardened or not.
+
+    ``checkpoint`` (a path) makes the sweep crash-resumable: completed
+    records are journaled to JSONL as they stream
+    (:class:`SweepCheckpoint`), and a rerun pointing at the same journal
+    with the same specs skips the already-done work and replays its
+    records in place — merged output bit-identical to an uninterrupted
+    sweep.
     """
     if exec_backend not in ("process", "thread"):
         raise EvaluationError(
@@ -327,17 +520,55 @@ def run_sweep(
         jobs = workers
     else:
         jobs = resolve_jobs(jobs)
-        chunks = None
+    policy = RetryPolicy.resolve(task_timeout, retries)
+    journal = (
+        SweepCheckpoint(checkpoint, specs) if checkpoint is not None
+        else None
+    )
+    try:
+        if journal is not None and journal.done:
+            pending = [s for s in specs if s.index not in journal.done]
+        else:
+            pending = list(specs)
+        stream = _execute_pending(
+            pending, jobs, exec_backend, policy, progress, inner
+        )
+        try:
+            for spec in specs:
+                if journal is not None and spec.index in journal.done:
+                    yield journal.done[spec.index]
+                    continue
+                record = next(stream)
+                if journal is not None:
+                    journal.append(spec, record)
+                faults.fault_point("sweep.record")
+                yield record
+        finally:
+            stream.close()
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _execute_pending(
+    specs: list[RunSpec],
+    jobs: int,
+    exec_backend: str,
+    policy: RetryPolicy,
+    progress: bool,
+    inner: int | None,
+) -> Iterator:
+    """Yield records for ``specs`` in order (the dispatch half of
+    :func:`run_sweep`, after checkpoint filtering)."""
     if jobs == 1 or len(specs) <= 1:
         last = None
         for spec in specs:
             if progress and spec.instance != last:  # pragma: no cover
                 print(f"[sweep] {spec.instance}", flush=True)
                 last = spec.instance
-            yield execute_runspec(spec)
+            yield _execute_serial(spec, policy)
         return
-    if chunks is None:
-        chunks = _chunk_by_instance(specs)
+    chunks = _chunk_by_instance(specs)
     if len(chunks) < jobs and inner is None and exec_backend != "thread":
         # Fewer instances than workers (e.g. many seeds of one matrix):
         # instance-aligned chunks would leave workers idle, so fall back
@@ -347,23 +578,87 @@ def run_sweep(
         # instance would share its cached kernel states.)
         chunks = [[spec] for spec in specs]
     workers = min(jobs, len(chunks))
+    if policy.active:
+        yield from _run_chunks_resilient(
+            chunks, workers, exec_backend, policy, progress
+        )
+        return
     try:
         if exec_backend == "thread":
             results = pool_map("thread", workers, _execute_chunk, chunks)
             for chunk, records in zip(chunks, results):
                 if progress:  # pragma: no cover - console side effect
                     print(f"[sweep] {chunk[0].instance}", flush=True)
+                _validate_chunk_records(chunk, records)
                 yield from records
         else:
             for chunk, records in _run_chunks_shm(chunks, workers):
                 if progress:  # pragma: no cover - console side effect
                     print(f"[sweep] {chunk[0].instance}", flush=True)
+                _validate_chunk_records(chunk, records)
                 yield from records
     except BrokenProcessPool:
         # A worker died; forget the poisoned pool so the next sweep
         # starts fresh instead of failing forever.
         drop_process_pool()
         raise
+
+
+def _run_chunks_resilient(
+    chunks: list[list[RunSpec]],
+    workers: int,
+    exec_backend: str,
+    policy: RetryPolicy,
+    progress: bool,
+) -> Iterator:
+    """Hardened chunk dispatch: deadlines, retry/backoff, serial fallback.
+
+    Chunks become individual :func:`~repro.utils.executor.resilient_map`
+    tasks (per-chunk deadlines need per-chunk futures, so the windowed
+    streaming of :func:`_run_chunks_shm` gives way to one fan-out; the
+    first ``STORE_CAP`` distinct instances still ship shared-memory
+    handles, the rest load by name in their workers).  Chunk-level
+    failure briefs are annotated onto every record of the affected
+    chunk.
+    """
+    if exec_backend == "thread":
+        kind, fn = "thread", _execute_chunk
+        items: list = list(chunks)
+    else:
+        kind, fn = "process", _execute_chunk_shm
+        published: set[str] = set()
+        items = []
+        for chunk in chunks:
+            name = chunk[0].instance
+            if name in published or len(published) < STORE_CAP:
+                handle = SharedMatrixStore.for_matrix(
+                    load_instance(name)
+                ).handle
+                published.add(name)
+            else:
+                handle = None  # past the cap: the worker loads by name
+            payload = (handle, name, chunk)
+            account_payload([payload])
+            items.append(payload)
+
+    def fallback(i: int):
+        # The driver's own by-name execution: scope="worker" faults and
+        # pool pathologies cannot reach here, so degraded completion is
+        # genuine completion.
+        return _execute_chunk(chunks[i])
+
+    values, failures = resilient_map(
+        kind, workers, fn, items,
+        policy=policy, fallback=fallback,
+        validate=lambda i, recs: _validate_chunk_records(chunks[i], recs),
+        labels=[chunk[0].instance for chunk in chunks],
+    )
+    for chunk, records, fails in zip(chunks, values, failures):
+        if progress:  # pragma: no cover - console side effect
+            print(f"[sweep] {chunk[0].instance}", flush=True)
+        briefs = tuple(f.brief() for f in fails)
+        for record in records:
+            yield _annotate(record, briefs)
 
 
 def _run_chunks_shm(

@@ -98,6 +98,18 @@ class PartitionerConfig:
         the result — the two algorithms explore different search spaces;
         it does *not* change results across kernel/exec backends or
         ``jobs`` values within either algorithm.
+    task_timeout:
+        Per-task deadline in seconds for pool-executed work (see
+        ``docs/robustness.md``): a task still running past it is killed
+        by the watchdog and retried/degraded per ``retries``.  ``None``
+        (or ``0``) disables deadlines — today's behavior, exactly.
+    retries:
+        How many times a crashed / timed-out / invalid pool task is
+        retried (capped exponential backoff) before the serial
+        in-process fallback completes it.  ``0`` disables retry —
+        today's behavior, exactly.  Like ``jobs``, both knobs never
+        change results: recovery re-runs the same position-keyed seed
+        stream, so a retried task is bit-identical to an untroubled one.
     """
 
     name: str = "mondriaan"
@@ -116,6 +128,8 @@ class PartitionerConfig:
     jobs: int = 1
     exec_backend: str = "auto"
     algo: str = "recursive"
+    task_timeout: float | None = None
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.matching not in ("hcm", "absorption"):
@@ -153,6 +167,14 @@ class PartitionerConfig:
             raise PartitioningError(
                 f"unknown partitioning algorithm {self.algo!r}; "
                 f"expected one of {ALGO_CHOICES}"
+            )
+        if self.task_timeout is not None and self.task_timeout < 0:
+            raise PartitioningError(
+                "task_timeout must be non-negative (0/None = no deadline)"
+            )
+        if self.retries < 0:
+            raise PartitioningError(
+                "retries must be non-negative (0 = no retry)"
             )
 
 

@@ -51,7 +51,14 @@ import atexit
 import os
 import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait as futures_wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -59,13 +66,22 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.errors import (
+    DegradedExecution,
+    ExecutionError,
+    ShmAttachError,
+    TaskTimeout,
+    WorkerCrash,
+)
 from repro.sparse.matrix import SparseMatrix
+from repro.utils import faults
 from repro.utils.parallel import resolve_jobs
 
 __all__ = [
     "EXEC_BACKEND_CHOICES",
     "STORE_CAP",
     "JobsBudget",
+    "RetryPolicy",
     "MatrixHandle",
     "SharedMatrixStore",
     "MatrixExecutor",
@@ -74,6 +90,7 @@ __all__ = [
     "thread_pool",
     "pool_map",
     "pool_submit",
+    "resilient_map",
     "shutdown_pools",
     "close_matrix_stores",
     "payload_audit",
@@ -156,6 +173,52 @@ class JobsBudget:
 
 
 # --------------------------------------------------------------------- #
+# Retry policy
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + retry budget for hardened task execution.
+
+    ``timeout`` is the per-task deadline in seconds (``None``/``0`` = no
+    deadline — exactly today's behaviour); ``retries`` is how many times
+    a crashed / timed-out / invalid task is resubmitted before the
+    degradation ladder's last rung (serial in-process execution) runs
+    it.  Resubmissions back off exponentially — ``backoff * 2**(attempt
+    - 1)`` seconds, capped at ``backoff_cap`` — with *no jitter*: the
+    execution layer is deterministic by contract, and its failure
+    handling is too.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            # 0 is the CLI's "disabled" spelling.
+            object.__setattr__(self, "timeout", None)
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy changes anything at all (the fast chunked
+        dispatch path is used whenever it does not)."""
+        return self.timeout is not None or self.retries > 0
+
+    def delay_for(self, attempt: int) -> float:
+        """Capped exponential backoff before resubmission ``attempt``."""
+        return min(self.backoff_cap, self.backoff * 2.0 ** max(0, attempt - 1))
+
+    @classmethod
+    def resolve(cls, timeout: float | None, retries: int | None) -> "RetryPolicy":
+        """Policy from user knobs (``None``/``0`` each preserve today's
+        behaviour exactly)."""
+        return cls(timeout=timeout or None, retries=retries or 0)
+
+
+# --------------------------------------------------------------------- #
 # Persistent pools (shared by the sweep engine and recursive bisection)
 # --------------------------------------------------------------------- #
 #: ``(owner_pid, size, pool)`` — the pid guards against fork inheritance:
@@ -225,6 +288,11 @@ def _process_worker_init(nested: bool) -> None:
     """
     global _IS_POOL_WORKER
     _IS_POOL_WORKER = True
+    # A forked worker inherits the parent's fault-injection hit counters
+    # (and its hang-release flag); a worker's per-process hit indices
+    # must start at 1 for fault plans to be deterministic.
+    faults.reset()
+    faults._RELEASE.clear()
     if not nested:
         return
     try:  # pragma: no cover - exercised via the nested crash test
@@ -377,6 +445,215 @@ def drop_process_pool() -> None:
         _PROCESS_POOL = None
 
 
+def _watchdog_kill_pool() -> None:
+    """SIGKILL every worker of the shared process pool and forget it.
+
+    The watchdog's hammer: a task past its deadline is *hung* — it will
+    never return, cooperative cancellation cannot reach it, and the
+    futures API cannot cancel running work.  Killing the workers breaks
+    the pool (in-flight siblings fail with :class:`BrokenProcessPool`
+    and are resubmitted as collateral, without consuming their retry
+    budget); the next submission builds a fresh pool.  Shared-memory
+    segments are unaffected — they are owned and cleaned by this
+    (parent) process, never by workers.
+    """
+    global _PROCESS_POOL
+    with _LOCK:
+        entry, _PROCESS_POOL = _PROCESS_POOL, None
+    if entry is None or entry[0] != os.getpid():
+        return
+    pool = entry[2]
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+    pool.shutdown(wait=False)
+
+
+def resilient_map(
+    kind: str,
+    jobs: int,
+    fn,
+    items: list,
+    *,
+    policy: RetryPolicy,
+    fallback,
+    validate=None,
+    labels=None,
+) -> tuple[list, list[list[ExecutionError]]]:
+    """Run ``fn(item)`` per item on the shared pool under ``policy``.
+
+    The hardened counterpart of :func:`pool_map`: per-task deadlines
+    (with the watchdog killing hung workers and rebuilding the pool),
+    bounded retry with capped exponential backoff for crashed /
+    timed-out / invalid results, and — after the retry budget is
+    exhausted — serial in-process completion via ``fallback(index)``,
+    so the map *always* returns a full result list.
+
+    ``validate(index, value)`` (optional) is applied to every result at
+    this boundary; a :class:`~repro.errors.ResultValidationError` it
+    raises is treated exactly like a crash and the task retried.
+    Returns ``(values, failures)`` with ``failures[i]`` the structured
+    failure records (:class:`~repro.errors.ExecutionError` instances)
+    task ``i`` accumulated on its way to completion; an untroubled task
+    has an empty list.
+
+    Thread-backend caveat: threads cannot be killed, so a timed-out
+    thread task is *abandoned* (recorded as a timeout and resubmitted;
+    the stale thread's result is discarded when it eventually lands).
+    """
+    n = len(items)
+    values: list = [None] * n
+    completed = [False] * n
+    failures: list[list[ExecutionError]] = [[] for _ in range(n)]
+    attempts = [0] * n
+    ready = [0.0] * n
+    queue: deque[int] = deque(range(n))
+    degraded: list[int] = []
+    pending: dict = {}
+    collateral: set[int] = set()
+    is_process = kind != "thread"
+
+    def _label(i: int) -> str:
+        return labels[i] if labels is not None else f"task{i}"
+
+    def _submit(i: int) -> None:
+        try:
+            fut = pool_submit(kind, jobs, fn, items[i])
+        except BrokenProcessPool:
+            # The shared pool broke between our calls; start fresh.
+            drop_process_pool()
+            fut = pool_submit(kind, jobs, fn, items[i])
+        deadline = (
+            time.monotonic() + policy.timeout
+            if policy.timeout is not None
+            else None
+        )
+        pending[fut] = (i, deadline)
+
+    def _fail(i: int, exc: ExecutionError) -> None:
+        failures[i].append(exc)
+        if attempts[i] > policy.retries:
+            degraded.append(i)
+        else:
+            ready[i] = time.monotonic() + policy.delay_for(attempts[i])
+            queue.append(i)
+
+    def _accept(i: int, value) -> None:
+        if validate is not None:
+            from repro.errors import ResultValidationError
+
+            try:
+                validate(i, value)
+            except ResultValidationError as exc:
+                attempts[i] += 1
+                exc.task = exc.task or _label(i)
+                exc.attempt = attempts[i]
+                _fail(i, exc)
+                return
+        values[i] = value
+        completed[i] = True
+
+    while queue or pending:
+        now = time.monotonic()
+        deferred: list[int] = []
+        while queue:
+            i = queue.popleft()
+            if ready[i] > now:
+                deferred.append(i)
+            else:
+                _submit(i)
+        queue.extend(deferred)
+        if not pending:
+            if queue:  # everything is backing off; sleep to the earliest
+                time.sleep(
+                    max(0.0, min(ready[i] for i in queue) - time.monotonic())
+                )
+            continue
+        wake = min(
+            (d for (_, d) in pending.values() if d is not None),
+            default=None,
+        )
+        if queue:
+            nxt = min(ready[i] for i in queue)
+            wake = nxt if wake is None else min(wake, nxt)
+        wait_s = None if wake is None else max(0.0, wake - time.monotonic())
+        done, _ = futures_wait(
+            set(pending), timeout=wait_s, return_when=FIRST_COMPLETED
+        )
+        for fut in done:
+            i, _deadline = pending.pop(fut)
+            try:
+                value = fut.result()
+            except BrokenProcessPool:
+                if i in collateral:
+                    # An innocent victim of a watchdog kill or a sibling
+                    # crash: resubmit without touching its retry budget.
+                    collateral.discard(i)
+                    queue.append(i)
+                else:
+                    attempts[i] += 1
+                    _fail(i, WorkerCrash(
+                        "worker process died while the task was in "
+                        "flight", task=_label(i), attempt=attempts[i],
+                    ))
+                continue
+            except Exception as exc:
+                attempts[i] += 1
+                _fail(i, ExecutionError(
+                    f"task raised {type(exc).__name__}: {exc}",
+                    task=_label(i), attempt=attempts[i],
+                ))
+                continue
+            collateral.discard(i)
+            _accept(i, value)
+        # Watchdog sweep: anything past its deadline is hung.
+        now = time.monotonic()
+        expired = [
+            (fut, i)
+            for fut, (i, d) in pending.items()
+            if d is not None and d <= now
+        ]
+        if expired:
+            for fut, i in expired:
+                # Thread backend: the future cannot be cancelled — the
+                # stale thread is simply abandoned (it is released when
+                # a fault plan is uninstalled) and its result discarded.
+                # Process backend: the worker is about to be killed.
+                del pending[fut]
+                attempts[i] += 1
+                _fail(i, TaskTimeout(
+                    f"task exceeded its {policy.timeout:.3g}s deadline",
+                    task=_label(i), attempt=attempts[i],
+                    timeout=policy.timeout,
+                ))
+            if is_process:
+                # Kill the hung workers; siblings still in flight become
+                # collateral and are resubmitted on the rebuilt pool.
+                for _fut, (i, _d) in pending.items():
+                    collateral.add(i)
+                _watchdog_kill_pool()
+    # Degradation ladder's last rung: whatever the pool could not
+    # deliver is computed serially in-process, so the map always
+    # completes.  A validation failure here is terminal — there is no
+    # further fallback that could produce a trustworthy result.
+    for i in degraded:
+        if completed[i]:  # pragma: no cover - defensive
+            continue
+        value = fallback(i)
+        if validate is not None:
+            validate(i, value)
+        values[i] = value
+        completed[i] = True
+        failures[i].append(DegradedExecution(
+            "retry budget exhausted on the worker pool; completed by "
+            "serial in-process execution", task=_label(i),
+            attempt=attempts[i],
+        ))
+    return values, failures
+
+
 def shutdown_pools(wait: bool = False) -> None:
     """Shut down every shared pool (idempotent; registered with atexit).
 
@@ -422,24 +699,45 @@ class MatrixHandle:
 
     ``open()`` reconstructs the matrix zero-copy in any process on the
     same machine: the arrays are read-only views of the shared segment,
-    so *no* nonzero data crosses the pickle boundary.
+    so *no* nonzero data crosses the pickle boundary.  ``label`` names
+    the matrix for humans (e.g. the collection-instance name) so attach
+    failures can say *which* matrix vanished, not just which segment.
     """
 
     name: str
     shape: tuple[int, int]
     nnz: int
+    label: str = ""
 
     def open(self) -> SparseMatrix:
-        """Attach (cached per process) and view the published matrix."""
+        """Attach (cached per process) and view the published matrix.
+
+        Raises :class:`~repro.errors.ShmAttachError` when the segment no
+        longer exists (evicted past ``STORE_CAP``, or unlinked by an
+        exiting owner) — a clear, catchable signal that callers holding
+        the instance name should rebuild the matrix by name instead
+        (the sweep engine's fallback path).
+        """
         cached = _ATTACHED.get(self.name)
         if cached is not None:
             return cached[1]
-        # NOTE: attaching re-registers the name with the (single, shared)
-        # resource tracker; that is a set-add no-op, and the creator's
-        # unlink unregisters it exactly once — so no explicit untracking
-        # here (an attach-side unregister would *steal* the creator's
-        # entry and make its unlink-time unregister fail).
-        shm = shared_memory.SharedMemory(name=self.name)
+        try:
+            faults.fault_point("shm.attach")
+            # NOTE: attaching re-registers the name with the (single,
+            # shared) resource tracker; that is a set-add no-op, and the
+            # creator's unlink unregisters it exactly once — so no
+            # explicit untracking here (an attach-side unregister would
+            # *steal* the creator's entry and make its unlink-time
+            # unregister fail).
+            shm = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError as exc:
+            what = self.label or f"{self.shape[0]}x{self.shape[1]} matrix"
+            raise ShmAttachError(
+                f"shared-memory segment {self.name!r} for {what} "
+                f"(nnz={self.nnz}) is gone — evicted or unlinked; "
+                f"rebuild the matrix by name to recover",
+                task=self.label,
+            ) from exc
         matrix = _matrix_from_buffer(shm.buf, self.shape, self.nnz)
         while len(_ATTACHED) >= _ATTACH_CAP:
             stale = next(iter(_ATTACHED))
@@ -509,7 +807,7 @@ class SharedMatrixStore:
     runs in the owning parent.
     """
 
-    def __init__(self, matrix: SparseMatrix) -> None:
+    def __init__(self, matrix: SparseMatrix, label: str = "") -> None:
         nnz = matrix.nnz
         self._owner_pid = os.getpid()
         self._shm: shared_memory.SharedMemory | None = (
@@ -522,10 +820,12 @@ class SharedMatrixStore:
         np.ndarray(nnz, dtype=np.float64, buffer=buf, offset=2 * nb)[:] = (
             matrix.vals
         )
-        self.handle = MatrixHandle(self._shm.name, matrix.shape, nnz)
+        self.handle = MatrixHandle(self._shm.name, matrix.shape, nnz, label)
 
     @classmethod
-    def for_matrix(cls, matrix: SparseMatrix) -> "SharedMatrixStore":
+    def for_matrix(
+        cls, matrix: SparseMatrix, label: str = ""
+    ) -> "SharedMatrixStore":
         """The cached live store for ``matrix`` (published on first use,
         re-published transparently if a previous store was evicted)."""
         with _LOCK:
@@ -534,7 +834,7 @@ class SharedMatrixStore:
             if store is not None and store._shm is not None \
                     and store._owner_pid == os.getpid():
                 return store
-            store = cls(matrix)
+            store = cls(matrix, label)
             matrix._cache[_STORE_KEY] = store
             _STORES.append(store)
             while len(_STORES) > STORE_CAP:
@@ -542,11 +842,18 @@ class SharedMatrixStore:
             return store
 
     def close(self) -> None:
-        """Detach — and, in the owning process, unlink — the segment
-        (idempotent)."""
-        if self._shm is None:
-            return
-        shm, self._shm = self._shm, None
+        """Detach — and, in the owning process, unlink — the segment.
+
+        Idempotent *and* thread-safe: the double-close guard swaps the
+        segment reference out under the layer's lock, so two concurrent
+        closers (exit hook racing an LRU eviction, or a user ``close``
+        racing the GC safety net) cannot both reach the unlink — the
+        second call returns immediately.
+        """
+        with _LOCK:
+            if self._shm is None:
+                return
+            shm, self._shm = self._shm, None
         # The creator may also appear in its own attach cache (tests and
         # the serial fallback open handles in-process).
         cached = _ATTACHED.pop(self.handle.name, None)
@@ -638,23 +945,40 @@ def account_payload(items: list) -> None:
 def _shm_task(arg):
     """Process worker: attach the published matrix, select, run."""
     handle, fn, indices, extra = arg
+    faults.fault_point("executor.task")
     matrix = handle.open()
     sub = matrix if indices is None else matrix.select(indices)
-    return fn(sub, extra)
+    return faults.fault_point("executor.result", fn(sub, extra))
 
 
 def _pickle_task(arg):
     """Process worker (legacy path): the submatrix arrived pickled."""
     fn, sub, extra = arg
-    return fn(sub, extra)
+    faults.fault_point("executor.task")
+    return faults.fault_point("executor.result", fn(sub, extra))
 
 
 def _thread_task(arg):
     """Thread worker: select *inside* the worker so the nogil kernels and
     the NumPy select of sibling tasks overlap."""
     matrix, fn, indices, extra = arg
+    faults.fault_point("executor.task")
     sub = matrix if indices is None else matrix.select(indices)
-    return fn(sub, extra)
+    return faults.fault_point("executor.result", fn(sub, extra))
+
+
+def _inline_task(matrix: SparseMatrix, fn, indices, extra):
+    """Inline (driver-process) execution of one executor task.
+
+    The serial backend and the degradation ladder's last rung both run
+    through here; the same fault points fire as in pool workers so
+    serial chaos runs exercise identical code paths (``scope="worker"``
+    rules deliberately stay silent — that is what models "the pool is
+    broken, the host is fine").
+    """
+    faults.fault_point("executor.task")
+    sub = matrix if indices is None else matrix.select(indices)
+    return faults.fault_point("executor.result", fn(sub, extra))
 
 
 class MatrixExecutor:
@@ -691,6 +1015,7 @@ class MatrixExecutor:
         matrix: SparseMatrix,
         jobs: int,
         backend: str = "auto",
+        policy: RetryPolicy | None = None,
     ) -> None:
         self.matrix = matrix
         self.jobs = resolve_jobs(jobs)
@@ -698,6 +1023,11 @@ class MatrixExecutor:
         if self.jobs <= 1:
             self.backend = "serial"
         self._store: SharedMatrixStore | None = None
+        self.policy = policy if policy is not None else RetryPolicy()
+        #: Structured failure records (:class:`repro.errors.ExecutionError`
+        #: subclasses) accumulated across every :meth:`map` call — retries
+        #: that eventually succeeded, watchdog kills, degraded completions.
+        self.failures: list = []
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "MatrixExecutor":
@@ -728,19 +1058,30 @@ class MatrixExecutor:
         return self.matrix.select(indices)
 
     # ------------------------------------------------------------------ #
-    def map(self, fn, tasks: list) -> list:
-        """Execute ``fn(submatrix, extra)`` per task; ordered results."""
+    def map(self, fn, tasks: list, validate=None) -> list:
+        """Execute ``fn(submatrix, extra)`` per task; ordered results.
+
+        ``validate(index, value)`` — when given — is applied to every
+        result at this boundary regardless of backend; it must raise
+        :class:`~repro.errors.ResultValidationError` on violation.  On
+        the fast (policy-inactive) path a validation failure propagates;
+        under an active :class:`RetryPolicy` it is treated like a crash:
+        retried, then recomputed serially in-process.
+        """
         if not tasks:
             return []
         if self.backend == "serial" or len(tasks) == 1:
             # A single task gains nothing from any pool; run it inline
             # and skip the payload round-trip entirely.
-            return [fn(self._sub(idx), extra) for idx, extra in tasks]
+            return self._map_inline(fn, tasks, validate)
+        if self.policy.active:
+            return self._map_resilient(fn, tasks, validate)
         if self.backend == "thread":
             items = [
                 (self.matrix, fn, idx, extra) for idx, extra in tasks
             ]
-            return list(pool_map("thread", self.jobs, _thread_task, items))
+            values = list(pool_map("thread", self.jobs, _thread_task, items))
+            return self._validated(values, validate)
         if self.backend == "process":
             handle = self._handle()
             items = [
@@ -755,7 +1096,7 @@ class MatrixExecutor:
         # pay 64 dispatch round-trips of per-task fixed cost.
         chunksize = max(1, len(items) // (4 * self.jobs))
         try:
-            return list(
+            values = list(
                 pool_map("process", self.jobs, worker, items, chunksize)
             )
         except BrokenProcessPool:
@@ -764,6 +1105,76 @@ class MatrixExecutor:
             # owned by this process and cleaned by close_matrix_stores().
             drop_process_pool()
             raise
+        return self._validated(values, validate)
+
+    @staticmethod
+    def _validated(values: list, validate) -> list:
+        if validate is not None:
+            for i, value in enumerate(values):
+                validate(i, value)
+        return values
+
+    def _map_inline(self, fn, tasks: list, validate) -> list:
+        """Serial path with the same fault points and retry semantics.
+
+        Timeouts cannot apply inline (there is no worker to kill), but
+        ``retries`` do: an exception is retried with the same backoff
+        schedule, so ``--retries`` means the same thing on every
+        backend.
+        """
+        out = []
+        for i, (idx, extra) in enumerate(tasks):
+            attempt = 0
+            while True:
+                try:
+                    value = _inline_task(self.matrix, fn, idx, extra)
+                    if validate is not None:
+                        validate(i, value)
+                    out.append(value)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.policy.retries:
+                        raise
+                    self.failures.append(ExecutionError(
+                        f"inline task raised {type(exc).__name__}: {exc}",
+                        task=f"task{i}", attempt=attempt,
+                    ))
+                    time.sleep(self.policy.delay_for(attempt))
+        return out
+
+    def _map_resilient(self, fn, tasks: list, validate) -> list:
+        """Per-task dispatch under deadlines/retries (the hardened path).
+
+        Tasks are submitted individually (no chunking — the watchdog
+        needs per-task deadlines), retried per :attr:`policy`, and — with
+        the budget exhausted — recomputed inline from the parent-held
+        matrix, so ``map`` always returns a full, validated result list.
+        """
+        if self.backend == "thread":
+            kind, worker = "thread", _thread_task
+            items = [(self.matrix, fn, idx, extra) for idx, extra in tasks]
+        elif self.backend == "process":
+            kind, worker = "process", _shm_task
+            handle = self._handle()
+            items = [(handle, fn, idx, extra) for idx, extra in tasks]
+            _account(items)
+        else:  # process-pickle
+            kind, worker = "process", _pickle_task
+            items = [(fn, self._sub(idx), extra) for idx, extra in tasks]
+            _account(items)
+
+        def fallback(i: int):
+            idx, extra = tasks[i]
+            return _inline_task(self.matrix, fn, idx, extra)
+
+        values, failures = resilient_map(
+            kind, self.jobs, worker, items,
+            policy=self.policy, fallback=fallback, validate=validate,
+        )
+        for records in failures:
+            self.failures.extend(records)
+        return values
 
     def payload_nbytes(self, tasks: list) -> int:
         """Bytes :meth:`map` would ship for ``tasks`` (without running).

@@ -1,0 +1,161 @@
+"""Always-on boundary validation of worker-returned results (tier-1).
+
+``repro.core.validate`` is the executor-boundary trust check: parts
+arrays must be complete, integral, and in range; reported metrics must
+agree with a recomputation; sweep records must echo their specs.  The
+chaos suite proves these checks catch *injected* corruption end to end;
+this file pins the checks themselves.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.validate import (
+    validate_parts,
+    validate_partition,
+    validate_run_record,
+)
+from repro.core.volume import communication_volume, part_sizes
+from repro.errors import ResultValidationError
+from repro.eval.runner import RunRecord
+from repro.eval.sweep import RunSpec
+from repro.sparse.generators import grid2d_laplacian
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return grid2d_laplacian(6, 5)
+
+
+@pytest.fixture(scope="module")
+def parts(matrix):
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 2, size=matrix.nnz, dtype=np.int64)
+
+
+class TestValidateParts:
+    def test_valid_array_returned_unchanged(self):
+        parts = np.array([0, 2, 1], dtype=np.int64)
+        assert validate_parts(parts, 3, 3) is parts
+
+    def test_empty_assignment_is_valid(self):
+        validate_parts(np.empty(0, dtype=np.int64), 0, 2)
+
+    def test_non_array_rejected(self):
+        with pytest.raises(ResultValidationError, match="not a parts"):
+            validate_parts([0, 1], 2, 2)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ResultValidationError, match="incomplete"):
+            validate_parts(np.zeros(3, dtype=np.int64), 4, 2)
+
+    def test_float_dtype_rejected(self):
+        with pytest.raises(ResultValidationError, match="not integral"):
+            validate_parts(np.zeros(3), 3, 2)
+
+    def test_negative_part_id_rejected(self):
+        with pytest.raises(ResultValidationError, match="out of range"):
+            validate_parts(np.array([0, -1], dtype=np.int64), 2, 2)
+
+    def test_part_id_beyond_nparts_rejected(self):
+        with pytest.raises(ResultValidationError, match="out of range"):
+            validate_parts(np.array([0, 2], dtype=np.int64), 2, 2)
+
+    def test_context_lands_in_message_and_task(self):
+        with pytest.raises(ResultValidationError, match="node:01") as ei:
+            validate_parts(np.zeros(1, dtype=np.int64), 2, 2,
+                           context="node:01")
+        assert ei.value.task == "node:01"
+
+
+class TestValidatePartition:
+    def test_consistent_report_passes(self, matrix, parts):
+        volume = communication_volume(matrix, parts)
+        biggest = int(part_sizes(matrix, parts, 2).max())
+        validate_partition(
+            matrix, parts, 2, volume=volume, max_part=biggest,
+            feasible=True, ceiling=biggest,
+        )
+
+    def test_volume_lie_rejected(self, matrix, parts):
+        volume = communication_volume(matrix, parts)
+        with pytest.raises(ResultValidationError, match="volume"):
+            validate_partition(matrix, parts, 2, volume=volume + 1)
+
+    def test_max_part_lie_rejected(self, matrix, parts):
+        biggest = int(part_sizes(matrix, parts, 2).max())
+        with pytest.raises(ResultValidationError, match="max_part"):
+            validate_partition(matrix, parts, 2, max_part=biggest - 1)
+
+    def test_feasibility_contradiction_rejected(self, matrix, parts):
+        biggest = int(part_sizes(matrix, parts, 2).max())
+        with pytest.raises(ResultValidationError, match="feasible"):
+            validate_partition(
+                matrix, parts, 2, feasible=True, ceiling=biggest - 1,
+            )
+
+    def test_unreported_metrics_not_checked(self, matrix, parts):
+        # Callers pay exactly for what they assert.
+        validate_partition(matrix, parts, 2)
+
+
+def _spec(**kw):
+    base = dict(
+        index=0, instance="sym_grid2d_s", matrix_class="Sym",
+        label="MG", method="mediumgrain", refine=True, seed=99,
+        nparts=2,
+    )
+    base.update(kw)
+    return RunSpec(**base)
+
+
+def _record(spec, **kw):
+    base = dict(
+        instance=spec.instance, matrix_class=spec.matrix_class,
+        method=spec.label, seed=spec.seed, nparts=spec.nparts,
+        volume=17, seconds=0.01, feasible=True, max_part=60,
+    )
+    base.update(kw)
+    return RunRecord(**base)
+
+
+class TestValidateRunRecord:
+    def test_echoing_record_passes(self):
+        spec = _spec()
+        validate_run_record(spec, _record(spec))
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("instance", "other_matrix"),
+            ("seed", 100),
+            ("nparts", 4),
+            ("method", "FG"),
+        ],
+    )
+    def test_spec_echo_mismatch_rejected(self, field, value):
+        spec = _spec()
+        record = dataclasses.replace(_record(spec), **{field: value})
+        with pytest.raises(ResultValidationError, match="crossed wires"):
+            validate_run_record(spec, record)
+
+    def test_negative_volume_rejected(self):
+        spec = _spec()
+        with pytest.raises(ResultValidationError, match="volume"):
+            validate_run_record(spec, _record(spec, volume=-18))
+
+    def test_non_integer_volume_rejected(self):
+        spec = _spec()
+        with pytest.raises(ResultValidationError, match="volume"):
+            validate_run_record(spec, _record(spec, volume=17.0))
+
+    def test_non_positive_max_part_rejected(self):
+        spec = _spec()
+        with pytest.raises(ResultValidationError, match="max_part"):
+            validate_run_record(spec, _record(spec, max_part=0))
+
+    def test_numpy_integer_volume_accepted(self):
+        spec = _spec()
+        validate_run_record(spec, _record(spec, volume=np.int64(17)))

@@ -1,0 +1,172 @@
+"""The deterministic fault-injection harness (pure logic, tier-1).
+
+The chaos suite (``tests/chaos/``) fires these rules through real
+worker pools; this file pins the harness mechanics themselves — plan
+serialization, hit counting, once-tokens, seeded rates, payload
+poisoning — all in-process, with ``scope="any"`` so rules fire in the
+test runner (``scope="worker"`` rules are silent outside pool
+workers, which is itself asserted here).
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError, InjectedFault
+from repro.utils import faults
+from repro.utils.faults import FaultRule
+
+
+def _rule(**kw):
+    kw.setdefault("point", "executor.task")
+    kw.setdefault("kind", "exception")
+    kw.setdefault("scope", "any")
+    return FaultRule(**kw)
+
+
+class TestFaultRule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown fault point"):
+            FaultRule(point="executor.typo", kind="exception")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown fault kind"):
+            FaultRule(point="executor.task", kind="meteor")
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(EvaluationError, match="scope"):
+            FaultRule(point="executor.task", kind="exception",
+                      scope="everywhere")
+
+    def test_env_round_trip(self):
+        rules = (
+            _rule(hits=(1, 3), seed=7),
+            _rule(point="sweep.chunk", kind="crash", hits=(),
+                  rate=0.5, once_token="/tmp/tok", delay=1.5),
+        )
+        assert faults.plan_from_env(faults.plan_to_env(rules)) == rules
+
+
+class TestFaultPoint:
+    def test_unregistered_point_raises(self):
+        with pytest.raises(EvaluationError, match="unregistered"):
+            faults.fault_point("no.such.point")
+
+    def test_no_plan_is_identity(self):
+        payload = object()
+        assert faults.fault_point("executor.task", payload) is payload
+
+    def test_install_sets_and_restores_env(self):
+        assert faults.ENV_VAR not in os.environ
+        with faults.install([_rule()]):
+            assert faults.ENV_VAR in os.environ
+        assert faults.ENV_VAR not in os.environ
+
+    def test_installer_pid_stamped(self):
+        with faults.install([_rule()]) as plan:
+            assert plan.rules[0].installer_pid == os.getpid()
+
+    def test_hit_counting_fires_on_listed_hits_only(self):
+        with faults.install([_rule(hits=(2,))]):
+            faults.fault_point("executor.task")  # hit 1: silent
+            with pytest.raises(InjectedFault):
+                faults.fault_point("executor.task")  # hit 2: fires
+            faults.fault_point("executor.task")  # hit 3: silent
+
+    def test_reset_restarts_hit_counters(self):
+        with faults.install([_rule(hits=(1,))]):
+            with pytest.raises(InjectedFault):
+                faults.fault_point("executor.task")
+            faults.fault_point("executor.task")
+            faults.reset()
+            with pytest.raises(InjectedFault):
+                faults.fault_point("executor.task")
+
+    def test_worker_scope_silent_in_driver(self):
+        with faults.install([_rule(scope="worker", hits=())]):
+            faults.fault_point("executor.task")  # never fires here
+
+    def test_once_token_caps_total_firings(self, tmp_path):
+        token = str(tmp_path / "once")
+        with faults.install([_rule(hits=(), once_token=token)]):
+            with pytest.raises(InjectedFault):
+                faults.fault_point("executor.task")
+            # hits=() means "every time" — but the token is spent.
+            faults.fault_point("executor.task")
+            faults.fault_point("executor.task")
+
+    def test_rate_is_deterministic(self):
+        def pattern():
+            fired = []
+            with faults.install([_rule(hits=(), rate=0.5, seed=11)]):
+                for i in range(32):
+                    try:
+                        faults.fault_point("executor.task")
+                        fired.append(False)
+                    except InjectedFault:
+                        fired.append(True)
+            return fired
+
+        first, second = pattern(), pattern()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_crash_downgrades_in_installer_process(self):
+        # A crash rule must never SIGKILL the installing process itself
+        # — it downgrades to an exception (the test runner survives).
+        with faults.install([_rule(kind="crash", hits=())]):
+            with pytest.raises(InjectedFault, match="downgraded"):
+                faults.fault_point("executor.task")
+
+    def test_shm_kind_raises_file_not_found(self):
+        with faults.install([_rule(kind="shm", hits=())]):
+            with pytest.raises(FileNotFoundError, match="injected"):
+                faults.fault_point("executor.task")
+
+    def test_hang_is_interruptible_and_raises(self):
+        with faults.install([_rule(kind="hang", hits=(), delay=0.05)]):
+            with pytest.raises(InjectedFault, match="hang"):
+                faults.fault_point("executor.task")
+
+
+class TestCorrupt:
+    def test_ndarray_first_element_lands_out_of_range(self):
+        parts = np.array([0, 1, 0, 1], dtype=np.int64)
+        poisoned = faults._corrupt(parts)
+        assert poisoned is not parts
+        assert poisoned[0] == -1  # -1 - 0: outside any part-id range
+        assert np.array_equal(poisoned[1:], parts[1:])
+        assert parts[0] == 0  # original untouched
+
+    def test_nested_payload_damages_first_array_only(self):
+        a = np.array([2, 3], dtype=np.int64)
+        b = np.array([5], dtype=np.int64)
+        out = faults._corrupt((a, {"x": 1}, b))
+        assert out[0][0] == -3
+        assert out[1] == {"x": 1}
+        assert out[2] is b
+
+    def test_record_volume_sign_flipped(self):
+        from repro.eval.runner import RunRecord
+
+        record = RunRecord(
+            instance="m", matrix_class="Sym", method="MG", seed=1,
+            nparts=2, volume=42, seconds=0.0, feasible=True,
+        )
+        poisoned = faults._corrupt(record)
+        assert poisoned.volume == -43
+        assert dataclasses.replace(poisoned, volume=42) == record
+
+    def test_unpoisonable_payload_unchanged(self):
+        payload = ("just", "strings", 3)
+        assert faults._corrupt(payload) is payload
+        assert faults._corrupt(None) is None
+
+    def test_poison_kind_flows_through_fault_point(self):
+        parts = np.zeros(3, dtype=np.int64)
+        rule = _rule(point="executor.result", kind="poison", hits=())
+        with faults.install([rule]):
+            poisoned = faults.fault_point("executor.result", parts)
+        assert poisoned[0] == -1

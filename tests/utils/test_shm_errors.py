@@ -1,0 +1,58 @@
+"""Shared-memory failure surfaces: clear attach errors, safe close.
+
+Tier-1 companions to the chaos suite: a vanished segment must raise the
+structured :class:`~repro.errors.ShmAttachError` (naming the matrix, not
+just the segment), and closing a store twice — exit hook racing an LRU
+eviction — must be a no-op, never a crash or a double unlink.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError, ShmAttachError
+from repro.sparse.generators import grid2d_laplacian
+from repro.utils.executor import MatrixHandle, SharedMatrixStore
+
+
+def test_open_missing_segment_raises_shm_attach_error():
+    handle = MatrixHandle(
+        "repro-test-no-such-segment", (4, 4), 10, label="tiny_grid"
+    )
+    with pytest.raises(ShmAttachError) as ei:
+        handle.open()
+    message = str(ei.value)
+    assert "tiny_grid" in message  # names the matrix, not just the segment
+    assert "rebuild" in message  # and tells the caller how to recover
+    assert ei.value.task == "tiny_grid"
+    assert isinstance(ei.value.__cause__, FileNotFoundError)
+
+
+def test_shm_attach_error_is_an_execution_error():
+    # Hardened dispatch treats attach failures as retryable task errors.
+    assert issubclass(ShmAttachError, ExecutionError)
+
+
+def test_unlabelled_handle_still_describes_the_matrix():
+    handle = MatrixHandle("repro-test-no-such-segment", (7, 3), 21)
+    with pytest.raises(ShmAttachError, match="7x3 matrix"):
+        handle.open()
+
+
+def test_store_close_is_idempotent():
+    store = SharedMatrixStore(grid2d_laplacian(4, 4), label="m")
+    store.close()
+    store.close()  # double-close guard: second call returns immediately
+
+
+def test_closed_store_segment_is_gone():
+    store = SharedMatrixStore(grid2d_laplacian(4, 4), label="m")
+    handle = store.handle
+    store.close()
+    with pytest.raises(ShmAttachError):
+        handle.open()
+
+
+def test_context_manager_closes_once():
+    with SharedMatrixStore(grid2d_laplacian(3, 3)) as store:
+        handle = store.handle
+        assert handle.open().nnz == handle.nnz
+    store.close()  # after __exit__ already closed: still a no-op
