@@ -2,8 +2,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-numba test-chaos bench-regress bench-regress-update \
-        bench bench-e2e bench-e2e-update bench-e2e-smoke install-numba
+.PHONY: test test-numba test-chaos serve-smoke bench-regress \
+        bench-regress-update bench bench-e2e bench-e2e-update \
+        bench-e2e-smoke bench-serve bench-serve-update install-numba
 
 # Tier-1 verification: the fast test suite (bench/chaos deselected).
 test:
@@ -15,6 +16,13 @@ test:
 # Opt-in — it deliberately kills and rebuilds worker pools.
 test-chaos:
 	$(PYTHON) -m pytest -m chaos -q
+
+# Serving smoke: boot a real `repro-partition serve` daemon, submit
+# p in {2, 4} over both algorithms, verify a cache hit on resubmission,
+# and drain it cleanly with SIGTERM.  Completion-gated only — no wall
+# clock (see docs/serving.md).
+serve-smoke:
+	$(PYTHON) -m benchmarks.bench_serve --smoke
 
 # Install the optional numba JIT (see setup.py extras) and run the suite
 # with the JIT path exercised end to end.  The tests auto-detect numba:
@@ -51,6 +59,16 @@ bench-e2e-update:
 # only (never on wall clock — CI runners are noisy).
 bench-e2e-smoke:
 	$(PYTHON) -m benchmarks.bench_e2e --smoke --jobs 2
+
+# Re-measure the serving tier against its gates (cache hits >= 20x
+# faster than cold; saturation p99 under 10% injected worker crashes
+# <= 3x fault-free); exits non-zero when a gate fails.
+bench-serve:
+	$(PYTHON) -m benchmarks.bench_serve --check
+
+# Re-time the serving tier and rewrite BENCH_serve.json (commit it).
+bench-serve-update:
+	$(PYTHON) -m benchmarks.bench_serve
 
 # The full pytest-benchmark micro-bench suite (slow, informational).
 bench:

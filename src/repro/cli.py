@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Two subcommands:
+Four subcommands:
 
 ``partition``
     Partition a MatrixMarket file (or a named collection instance) with
@@ -16,6 +16,17 @@ Two subcommands:
     (``--jobs 0`` = CPU count); results are bit-identical to the serial
     sweep.  ``--backend`` picks the kernel backend inside every run.
 
+``serve``
+    Run the always-available partitioning daemon (:mod:`repro.serve`):
+    matrices stay resident and JIT-warm, requests execute through the
+    hardened worker path with admission control and a crash-safe
+    partition cache.  See ``docs/serving.md``.
+
+``submit``
+    Submit one request to a running daemon through the resilient client
+    (capped-exponential retry honouring ``Retry-After``, circuit
+    breaker) and print the result.
+
 Examples
 --------
 .. code-block:: shell
@@ -24,6 +35,8 @@ Examples
         --refine --nparts 64 --jobs 4 --seed 7
     repro-partition experiment fig4 --max-tier small --nruns 1 --out results/
     repro-partition experiment all --jobs 4 --backend auto --out results/
+    repro-partition serve --port 8642 --cache /tmp/parts.cache &
+    repro-partition submit --port 8642 --instance sym_grid2d_s --nparts 4
 """
 
 from __future__ import annotations
@@ -174,6 +187,94 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_hardening_flags(p_exp)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the always-available partitioning daemon"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (0 = ephemeral, announced on stdout)",
+    )
+    p_srv.add_argument(
+        "--port-file",
+        help="write the bound port to this file once listening",
+    )
+    p_srv.add_argument(
+        "--max-inflight", type=int, default=2,
+        help="concurrently executing requests",
+    )
+    p_srv.add_argument(
+        "--queue-cap", type=int, default=8,
+        help=(
+            "admitted-but-waiting requests beyond --max-inflight; "
+            "everything past the sum is shed as 503 + Retry-After"
+        ),
+    )
+    p_srv.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="default per-request worker deadline in seconds",
+    )
+    p_srv.add_argument(
+        "--retries", type=int, default=1,
+        help="worker-attempt retry budget per request",
+    )
+    p_srv.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker-pool size backing request execution",
+    )
+    p_srv.add_argument(
+        "--serve-backend", default="process", choices=("process", "thread"),
+        help=(
+            "process = crash-isolated pool workers (the point); thread "
+            "exists for constrained environments"
+        ),
+    )
+    p_srv.add_argument(
+        "--cache", default="",
+        help=(
+            "partition-cache journal path (crash-safe, fsynced; empty = "
+            "in-memory cache only)"
+        ),
+    )
+    p_srv.add_argument("--cache-cap", type=int, default=512)
+    p_srv.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip the startup warmup partition",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one request to a running daemon"
+    )
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, required=True)
+    src2 = p_sub.add_mutually_exclusive_group(required=True)
+    src2.add_argument("--file", help="MatrixMarket file to upload")
+    src2.add_argument("--instance", help="named collection instance")
+    p_sub.add_argument("--nparts", type=int, default=2)
+    p_sub.add_argument("--method", default="mediumgrain",
+                       choices=METHOD_NAMES)
+    p_sub.add_argument("--algo", default="recursive", choices=ALGO_NAMES)
+    p_sub.add_argument("--eps", type=float, default=0.03)
+    p_sub.add_argument("--refine", action="store_true")
+    p_sub.add_argument("--config", default="mondriaan",
+                       choices=("mondriaan", "patoh"))
+    p_sub.add_argument(
+        "--seed", type=int, default=None,
+        help="request seed (default: the service's well-known seed)",
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline override in seconds",
+    )
+    p_sub.add_argument(
+        "--retries", type=int, default=4,
+        help="client-side retry budget for shed (503) / transport errors",
+    )
+    p_sub.add_argument(
+        "--save-parts",
+        help="write the nonzero part vector to this file (one id per line)",
+    )
     return parser
 
 
@@ -364,6 +465,76 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeConfig, run_daemon
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_cap=args.queue_cap,
+        timeout=args.timeout,
+        retries=args.retries,
+        jobs=args.jobs,
+        backend=args.serve_backend,
+        cache_path=args.cache or None,
+        cache_cap=args.cache_cap,
+        port_file=args.port_file,
+        warmup=not args.no_warmup,
+    )
+    return run_daemon(config)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import DEFAULT_SEED
+
+    client = ServeClient(args.host, args.port, retries=args.retries)
+    fields: dict = {
+        "nparts": args.nparts,
+        "method": args.method,
+        "algo": args.algo,
+        "eps": args.eps,
+        "refine": args.refine,
+        "config": args.config,
+        "seed": DEFAULT_SEED if args.seed is None else args.seed,
+    }
+    if args.instance:
+        fields["instance"] = args.instance
+    else:
+        fields["matrix_market"] = Path(args.file).read_text(encoding="utf-8")
+    if args.timeout is not None:
+        fields["timeout"] = args.timeout
+    try:
+        result = client.partition(**fields)
+    except ServeError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        for brief in getattr(exc, "briefs", ()):
+            print(f"  failure: {brief}", file=sys.stderr)
+        return 1
+    origin = "cache" if result.get("cached") else "computed"
+    print(f"matrix            : {args.instance or Path(args.file).name} "
+          f"(digest {result['digest']})")
+    print(f"served from       : {origin}")
+    print(f"nparts            : {result['nparts']} ({result['algo']})")
+    print(f"communication vol : {result['volume']}")
+    print(f"max part size     : {result['max_part']}")
+    print(f"imbalance         : {result['imbalance']:.4f} "
+          f"(eps = {result['eps']})")
+    print(f"feasible          : {result['feasible']}")
+    print(f"time              : {result['seconds']:.3f} s")
+    if result.get("failures"):
+        print(f"recovered faults  : {', '.join(result['failures'])}")
+    if args.save_parts and "parts" in result:
+        Path(args.save_parts).write_text(
+            "\n".join(str(int(p)) for p in result["parts"]) + "\n",
+            encoding="utf-8",
+        )
+        print(f"part vector saved : {args.save_parts}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``repro-partition`` script)."""
     args = build_parser().parse_args(argv)
@@ -371,6 +542,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_partition(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise AssertionError("unreachable")
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "SparseFormatError",
+    "MatrixFormatError",
     "MatrixMarketError",
     "HypergraphError",
     "PartitioningError",
@@ -25,6 +26,11 @@ __all__ = [
     "ResultValidationError",
     "ShmAttachError",
     "InjectedFault",
+    "ServeError",
+    "ProtocolError",
+    "RequestRejected",
+    "RequestFailed",
+    "CircuitOpen",
 ]
 
 
@@ -36,7 +42,29 @@ class SparseFormatError(ReproError):
     """A sparse matrix argument is malformed (bad shape, dtype, indices...)."""
 
 
-class MatrixMarketError(SparseFormatError):
+class MatrixFormatError(SparseFormatError):
+    """A matrix file's *content* is malformed (bad header, out-of-range
+    indices, truncated body, non-finite entries...).
+
+    Structured: ``source`` names the file (or ``"<stream>"``) and
+    ``line`` the 1-based line the parser rejected (``0`` = whole-file
+    problems such as a truncated body), and both are baked into the
+    message — so an upload boundary (the serving daemon's 400 path) can
+    hand the text straight back to the client and a human knows exactly
+    what to fix.  Parsers raising this must never leak the raw
+    ``ValueError``/``IndexError`` that detected the problem.
+    """
+
+    def __init__(self, message: str, *, source: str = "", line: int = 0):
+        where = source
+        if line:
+            where = f"{where or '<stream>'}:{line}"
+        super().__init__(f"{where}: {message}" if where else message)
+        self.source = source
+        self.line = line
+
+
+class MatrixMarketError(MatrixFormatError):
     """A MatrixMarket file or stream could not be parsed or written."""
 
 
@@ -131,3 +159,51 @@ class InjectedFault(ReproError):
     """An artificial failure fired by the deterministic fault-injection
     harness (:mod:`repro.utils.faults`).  Never raised in production —
     only under an installed fault plan."""
+
+
+class ServeError(ReproError):
+    """Base class of the partitioning-service errors (:mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """A request is malformed (bad JSON, unknown fields, invalid knobs).
+
+    The daemon maps this to HTTP 400 — client error, never a worker
+    crash.
+    """
+
+
+class RequestRejected(ServeError):
+    """The service refused admission (saturated or draining — HTTP 503).
+
+    ``retry_after`` carries the server's suggested backoff in seconds;
+    the client's retry loop honours it (capped by its own policy).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0,
+                 status: int = 503):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.status = status
+
+
+class RequestFailed(ServeError):
+    """The service accepted the request but could not complete it.
+
+    ``briefs`` lists the structured failure records
+    (:meth:`ExecutionError.brief`-style strings) the hardened execution
+    path accumulated — the request's isolated failure story, never the
+    daemon's.
+    """
+
+    def __init__(self, message: str, *, briefs: tuple = (),
+                 status: int = 500):
+        super().__init__(message)
+        self.briefs = tuple(briefs)
+        self.status = status
+
+
+class CircuitOpen(ServeError):
+    """The client's circuit breaker is open: consecutive failures crossed
+    the threshold, so calls fail fast (no network I/O) until the reset
+    window elapses."""

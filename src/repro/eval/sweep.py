@@ -300,14 +300,27 @@ def resolve_jobs(jobs: int | None) -> int:
 def _sweep_fingerprint(specs: Sequence[RunSpec]) -> str:
     """Identity of a sweep for checkpoint compatibility.
 
-    Every result-determining spec field participates; ``jobs`` is zeroed
-    (it is a speed knob — a sweep resumed with a different worker split
-    must still match its journal).
+    Every result-determining spec field participates; the speed and
+    resilience knobs are normalized away — ``jobs`` is zeroed, and when
+    ``spec.config`` is a live
+    :class:`~repro.partitioner.config.PartitionerConfig` (rather than a
+    preset name) its ``jobs`` / ``exec_backend`` / ``task_timeout`` /
+    ``retries`` are reset to their defaults.  None of those change what
+    a run computes (see ``docs/robustness.md``), so a sweep interrupted
+    under one set of resilience knobs and resumed under another must
+    still match its journal.
     """
-    payload = [
-        dataclasses.astuple(dataclasses.replace(spec, jobs=0))
-        for spec in specs
-    ]
+    payload = []
+    for spec in specs:
+        cfg = spec.config
+        if dataclasses.is_dataclass(cfg) and not isinstance(cfg, type):
+            cfg = dataclasses.replace(
+                cfg, jobs=1, exec_backend="auto",
+                task_timeout=None, retries=0,
+            )
+        payload.append(dataclasses.astuple(
+            dataclasses.replace(spec, jobs=0, config=cfg)
+        ))
     return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
 
 

@@ -1,0 +1,213 @@
+"""Crash-safe, content-addressed partition cache.
+
+The memoization point of the serving daemon: results are keyed by
+:meth:`repro.serve.protocol.PartitionRequest.cache_key` — ``(matrix
+digest, nparts, eps, method, refine, algo, seed, config)`` — so a cache
+hit is *guaranteed* bit-identical to recomputation (partitioning is
+deterministic in the seed; speed-only knobs never enter the key).
+
+Persistence follows the ``SweepCheckpoint`` journal discipline
+(:class:`repro.eval.sweep.SweepCheckpoint`): an append-only JSONL file
+whose first line is a format header and whose every further line is one
+``{"key": ..., "result": {...}}`` entry, flushed **and fsynced** before
+the entry is considered stored.  A SIGKILLed daemon therefore loses at
+most the entry being written, and the torn trailing line it may leave is
+skipped on reload — restart is warm with zero corrupted entries, by
+construction rather than by repair.
+
+Two deliberate differences from the checkpoint journal:
+
+* an unreadable or foreign journal is *not* fatal — a cache's contract
+  is availability, so the bad file is moved aside
+  (``<path>.corrupt``) and service continues cold instead of refusing
+  to start;
+* the journal self-compacts: entries evicted by the in-memory LRU stay
+  on disk (append-only) until they outnumber live entries enough that a
+  restart would mostly replay garbage, at which point the journal is
+  atomically rewritten (tmp + fsync + rename) with live entries only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.utils import faults
+
+__all__ = ["PartitionCache"]
+
+_HEADER = {"partition_cache": 1}
+
+
+class PartitionCache:
+    """In-memory LRU of partition results, persisted via a JSONL journal.
+
+    ``path=None`` disables persistence (a pure in-memory LRU — the
+    daemon's ``--cache ''`` spelling).  ``cap`` bounds the number of
+    *live* entries; eviction is LRU on access order.
+
+    Results are plain JSON-able dicts (the daemon stores the partition
+    metrics plus the part vector as a list); the cache never interprets
+    them beyond round-tripping.
+    """
+
+    def __init__(self, path=None, cap: int = 512) -> None:
+        if cap < 1:
+            raise ValueError(f"cache cap must be >= 1, got {cap}")
+        self.path = Path(path) if path else None
+        self.cap = cap
+        self.hits = 0
+        self.misses = 0
+        #: Journal lines appended since the last compaction that no
+        #: longer correspond to a live entry (eviction/overwrite debt).
+        self._dead = 0
+        self._live: OrderedDict[str, dict] = OrderedDict()
+        self._valid_bytes = 0
+        self._fh = None
+        if self.path is not None:
+            self._open_journal()
+
+    # ------------------------------------------------------------------ #
+    # Journal lifecycle
+    # ------------------------------------------------------------------ #
+    def _open_journal(self) -> None:
+        if self.path.exists() and self.path.stat().st_size:
+            if not self._load():
+                # Unreadable header: move the bad file aside and start
+                # cold — a cache must come up, not refuse to.
+                corrupt = self.path.with_name(self.path.name + ".corrupt")
+                os.replace(self.path, corrupt)
+                self._live.clear()
+                self._dead = 0
+            elif self._valid_bytes < self.path.stat().st_size:
+                # Drop the torn tail a mid-write kill left, so the next
+                # append starts on a clean line instead of merging into
+                # (and thereby losing) the half-written one.
+                os.truncate(self.path, self._valid_bytes)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if self._fh.tell() == 0:
+            self._append_line(_HEADER)
+        elif self._dead > max(16, len(self._live)):
+            # A restart replaying mostly-dead lines: compact now, while
+            # nothing is being served.
+            self._compact()
+
+    def _load(self) -> bool:
+        """Replay the journal; ``False`` when the header is unusable.
+
+        Tracks ``_valid_bytes`` — the byte length of the replayable
+        prefix — so the caller can truncate a torn tail away.  A line
+        only counts as valid when it parsed *and* ended in a newline
+        (a kill between an entry's bytes and its ``\\n`` would
+        otherwise swallow the next append).
+        """
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        self._valid_bytes = 0
+        if not raw:
+            return True
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        if not isinstance(header, dict) \
+                or header.get("partition_cache") != 1:
+            return False
+        if len(lines) == 1:  # header without its newline yet
+            return False
+        self._valid_bytes = len(lines[0]) + 1
+        self._live.clear()
+        self._dead = 0
+        # ``split`` leaves a trailing b"" for a newline-terminated file;
+        # anything else in the last slot is a torn tail by definition.
+        for line in lines[1:-1]:
+            try:
+                entry = json.loads(line)
+                key, result = entry["key"], entry["result"]
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                    TypeError):
+                # Torn/garbled line: everything before it was fsynced
+                # entry-by-entry, so stop here and truncate the rest.
+                break
+            self._valid_bytes += len(line) + 1
+            if key in self._live:
+                self._dead += 1
+                self._live.pop(key)
+            self._live[key] = result
+        while len(self._live) > self.cap:
+            self._live.popitem(last=False)
+            self._dead += 1
+        return True
+
+    def _append_line(self, obj: dict) -> None:
+        self._fh.write(json.dumps(obj) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal with live entries only."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_HEADER) + "\n")
+            for key, result in self._live.items():
+                fh.write(json.dumps({"key": key, "result": result}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self._fh is not None:
+            self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._dead = 0
+
+    # ------------------------------------------------------------------ #
+    # The cache API
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._live
+
+    def get(self, key: str):
+        """The stored result for ``key`` (LRU-touched), else ``None``."""
+        result = self._live.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._live.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: dict) -> None:
+        """Store ``result`` under ``key`` (journaled before returning).
+
+        The ``serve.cache`` fault point sits *before* the append so
+        chaos tests can kill the daemon mid-write — the torn line the
+        kill leaves is exactly what :meth:`_load` tolerates.
+        """
+        if key in self._live:
+            self._live.pop(key)
+            self._dead += 1
+        self._live[key] = result
+        while len(self._live) > self.cap:
+            self._live.popitem(last=False)
+            self._dead += 1
+        if self._fh is None:
+            return
+        faults.fault_point("serve.cache")
+        self._append_line({"key": key, "result": result})
+        if self._dead > max(64, 2 * len(self._live)):
+            self._compact()
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def close(self) -> None:
+        """Close the journal handle (idempotent; entries stay on disk)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

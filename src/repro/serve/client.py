@@ -1,0 +1,221 @@
+"""Client for the partitioning daemon (``repro-partition submit``).
+
+The daemon sheds load deliberately (503 + ``Retry-After``) and may be
+briefly absent (restarting after a SIGKILL, draining on deploy), so a
+naive client would turn the service's *designed* degradation into caller
+failures.  :class:`ServeClient` owns the two client-side halves of the
+resilience contract instead:
+
+* **Capped-exponential retry** on transport errors and 503s, honouring
+  the daemon's ``Retry-After`` hint when it is larger than the local
+  backoff — the client never hammers a server that just said "later".
+  Request-specific failures (400, 500/504) are *not* retried: a request
+  that crashed its worker twice will crash it a third time, and the
+  daemon already spent its own retry budget saying so.
+* **A circuit breaker**: after ``breaker_threshold`` *consecutive*
+  transport-level failures the circuit opens and calls fail fast with
+  :class:`~repro.errors.CircuitOpen` for ``breaker_cooldown`` seconds —
+  a fleet of callers retry-spinning against a dead daemon is exactly
+  the thundering herd admission control exists to prevent.  After the
+  cooldown one trial call is let through (half-open); success closes
+  the circuit.
+
+Stdlib-only (``http.client``), one connection per call — matching the
+daemon's one-request-per-connection HTTP.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Optional
+
+from repro.errors import (
+    CircuitOpen,
+    ProtocolError,
+    RequestFailed,
+    RequestRejected,
+    ServeError,
+)
+
+__all__ = ["ServeClient"]
+
+#: Transport-level failures that mean "the daemon may be fine, the
+#: attempt was not" — retryable, and counted by the circuit breaker.
+_TRANSPORT_ERRORS = (
+    ConnectionError,
+    socket.timeout,
+    socket.gaierror,
+    http.client.HTTPException,
+    OSError,
+)
+
+
+class ServeClient:
+    """Resilient HTTP client for one daemon endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 120.0,
+        retries: int = 4,
+        backoff: float = 0.25,
+        backoff_cap: float = 4.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 5.0,
+    ) -> None:
+        if port <= 0:
+            raise ValueError(f"a concrete daemon port is required, got {port}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._consecutive_failures = 0
+        self._open_until = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def partition(self, **fields) -> dict:
+        """Submit one partitioning request; returns the result dict.
+
+        Keyword fields mirror
+        :class:`repro.serve.protocol.PartitionRequest` (``instance=`` or
+        ``matrix_market=``, plus ``nparts``/``eps``/``method``/
+        ``refine``/``algo``/``seed``/``config``/``include_parts``/
+        ``timeout``).
+
+        Raises :class:`~repro.errors.ProtocolError` on a 400,
+        :class:`~repro.errors.RequestFailed` on a 500/504 (with the
+        daemon's failure briefs attached),
+        :class:`~repro.errors.RequestRejected` when every retry was
+        shed, and :class:`~repro.errors.CircuitOpen` while the breaker
+        is open.
+        """
+        return self._call("POST", "/partition", fields)
+
+    def health(self) -> dict:
+        """Liveness probe (no retry loop: a probe must not mask death)."""
+        status, body, _ = self._once("GET", "/healthz", None)
+        if status != 200:
+            raise ServeError(f"healthz returned {status}: {body}")
+        return body
+
+    def ready(self) -> bool:
+        """Readiness probe; ``False`` while warming up or draining."""
+        status, _body, _ = self._once("GET", "/readyz", None)
+        return status == 200
+
+    def stats(self) -> dict:
+        """Daemon counters: served/failed/shed, inflight, cache rates."""
+        return self._call("GET", "/stats", None)
+
+    def drain(self) -> dict:
+        """Ask the daemon to drain and exit gracefully."""
+        status, body, _ = self._once("POST", "/drain", None)
+        if status != 200:
+            raise ServeError(f"drain returned {status}: {body}")
+        return body
+
+    # ------------------------------------------------------------------ #
+    # Retry + breaker machinery
+    # ------------------------------------------------------------------ #
+    def _call(self, method: str, path: str, payload):
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            self._check_breaker()
+            try:
+                status, body, headers = self._once(method, path, payload)
+            except _TRANSPORT_ERRORS as exc:
+                self._record_failure()
+                last = exc
+                if attempt >= self.retries:
+                    break
+                time.sleep(self._delay(attempt))
+                continue
+            self._record_success()
+            if status == 503:
+                last = RequestRejected(
+                    str(body.get("error", "service unavailable")),
+                    retry_after=_retry_after(headers, body),
+                )
+                if attempt >= self.retries:
+                    break
+                time.sleep(max(self._delay(attempt), last.retry_after))
+                continue
+            return self._finish(status, body)
+        assert last is not None
+        raise last
+
+    def _once(self, method: str, path: str, payload):
+        """One HTTP exchange; returns ``(status, decoded body, headers)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                decoded = {"error": raw[:200].decode("latin-1")}
+            return resp.status, decoded, dict(resp.getheaders())
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _finish(status: int, body: dict):
+        if status == 200:
+            return body
+        message = str(body.get("error", f"HTTP {status}"))
+        if status in (400, 404, 405, 413):
+            raise ProtocolError(message)
+        raise RequestFailed(
+            message, briefs=tuple(body.get("failures", ())), status=status
+        )
+
+    def _delay(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.backoff * 2.0 ** attempt)
+
+    def _check_breaker(self) -> None:
+        if self._open_until and time.monotonic() < self._open_until:
+            remaining = self._open_until - time.monotonic()
+            raise CircuitOpen(
+                f"circuit open after {self._consecutive_failures} "
+                f"consecutive transport failures; retry in "
+                f"{remaining:.1f}s"
+            )
+        # Past the cooldown: half-open — let this call through as the
+        # trial; success closes, failure re-opens.
+        self._open_until = 0.0
+
+    def _record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.breaker_threshold:
+            self._open_until = time.monotonic() + self.breaker_cooldown
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._open_until = 0.0
+
+
+def _retry_after(headers: dict, body: dict) -> float:
+    raw = headers.get("Retry-After") or body.get("retry_after") or 0.5
+    try:
+        return max(0.0, float(raw))
+    except (TypeError, ValueError):
+        return 0.5

@@ -10,6 +10,16 @@ reader/writer for the coordinate format.  Supported qualifiers:
 * symmetry: ``general``, ``symmetric``, ``skew-symmetric`` (expanded to the
   full pattern on read, as Mondriaan does before partitioning).
 
+Every parse failure raises a structured
+:class:`~repro.errors.MatrixMarketError` (a
+:class:`~repro.errors.MatrixFormatError`) naming the source file and the
+1-based line that was rejected; the raw ``ValueError``/``IndexError``
+that detected the problem never leaks.  That contract is what lets the
+serving daemon (:mod:`repro.serve`) turn a bad upload into an HTTP 400
+at the admission boundary instead of a worker crash.  Non-finite values
+(NaN/inf) are rejected too — they would silently corrupt every
+downstream weight computation.
+
 The writer emits ``general`` files; symmetry is a storage optimization the
 reproduction does not need on output.
 """
@@ -17,6 +27,7 @@ reproduction does not need on output.
 from __future__ import annotations
 
 import io
+import math
 from pathlib import Path
 from typing import TextIO, Union
 
@@ -42,88 +53,126 @@ def read_matrix_market(source: Union[str, Path, TextIO]) -> SparseMatrix:
     -------
     SparseMatrix
         With symmetric/skew-symmetric storage expanded to the full pattern.
+
+    Raises
+    ------
+    MatrixMarketError
+        On any malformed input, naming the source and the offending
+        1-based line.
     """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as fh:
-            return _read_stream(fh)
-    return _read_stream(source)
+            return _read_stream(fh, name=str(source))
+    name = getattr(source, "name", "") or "<stream>"
+    return _read_stream(source, name=str(name))
 
 
-def _read_stream(fh: TextIO) -> SparseMatrix:
+def _read_stream(fh: TextIO, name: str = "<stream>") -> SparseMatrix:
+    def bad(message: str, line: int) -> MatrixMarketError:
+        return MatrixMarketError(message, source=name, line=line)
+
+    lineno = 1
     header = fh.readline()
     if not header.startswith(_HEADER_PREFIX):
-        raise MatrixMarketError(
-            f"missing '%%MatrixMarket' banner, got {header[:40]!r}"
+        raise bad(
+            f"missing '%%MatrixMarket' banner, got {header[:40]!r}", lineno
         )
     tokens = header.strip().split()
     if len(tokens) != 5:
-        raise MatrixMarketError(f"malformed banner: {header.strip()!r}")
+        raise bad(f"malformed banner: {header.strip()!r}", lineno)
     _, object_, fmt, field, symmetry = (t.lower() for t in tokens)
     if object_ != "matrix":
-        raise MatrixMarketError(f"unsupported object {object_!r}")
+        raise bad(f"unsupported object {object_!r}", lineno)
     if fmt != "coordinate":
-        raise MatrixMarketError(
-            f"only 'coordinate' format is supported, got {fmt!r}"
+        raise bad(
+            f"only 'coordinate' format is supported, got {fmt!r}", lineno
         )
     if field not in ("real", "integer", "pattern"):
-        raise MatrixMarketError(f"unsupported field {field!r}")
+        raise bad(f"unsupported field {field!r}", lineno)
     if symmetry not in ("general", "symmetric", "skew-symmetric"):
-        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+        raise bad(f"unsupported symmetry {symmetry!r}", lineno)
 
     # Skip comments and blank lines up to the size line.
     size_line = None
     for line in fh:
+        lineno += 1
         stripped = line.strip()
         if not stripped or stripped.startswith("%"):
             continue
         size_line = stripped
         break
     if size_line is None:
-        raise MatrixMarketError("missing size line")
+        raise bad("missing size line (file truncated after header)", lineno)
     parts = size_line.split()
     if len(parts) != 3:
-        raise MatrixMarketError(f"malformed size line: {size_line!r}")
+        raise bad(f"malformed size line: {size_line!r}", lineno)
     try:
         m, n, nnz = (int(p) for p in parts)
-    except ValueError as exc:
-        raise MatrixMarketError(f"malformed size line: {size_line!r}") from exc
+    except ValueError:
+        raise bad(f"malformed size line: {size_line!r}", lineno) from None
     if m <= 0 or n <= 0 or nnz < 0:
-        raise MatrixMarketError(f"invalid dimensions in size line: {size_line!r}")
+        raise bad(f"invalid dimensions in size line: {size_line!r}", lineno)
 
     rows = np.empty(nnz, dtype=np.int64)
     cols = np.empty(nnz, dtype=np.int64)
     vals = np.ones(nnz, dtype=np.float64)
     k = 0
+    last_entry_line = lineno
     for line in fh:
+        lineno += 1
         stripped = line.strip()
         if not stripped or stripped.startswith("%"):
             continue
         if k >= nnz:
-            raise MatrixMarketError("more entries than declared in size line")
+            raise bad(
+                f"more entries than the {nnz} declared in the size line",
+                lineno,
+            )
         fields = stripped.split()
-        if field == "pattern":
-            if len(fields) < 2:
-                raise MatrixMarketError(f"malformed entry line: {stripped!r}")
-            i, j = int(fields[0]), int(fields[1])
-        else:
-            if len(fields) < 3:
-                raise MatrixMarketError(f"malformed entry line: {stripped!r}")
-            i, j = int(fields[0]), int(fields[1])
-            vals[k] = float(fields[2])
+        try:
+            if field == "pattern":
+                if len(fields) < 2:
+                    raise bad(
+                        f"malformed entry line: {stripped!r}", lineno
+                    )
+                i, j = int(fields[0]), int(fields[1])
+            else:
+                if len(fields) < 3:
+                    raise bad(
+                        f"malformed entry line: {stripped!r}", lineno
+                    )
+                i, j = int(fields[0]), int(fields[1])
+                vals[k] = float(fields[2])
+        except ValueError:
+            # Non-numeric tokens ("1 x 2.0", "1.5 2 3.0"): a structured
+            # format error, never a leaked ValueError.
+            raise bad(
+                f"non-numeric token in entry line: {stripped!r}", lineno
+            ) from None
+        if field != "pattern" and not math.isfinite(vals[k]):
+            raise bad(
+                f"non-finite value {fields[2]!r} in entry line "
+                f"(NaN/inf would corrupt downstream weights)", lineno
+            )
         if not (1 <= i <= m and 1 <= j <= n):
-            raise MatrixMarketError(
-                f"entry ({i}, {j}) out of bounds for {m} x {n} matrix"
+            raise bad(
+                f"entry ({i}, {j}) out of bounds for {m} x {n} matrix",
+                lineno,
             )
         rows[k] = i - 1
         cols[k] = j - 1
         k += 1
+        last_entry_line = lineno
     if k != nnz:
-        raise MatrixMarketError(f"expected {nnz} entries, found {k}")
+        raise bad(
+            f"expected {nnz} entries, found {k} (body truncated?)",
+            last_entry_line,
+        )
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols
         if symmetry == "skew-symmetric" and np.any(~off):
-            raise MatrixMarketError("skew-symmetric matrix has diagonal entries")
+            raise bad("skew-symmetric matrix has diagonal entries", lineno)
         sign = -1.0 if symmetry == "skew-symmetric" else 1.0
         r0, c0 = rows, cols
         rows = np.concatenate([r0, c0[off]])

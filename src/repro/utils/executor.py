@@ -91,6 +91,7 @@ __all__ = [
     "pool_map",
     "pool_submit",
     "resilient_map",
+    "resilient_call",
     "shutdown_pools",
     "close_matrix_stores",
     "payload_audit",
@@ -288,6 +289,23 @@ def _process_worker_init(nested: bool) -> None:
     """
     global _IS_POOL_WORKER
     _IS_POOL_WORKER = True
+    # A forked worker also inherits the parent's signal plumbing.  When
+    # the parent runs an asyncio loop (the serving daemon), that
+    # includes the C-level wakeup fd of ``loop.add_signal_handler`` —
+    # which, after fork, still writes into the *parent's* self-pipe.  A
+    # worker that then receives any handled signal (concurrent.futures
+    # SIGTERMs the survivors of a broken pool) would deliver that byte
+    # into the parent's loop, convincing the daemon *it* was signalled
+    # and draining it mid-crash-recovery.  Detach the fd and restore
+    # default dispositions before the worker can catch anything.
+    import signal as _sig
+
+    _sig.set_wakeup_fd(-1)
+    for signum in (_sig.SIGTERM, _sig.SIGINT):
+        try:
+            _sig.signal(signum, _sig.SIG_DFL)
+        except (OSError, ValueError):  # pragma: no cover - non-main thread
+            pass
     # A forked worker inherits the parent's fault-injection hit counters
     # (and its hang-release flag); a worker's per-process hit indices
     # must start at 1 for fault plans to be deterministic.
@@ -652,6 +670,61 @@ def resilient_map(
             attempt=attempts[i],
         ))
     return values, failures
+
+
+def resilient_call(
+    kind: str,
+    jobs: int,
+    fn,
+    item,
+    *,
+    policy: RetryPolicy,
+    fallback=None,
+    validate=None,
+    label: str = "",
+) -> tuple[object, list[ExecutionError]]:
+    """Run one ``fn(item)`` task on the shared pool under ``policy``.
+
+    The single-item counterpart of :func:`resilient_map`, for callers
+    that dispatch work one request at a time (the serving daemon): same
+    deadline/watchdog/retry semantics, returning ``(value, failures)``.
+
+    ``fallback`` defaults to *refusing* inline completion: a serving
+    process must never run a request that repeatedly killed its workers
+    inside its own address space, so with the retry budget exhausted a
+    :class:`~repro.errors.DegradedExecution` is raised (carrying every
+    accumulated failure record on its ``failures`` attribute) instead of
+    degrading — the caller turns it into a structured per-request error.
+    Pass an explicit ``fallback(index)`` to opt back into the batch
+    layer's degrade-to-inline ladder.
+    """
+    refused = object()
+    refusing = fallback is None
+    if refusing:
+        fallback = lambda _i: refused  # noqa: E731
+
+        if validate is not None:
+            inner_validate = validate
+
+            def validate(i, value):  # noqa: F811 - deliberate wrap
+                if value is not refused:
+                    inner_validate(i, value)
+
+    values, failures = resilient_map(
+        kind, jobs, fn, [item],
+        policy=policy, fallback=fallback, validate=validate,
+        labels=[label] if label else None,
+    )
+    if refusing and values[0] is refused:
+        exc = DegradedExecution(
+            "retry budget exhausted on the worker pool; inline fallback "
+            "is disabled for isolated requests", task=label,
+        )
+        # The pre-degradation records: the request's full failure story.
+        exc.failures = [f for f in failures[0]
+                        if not isinstance(f, DegradedExecution)]
+        raise exc
+    return values[0], failures[0]
 
 
 def shutdown_pools(wait: bool = False) -> None:

@@ -82,6 +82,9 @@ FAULT_POINTS = frozenset({
     "shm.attach",         # inside MatrixHandle.open, before the attach
     "recursive.bisect",   # inside every bisection of the recursion tree
     "kway.partition",     # inside the direct k-way partitioner
+    "serve.request",      # daemon side, after a request is admitted
+    "serve.cache",        # daemon side, before each cache journal write
+    "serve.drain",        # daemon side, at the start of a graceful drain
 })
 
 FAULT_KINDS = ("exception", "crash", "hang", "shm", "poison")

@@ -282,3 +282,63 @@ class TestSweepAggregator:
         r = serial_records[0]
         with pytest.raises(EvaluationError, match="lacks"):
             agg.mean(r.method, r.instance, "bsp")
+
+
+class TestSweepFingerprint:
+    """Checkpoint identity must ignore every speed/resilience knob.
+
+    A sweep interrupted under ``--jobs 4 --task-timeout 30 --retries 2``
+    and resumed serially with no hardening must still match its journal:
+    none of those knobs change what a run computes.
+    """
+
+    @staticmethod
+    def _spec(**config_overrides):
+        from repro.eval.sweep import _sweep_fingerprint
+        from repro.partitioner.config import get_config
+
+        cfg = dataclasses.replace(
+            get_config("mondriaan"), **config_overrides
+        )
+        spec = RunSpec(
+            index=0, instance="sym_grid2d_s", matrix_class="sym",
+            label="G1", method="mediumgrain", refine=False, seed=3,
+            config=cfg,
+        )
+        return _sweep_fingerprint([spec])
+
+    def test_resilience_knobs_do_not_change_identity(self):
+        base = self._spec()
+        assert self._spec(task_timeout=30.0, retries=2) == base
+        assert self._spec(jobs=8, exec_backend="thread") == base
+        assert self._spec(
+            jobs=4, exec_backend="process-pickle",
+            task_timeout=5.0, retries=1,
+        ) == base
+
+    def test_result_determining_knobs_do_change_identity(self):
+        from repro.eval.sweep import _sweep_fingerprint
+        from repro.partitioner.config import get_config
+
+        base = self._spec()
+        assert self._spec(algo="kway") != base
+        assert self._spec(n_initial=5) != base
+        spec = RunSpec(
+            index=0, instance="sym_grid2d_s", matrix_class="sym",
+            label="G1", method="mediumgrain", refine=False, seed=3,
+            config=get_config("mondriaan"),
+        )
+        assert _sweep_fingerprint(
+            [dataclasses.replace(spec, eps=0.1)]
+        ) != base
+
+    def test_preset_name_and_jobs_still_normalized(self):
+        from repro.eval.sweep import _sweep_fingerprint
+
+        spec = RunSpec(
+            index=0, instance="sym_grid2d_s", matrix_class="sym",
+            label="G1", method="mediumgrain", refine=False, seed=3,
+        )
+        assert _sweep_fingerprint([spec]) == _sweep_fingerprint(
+            [dataclasses.replace(spec, jobs=6)]
+        )

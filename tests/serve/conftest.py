@@ -1,0 +1,29 @@
+"""Fixtures around the daemon harness (:mod:`repro.serve.testing`)."""
+
+import pytest
+
+from repro.serve.testing import start_daemon
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A factory for fresh daemons; every one is killed on teardown."""
+    handles = []
+
+    def _start(*args, **kwargs):
+        handle = start_daemon(tmp_path, *args, **kwargs)
+        handles.append(handle)
+        return handle
+
+    yield _start
+    for handle in handles:
+        handle.kill()
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One long-lived daemon shared by a module's read-mostly tests."""
+    tmp = tmp_path_factory.mktemp("served")
+    handle = start_daemon(tmp, "--cache", str(tmp / "parts.cache"))
+    yield handle
+    handle.kill()

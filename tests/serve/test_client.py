@@ -1,0 +1,150 @@
+"""Client-side resilience: retry policy, Retry-After, circuit breaker.
+
+A scripted stub server (not the real daemon) plays each failure mode on
+demand, so these tests pin the *client's* contract in isolation.
+"""
+
+import http.server
+import json
+import threading
+
+import pytest
+
+from repro.errors import (
+    CircuitOpen,
+    ProtocolError,
+    RequestFailed,
+    RequestRejected,
+)
+from repro.serve.client import ServeClient
+
+
+class _Script(http.server.BaseHTTPRequestHandler):
+    """Answers each request with the next scripted (status, body,
+    headers) triple; the last entry repeats forever."""
+
+    script: list = []
+    seen: list = []
+
+    def _serve(self):
+        type(self).seen.append(self.path)
+        status, body, headers = (
+            self.script.pop(0) if len(self.script) > 1 else self.script[0]
+        )
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = _serve
+
+    def log_message(self, *args):  # keep pytest output clean
+        pass
+
+
+@pytest.fixture
+def stub():
+    """Start a scripted stub server; yields a function binding a script
+    to a fresh client."""
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _Script)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def bind(script, **kwargs):
+        _Script.script = list(script)
+        _Script.seen = []
+        kwargs.setdefault("backoff", 0.01)
+        kwargs.setdefault("backoff_cap", 0.05)
+        return ServeClient(port=server.server_address[1], **kwargs)
+
+    yield bind
+    server.shutdown()
+    server.server_close()
+
+
+OK = (200, {"volume": 1, "cached": False}, {})
+
+
+def test_plain_success(stub):
+    client = stub([OK])
+    assert client.partition(instance="x")["volume"] == 1
+
+
+def test_retries_shed_503_until_success(stub):
+    client = stub(
+        [(503, {"error": "full"}, {"Retry-After": "0.01"}),
+         (503, {"error": "full"}, {"Retry-After": "0.01"}),
+         OK],
+        retries=3,
+    )
+    assert client.partition(instance="x")["volume"] == 1
+    assert len(_Script.seen) == 3
+
+
+def test_exhausted_503_raises_rejected(stub):
+    client = stub(
+        [(503, {"error": "full", "retry_after": 0.01}, {})], retries=1
+    )
+    with pytest.raises(RequestRejected, match="full"):
+        client.partition(instance="x")
+
+
+def test_400_is_not_retried(stub):
+    client = stub([(400, {"error": "unknown request field"}, {}), OK],
+                  retries=3)
+    with pytest.raises(ProtocolError, match="unknown request field"):
+        client.partition(instance="x")
+    assert len(_Script.seen) == 1  # a client error must not be replayed
+
+
+def test_500_is_not_retried_and_carries_briefs(stub):
+    briefs = ["WorkerCrash[x/p2]@attempt1", "WorkerCrash[x/p2]@attempt2"]
+    client = stub(
+        [(500, {"error": "exhausted", "failures": briefs}, {}), OK],
+        retries=3,
+    )
+    with pytest.raises(RequestFailed, match="exhausted") as err:
+        client.partition(instance="x")
+    assert list(err.value.briefs) == briefs
+    assert len(_Script.seen) == 1
+
+
+def test_transport_errors_retry_then_raise():
+    # Nothing listens on this port: every attempt is a transport error.
+    client = ServeClient(
+        port=1, retries=2, backoff=0.01, backoff_cap=0.02,
+        breaker_threshold=100,
+    )
+    with pytest.raises(OSError):
+        client.partition(instance="x")
+
+
+def test_circuit_opens_after_consecutive_failures():
+    client = ServeClient(
+        port=1, retries=0, backoff=0.01, backoff_cap=0.02,
+        breaker_threshold=2, breaker_cooldown=60.0,
+    )
+    for _ in range(2):
+        with pytest.raises(OSError):
+            client.partition(instance="x")
+    # Threshold crossed: now calls fail fast without touching the wire.
+    with pytest.raises(CircuitOpen, match="circuit open"):
+        client.partition(instance="x")
+
+
+def test_circuit_half_open_trial_closes_on_success(stub):
+    client = stub([OK], retries=0, breaker_threshold=1,
+                  breaker_cooldown=0.0)
+    client._record_failure()  # breaker open, cooldown already elapsed
+    assert client.partition(instance="x")["volume"] == 1
+    assert client._consecutive_failures == 0  # trial success closed it
+
+
+def test_health_does_not_retry(stub):
+    client = stub([OK])
+    assert client.health()["volume"] == 1  # passthrough body
+    assert len(_Script.seen) == 1

@@ -174,3 +174,85 @@ class TestWrite:
         buf.seek(0)
         b = read_matrix_market(buf)
         np.testing.assert_array_equal(a.vals, b.vals)
+
+
+class TestStructuredErrors:
+    """Satellite contract: malformed input raises a structured
+    MatrixFormatError naming file and line — never a raw
+    ValueError/IndexError — and NaN/inf values are rejected."""
+
+    def test_error_is_structured_matrix_format_error(self):
+        from repro.errors import MatrixFormatError
+
+        with pytest.raises(MatrixFormatError) as err:
+            _read_str("%%MatrixMarket matrix coordinate real general\n"
+                      "2 2 1\n1 x 3.0\n")
+        assert err.value.source == "<stream>"
+        assert err.value.line == 3
+        assert "<stream>:3:" in str(err.value)
+
+    def test_file_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "broken.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 oops\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(MatrixMarketError) as err:
+            read_matrix_market(path)
+        assert err.value.source == str(path)
+        assert err.value.line == 3
+        assert str(path) in str(err.value)
+
+    @pytest.mark.parametrize(
+        "entry", ["1 x 2.0", "x 1 2.0", "1 1 not-a-number", "1.5 2 3.0"]
+    )
+    def test_non_numeric_tokens_never_leak_valueerror(self, entry):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                f"2 2 1\n{entry}\n")
+        with pytest.raises(MatrixMarketError, match="non-numeric token"):
+            _read_str(text)
+
+    def test_non_numeric_size_line(self):
+        with pytest.raises(MatrixMarketError, match="malformed size line"):
+            _read_str("%%MatrixMarket matrix coordinate real general\n"
+                      "two 2 1\n")
+
+    @pytest.mark.parametrize("value", ["nan", "NaN", "inf", "-inf"])
+    def test_non_finite_values_rejected(self, value):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                f"2 2 1\n1 1 {value}\n")
+        with pytest.raises(MatrixMarketError, match="non-finite value"):
+            _read_str(text)
+
+    def test_truncated_body_names_last_entry_line(self):
+        with pytest.raises(MatrixMarketError) as err:
+            _read_str("%%MatrixMarket matrix coordinate real general\n"
+                      "3 3 3\n1 1 1.0\n2 2 2.0\n")
+        assert "found 2" in str(err.value)
+        assert err.value.line == 4
+
+    def test_out_of_bounds_entry_names_line(self):
+        with pytest.raises(MatrixMarketError) as err:
+            _read_str("%%MatrixMarket matrix coordinate real general\n"
+                      "2 2 2\n1 1 1.0\n5 1 2.0\n")
+        assert err.value.line == 4
+        assert "out of bounds" in str(err.value)
+
+    def test_surplus_entries_rejected(self):
+        with pytest.raises(MatrixMarketError, match="more entries"):
+            _read_str("%%MatrixMarket matrix coordinate real general\n"
+                      "2 2 1\n1 1 1.0\n2 2 2.0\n")
+
+    def test_matrix_format_error_is_sparse_format_error(self):
+        from repro.errors import MatrixFormatError, SparseFormatError
+
+        # Back-compat: existing `except SparseFormatError` call sites
+        # (and `except MatrixMarketError`) keep working.
+        assert issubclass(MatrixFormatError, SparseFormatError)
+        assert issubclass(MatrixMarketError, MatrixFormatError)
+
+    def test_plain_construction_still_works(self):
+        err = MatrixMarketError("just a message")
+        assert str(err) == "just a message"
+        assert err.source == "" and err.line == 0

@@ -1,0 +1,39 @@
+"""Opt-in serving-gate check (``pytest -m bench``).
+
+Deselected by default (see ``pytest.ini``): latency gates belong in a
+quiet environment, not in tier-1.  The test shells out to the same
+entry point as ``make bench-serve`` so the two paths cannot drift.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_serving_gates_hold():
+    """Cache speedup and faulted-saturation p99 stay within the gates
+    committed alongside BENCH_serve.json."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "benchmarks.bench_serve", "--check"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"serving gate regression:\n{proc.stdout}\n{proc.stderr}"
+    )
