@@ -51,6 +51,18 @@ and records interleaved min-of wall clocks and the volume ratio
 ``kway / recursive`` — the quality/speed trade-off the ROADMAP's
 bisection-vs-direct comparison asks for.
 
+A fifth stage (``kway-ml``) benchmarks the **multilevel** direct k-way
+engine (``algo="kway"`` with ``kway_vcycles >= 1`` —
+:func:`repro.partitioner.multilevel.multilevel_kway`) against recursive
+bisection on the same grid.  Where the flat k-way stage above trades
+volume for speed, the multilevel stage must close the quality gap while
+keeping a decisive speed edge; both sides are *gated at generation
+time*: geomean volume ratio <= ``KWAY_ML_RATIO_GATE`` AND geomean
+speedup >= ``KWAY_ML_SPEEDUP_GATE``, plus the usual bit-identity
+(kernel backends, exec backends, jobs) and eqn-(1) feasibility checks
+per cell.  ``tests/test_bench_e2e.py`` re-asserts the committed
+numbers under ``pytest -m bench``.
+
 A second stage times **p-way recursive bisection** (p in {4, 16, 64} —
 the paper's Fig. 6b / Table II workload) three ways on every bench
 matrix: the frozen pre-PR serial recursion
@@ -393,6 +405,107 @@ def bench_kway_matrix(name: str, ps, repeats: int, jobs: int) -> dict:
     return entry
 
 
+#: V-cycle count of the multilevel k-way (``kway-ml``) rows: one full
+#: multilevel construction, no extra restricted V-cycles.  Measured as
+#: the knee of the quality/speed curve on the bench set — ``vcycles=2``
+#: buys ~3% more volume for roughly half the speed advantage, dropping
+#: below the 2x gate.
+KWAY_ML_VCYCLES = 1
+#: Generation-time gates of the kway-ml stage: the multilevel engine
+#: must land within 10% of recursive bisection's volume (geomean over
+#: every (matrix, p) cell) while running at least twice as fast.
+KWAY_ML_RATIO_GATE = 1.1
+KWAY_ML_SPEEDUP_GATE = 2.0
+
+
+def bench_kway_ml_matrix(name: str, ps, repeats: int, jobs: int) -> dict:
+    """Multilevel direct k-way vs recursive bisection on one matrix.
+
+    The same contract as :func:`bench_kway_matrix`, with the k-way side
+    running the multilevel engine (``kway_vcycles=KWAY_ML_VCYCLES``)
+    instead of the flat pipeline: per p, the partition must be
+    bit-identical across every available kernel backend, every execution
+    backend, and ``jobs`` in ``{1, jobs}``, and every part must respect
+    the eqn-(1) ceiling.  Timings are interleaved min-of wall clocks;
+    ``volume_ratio`` (kway-ml / recursive) is the quantity the
+    generation-time geomean gates aggregate.
+    """
+    matrix = load_instance(name)
+    ml_cfg = dataclasses.replace(
+        get_config("mondriaan"), kway_vcycles=KWAY_ML_VCYCLES
+    )
+    entry: dict = {"nnz": matrix.nnz, "by_p": {}}
+    for p in ps:
+        rec = partition(
+            matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=1
+        )
+        kw = partition(
+            matrix, p, method="mediumgrain", seed=BASE_SEED,
+            config=ml_cfg, algo="kway",
+        )
+        ceiling = max_allowed_part_size(matrix.nnz, p, 0.03)
+        if not kw.feasible or kw.max_part > ceiling:
+            raise AssertionError(
+                f"{name} p={p}: kway-ml max part {kw.max_part} exceeds "
+                f"the eqn-(1) ceiling {ceiling}"
+            )
+        for kb in available_backends():
+            cfg = dataclasses.replace(ml_cfg, kernel_backend=kb)
+            res = partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED,
+                config=cfg, algo="kway",
+            )
+            if not np.array_equal(kw.parts, res.parts):
+                raise AssertionError(
+                    f"{name} p={p}: kway-ml partition differs under "
+                    f"kernel backend {kb!r}"
+                )
+        exec_backends = ["process-pickle", "process", "thread"]
+        for jv, eb in [(1, "serial")] + [(jobs, m) for m in exec_backends]:
+            res = partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED,
+                config=ml_cfg, algo="kway", jobs=jv, exec_backend=eb,
+            )
+            if not np.array_equal(kw.parts, res.parts):
+                raise AssertionError(
+                    f"{name} p={p}: kway-ml partition differs under "
+                    f"jobs={jv} exec_backend={eb}"
+                )
+        best_kw = float("inf")
+        best_rec = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED,
+                config=ml_cfg, algo="kway",
+            )
+            best_kw = min(best_kw, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            partition(
+                matrix, p, method="mediumgrain", seed=BASE_SEED, jobs=1
+            )
+            best_rec = min(best_rec, time.perf_counter() - t0)
+        entry["by_p"][str(p)] = {
+            "volume_kway_ml": kw.volume,
+            "volume_recursive": rec.volume,
+            "volume_ratio": round(kw.volume / rec.volume, 3)
+            if rec.volume
+            else float("inf"),
+            "kway_ml_s": round(best_kw, 6),
+            "recursive_s": round(best_rec, 6),
+            "speedup_kway_ml": round(best_rec / best_kw, 3)
+            if best_kw > 0
+            else float("inf"),
+            "max_part_kway_ml": kw.max_part,
+            "imbalance_kway_ml": round(kw.imbalance, 6),
+            "ceiling": ceiling,
+            "feasible": True,
+            "bit_identical": True,
+            "method": kw.method,
+        }
+    return entry
+
+
 def _delivery_probe(sub, extra):
     """Executor task that only *receives* its submatrix (one touch so
     lazy views cannot be optimized away), isolating delivery cost."""
@@ -659,6 +772,65 @@ def run_benchmarks(
         ]), 3,
     )
     report["kway"] = kway_section
+
+    # Multilevel direct k-way stage — same grid, gated at generation.
+    kway_ml_section: dict = {
+        "method": "mediumgrain",
+        "baseline": "recursive",
+        "current": "kway-ml",
+        "kway_vcycles": KWAY_ML_VCYCLES,
+        "ps": [int(p) for p in pway_parts],
+        "eps": 0.03,
+        "ratio_gate": KWAY_ML_RATIO_GATE,
+        "speedup_gate": KWAY_ML_SPEEDUP_GATE,
+        "matrices": {},
+    }
+    for name in kway_names:
+        entry = bench_kway_ml_matrix(name, pway_parts, repeats, jobs)
+        kway_ml_section["matrices"][name] = entry
+        for p in pway_parts:
+            e = entry["by_p"][str(p)]
+            print(
+                f"  {name:14s} p={p:<3d} kway-ml vol "
+                f"{e['volume_kway_ml']:>6d} ({e['kway_ml_s']:7.3f} s)   "
+                f"recursive vol {e['volume_recursive']:>6d} "
+                f"({e['recursive_s']:7.3f} s)  ratio x{e['volume_ratio']:.2f}"
+                f"  speed x{e['speedup_kway_ml']:.2f}"
+            )
+    ml_cells = [
+        kway_ml_section["matrices"][m]["by_p"][str(p)]
+        for m in kway_names for p in pway_parts
+    ]
+    kway_ml_section["geomean_volume_ratio"] = round(
+        _geomean([c["volume_ratio"] for c in ml_cells]), 3
+    )
+    kway_ml_section["geomean_volume_ratio_by_p"] = {
+        str(p): round(
+            _geomean([
+                kway_ml_section["matrices"][m]["by_p"][str(p)]["volume_ratio"]
+                for m in kway_names
+            ]), 3,
+        )
+        for p in pway_parts
+    }
+    kway_ml_section["geomean_speedup_kway_ml"] = round(
+        _geomean([c["speedup_kway_ml"] for c in ml_cells]), 3
+    )
+    if kway_ml_section["geomean_volume_ratio"] > KWAY_ML_RATIO_GATE:
+        raise AssertionError(
+            f"kway-ml geomean volume ratio "
+            f"{kway_ml_section['geomean_volume_ratio']} exceeds the "
+            f"{KWAY_ML_RATIO_GATE} gate — the multilevel engine lost its "
+            f"quality contract"
+        )
+    if kway_ml_section["geomean_speedup_kway_ml"] < KWAY_ML_SPEEDUP_GATE:
+        raise AssertionError(
+            f"kway-ml geomean speedup "
+            f"{kway_ml_section['geomean_speedup_kway_ml']} is below the "
+            f"{KWAY_ML_SPEEDUP_GATE}x gate — the multilevel engine lost "
+            f"its speed contract"
+        )
+    report["kway_ml"] = kway_ml_section
     return report
 
 
@@ -670,13 +842,16 @@ SMOKE_MATRICES = ("sym_grid2d_s", "rec_td_small_a", "sqr_er_s")
 def run_smoke(jobs: int) -> int:
     """CI smoke: completion + bit-identity across every backend combo.
 
-    Runs the whole-pipeline sweep, a p=4 recursive bisection, and a p=4
-    direct k-way partitioning (``--algo kway``) on tiny instances with
-    ``--jobs`` workers, under every available kernel backend x execution
-    backend, asserting the results equal the serial reference and (for
-    k-way) that every part respects the eqn-(1) ceiling.  **No
-    wall-clock gating** — this exists so a cold CI runner proves the
-    parallel plumbing end to end, not to race it.
+    Runs the whole-pipeline sweep, a p=4 recursive bisection, a p=4 flat
+    direct k-way partitioning (``--algo kway``), and a p=4 *multilevel*
+    k-way partitioning (``kway_vcycles=2`` — one multilevel construction
+    plus one restricted V-cycle, so both halves of the multilevel engine
+    execute) on tiny instances with ``--jobs`` workers, under every
+    available kernel backend x execution backend, asserting the results
+    equal the serial reference and (for both k-way flavours) that every
+    part respects the eqn-(1) ceiling.  **No wall-clock gating** — this
+    exists so a cold CI runner proves the parallel plumbing end to end,
+    not to race it.
     """
     import repro.kernels as kernels
 
@@ -711,9 +886,17 @@ def run_smoke(jobs: int) -> int:
                 matrix, 4, method="mediumgrain", seed=BASE_SEED,
                 config=cfg, jobs=1, algo="kway",
             )
+            ml_cfg = dataclasses.replace(cfg, kway_vcycles=2)
+            ml_serial = partition(
+                matrix, 4, method="mediumgrain", seed=BASE_SEED,
+                config=ml_cfg, jobs=1, algo="kway",
+            )
             ceiling = max_allowed_part_size(matrix.nnz, 4, 0.03)
             if kway_serial.max_part > ceiling:
                 print(f"FAIL kway ceiling {name} kernel={kb}")
+                failures += 1
+            if ml_serial.max_part > ceiling:
+                print(f"FAIL kway-ml ceiling {name} kernel={kb}")
                 failures += 1
             for eb in exec_backends:
                 res = partition(
@@ -726,20 +909,27 @@ def run_smoke(jobs: int) -> int:
                     config=cfg, jobs=jobs, exec_backend=eb, algo="kway",
                 )
                 kok = np.array_equal(kway_serial.parts, kres.parts)
-                failures += (not ok) + (not kok)
+                mres = partition(
+                    matrix, 4, method="mediumgrain", seed=BASE_SEED,
+                    config=ml_cfg, jobs=jobs, exec_backend=eb, algo="kway",
+                )
+                mok = np.array_equal(ml_serial.parts, mres.parts)
+                failures += (not ok) + (not kok) + (not mok)
                 print(
                     f"  {name:14s} kernel={kb:6s} exec={eb:14s} "
                     f"volume={res.volume:<6d} "
                     f"{'ok' if ok else 'MISMATCH'}  "
                     f"kway={kres.volume:<6d} "
-                    f"{'ok' if kok else 'MISMATCH'}"
+                    f"{'ok' if kok else 'MISMATCH'}  "
+                    f"kway-ml={mres.volume:<6d} "
+                    f"{'ok' if mok else 'MISMATCH'}"
                 )
     failures += _smoke_retry_path(jobs)
     resolved = kernels.resolve_backend("auto").name
     print(
         f"\nsmoke: {len(kernel_backends)} kernel backend(s) x "
         f"{len(exec_backends)} exec backend(s) x {len(SMOKE_MATRICES)} "
-        f"matrices x (recursive + kway + retry-path), jobs={jobs} "
+        f"matrices x (recursive + kway + kway-ml + retry-path), jobs={jobs} "
         f"(auto kernel backend: {resolved}); {failures} failure(s)"
     )
     return 1 if failures else 0
@@ -933,6 +1123,11 @@ def main(argv=None) -> int:
     print(f"geomean kway speedup over recursive bisection: "
           f"x{report['kway']['geomean_speedup_kway']} at volume ratio "
           f"{report['kway']['geomean_volume_ratio_by_p']}")
+    print(f"geomean kway-ml (vcycles={report['kway_ml']['kway_vcycles']}) "
+          f"speedup: x{report['kway_ml']['geomean_speedup_kway_ml']} at "
+          f"volume ratio {report['kway_ml']['geomean_volume_ratio']} "
+          f"(gates: ratio <= {KWAY_ML_RATIO_GATE}, "
+          f"speed >= {KWAY_ML_SPEEDUP_GATE}x)")
     print(f"written to {out}")
     return 0
 

@@ -93,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
             "the connectivity-(lambda-1) volume in one shot"
         ),
     )
+    p_part.add_argument(
+        "--kway-vcycles",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "multilevel V-cycles for --algo kway (0 = flat direct "
+            "k-way; N >= 1 = multilevel construction plus N-1 "
+            "restricted V-cycles); ignored for recursive bisection"
+        ),
+    )
     p_part.add_argument("--eps", type=float, default=0.03)
     p_part.add_argument("--refine", action="store_true",
                         help="apply Algorithm-2 iterative refinement")
@@ -186,6 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
             "bipartition artifacts are unaffected"
         ),
     )
+    p_exp.add_argument(
+        "--kway-vcycles",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "multilevel V-cycles for --algo kway runs (0 = flat "
+            "direct k-way); ignored for recursive bisection"
+        ),
+    )
     _add_hardening_flags(p_exp)
 
     p_srv = sub.add_parser(
@@ -255,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--method", default="mediumgrain",
                        choices=METHOD_NAMES)
     p_sub.add_argument("--algo", default="recursive", choices=ALGO_NAMES)
+    p_sub.add_argument(
+        "--kway-vcycles", type=int, default=0, metavar="N",
+        help="multilevel V-cycles for --algo kway (0 = flat)",
+    )
     p_sub.add_argument("--eps", type=float, default=0.03)
     p_sub.add_argument("--refine", action="store_true")
     p_sub.add_argument("--config", default="mondriaan",
@@ -324,6 +349,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         exec_backend=args.exec_backend,
         algo=args.algo,
+        kway_vcycles=args.kway_vcycles,
         task_timeout=args.task_timeout or None,
         retries=args.retries,
     )
@@ -450,6 +476,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             backend=args.backend,
             algo=args.algo,
+            kway_vcycles=args.kway_vcycles,
             task_timeout=args.task_timeout or None,
             retries=args.retries,
         )
@@ -495,6 +522,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "nparts": args.nparts,
         "method": args.method,
         "algo": args.algo,
+        "kway_vcycles": args.kway_vcycles,
         "eps": args.eps,
         "refine": args.refine,
         "config": args.config,

@@ -28,6 +28,15 @@ The 1D models and the fine-grain model plug into the same engine (their
 vertex weights are nonzero counts too), so every method label of
 :data:`repro.core.methods.METHOD_NAMES` works under ``algo="kway"``.
 
+``PartitionerConfig.kway_vcycles`` (or the explicit ``vcycles``
+argument) upgrades step 2–3 to the *multilevel* k-way engine: a full
+multilevel construction
+(:func:`repro.partitioner.multilevel.multilevel_kway`) followed by
+hMetis-style restricted V-cycles
+(:func:`repro.partitioner.vcycle.kway_vcycle_refine`) that can move
+whole clusters between parts — the quality lever the flat pipeline
+lacks.  ``kway_vcycles=0`` keeps the flat path bit-for-bit.
+
 Determinism: the result is a pure function of ``(matrix, arguments,
 seed)``.  There is no recursion tree to schedule, so ``jobs`` and
 ``exec_backend`` do not apply — the partition is trivially bit-identical
@@ -55,6 +64,12 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import kway_refine
+from repro.partitioner.initial import (
+    greedy_kway_vertex_parts,
+    initial_kway_parts,
+)
+from repro.partitioner.multilevel import multilevel_kway
+from repro.partitioner.vcycle import kway_vcycle_refine
 from repro.sparse.matrix import SparseMatrix
 from repro.utils import faults
 from repro.utils.balance import max_allowed_part_size
@@ -65,68 +80,6 @@ from repro.utils.validation import check_eps, check_pos_int
 __all__ = ["partition_kway", "greedy_kway_vertex_parts"]
 
 
-def greedy_kway_vertex_parts(
-    h: Hypergraph,
-    nparts: int,
-    ceilings: np.ndarray,
-    rng: np.random.Generator,
-    strategy: str = "balance",
-) -> np.ndarray:
-    """Balanced greedy initial k-way assignment of the vertices.
-
-    Heaviest vertex first (ties shuffled by ``rng`` so restarts differ);
-    when no part has room the lightest part overall takes the vertex —
-    the start is then infeasible and the k-way FM pass drives it
-    feasible with forced moves.  Two placement disciplines:
-
-    ``"balance"``
-        Each vertex into the lightest part with room (ties to the lowest
-        part id) — longest-processing-time, keeping ``max_k w_k`` near
-        the eqn-(1) ceiling and the start maximally even.
-    ``"pack"``
-        First-fit decreasing: each vertex into the lowest-id part with
-        room.  Packs early parts tight and leaves the tail parts slack —
-        worse spread, but it fits tight instances (nearly uniform heavy
-        weights against a snug ceiling) that defeat the even spread.
-    """
-    if strategy not in ("balance", "pack"):
-        raise PartitioningError(
-            f"unknown initial-assignment strategy {strategy!r}"
-        )
-    pack = strategy == "pack"
-    k = int(nparts)
-    nverts = h.nverts
-    perm = rng.permutation(nverts)
-    order = perm[np.argsort(-h.vwgt[perm], kind="stable")]
-    ceil_l = [int(c) for c in ceilings]
-    vw_l = h.vwgt.tolist()
-    pw = [0] * k
-    out = np.empty(nverts, dtype=np.int64)
-    for v in order.tolist():
-        wv = vw_l[v]
-        best = -1
-        best_w = -1
-        any_p = 0
-        any_w = pw[0]
-        for p in range(k):
-            w = pw[p]
-            if w < any_w:
-                any_w = w
-                any_p = p
-            if w + wv <= ceil_l[p]:
-                if pack:
-                    best = p
-                    break
-                if best == -1 or w < best_w:
-                    best = p
-                    best_w = w
-        if best == -1:
-            best = any_p
-        out[v] = best
-        pw[best] += wv
-    return out
-
-
 def _kway_vertex_partition(
     h: Hypergraph,
     nparts: int,
@@ -134,38 +87,36 @@ def _kway_vertex_partition(
     cfg: PartitionerConfig,
     rng: np.random.Generator,
     backend: KernelBackend,
+    vcycles: int = 0,
 ) -> np.ndarray:
-    """Greedy initial assignment + k-way FM on one hypergraph.
+    """Partition the vertices of one hypergraph into ``nparts`` parts.
 
-    A feasible start provably stays feasible through the FM passes (the
-    best-prefix bookkeeping never records an infeasible state once one
-    feasible state exists), so the initial assignment is retried with
-    fresh tie-break orders — up to ``cfg.n_initial`` times, mirroring
-    the coarsest-level restarts of the 2-way engine — until the packing
-    fits, alternating the even-spread and first-fit disciplines (an
-    instance of nearly uniform heavy weights against a snug ceiling
-    defeats the even spread on *every* order, but first-fit packs it);
-    the least-overweight attempt is kept otherwise and the FM
-    rebalancing pass gets to repair it.
+    ``vcycles=0`` (the default) is the original *flat* path — greedy
+    best-of-restarts assignment (see
+    :func:`repro.partitioner.initial.initial_kway_parts`) followed by
+    k-way FM on the full hypergraph, bit-identical to the pre-multilevel
+    pipeline.  ``vcycles >= 1`` runs the multilevel engine instead:
+    cycle 1 is a full multilevel construction
+    (:func:`repro.partitioner.multilevel.multilevel_kway`), and cycles
+    ``2..vcycles`` are hMetis-style restricted V-cycles
+    (:func:`repro.partitioner.vcycle.kway_vcycle_refine`).
     """
-    best: np.ndarray | None = None
-    best_over: int | None = None
-    for attempt in range(max(1, cfg.n_initial)):
-        vparts = greedy_kway_vertex_parts(
-            h, nparts, ceilings, rng,
-            strategy="balance" if attempt % 2 == 0 else "pack",
+    if vcycles <= 0:
+        best = initial_kway_parts(h, nparts, ceilings, cfg, rng)
+        result = kway_refine(
+            h, best, nparts, ceilings, cfg, rng, backend=backend
         )
-        pw = np.bincount(vparts, weights=h.vwgt, minlength=nparts)
-        over = int((pw - ceilings).max(initial=0))
-        if best_over is None or over < best_over:
-            best, best_over = vparts, over
-        if over <= 0:
-            break
-    assert best is not None
-    result = kway_refine(
-        h, best, nparts, ceilings, cfg, rng, backend=backend
+        return result.parts
+    result = multilevel_kway(
+        h, nparts, ceilings, cfg, rng, backend=backend
     )
-    return result.parts
+    parts = result.parts
+    if vcycles > 1:
+        parts = kway_vcycle_refine(
+            h, parts, nparts, ceilings, cfg, rng,
+            max_cycles=vcycles - 1, backend=backend,
+        ).parts
+    return parts
 
 
 def partition_kway(
@@ -176,6 +127,7 @@ def partition_kway(
     refine: bool = False,
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
+    vcycles: int | None = None,
 ) -> PartitionResult:
     """Partition the nonzeros of ``matrix`` into ``nparts`` parts directly.
 
@@ -184,6 +136,13 @@ def partition_kway(
     :func:`repro.core.recursive.partition` with ``algo="kway"``.  Every
     part shares the single eqn-(1) ceiling
     ``max_allowed_part_size(nnz, nparts, eps)``.
+
+    ``vcycles`` selects the engine (``None`` defers to
+    ``config.kway_vcycles``): ``0`` refines the flat hypergraph — the
+    original direct k-way path, exactly; ``N >= 1`` runs the multilevel
+    engine (full multilevel construction, then ``N - 1`` restricted
+    V-cycles — see :func:`_kway_vertex_partition`).  Multilevel results
+    carry a ``"+ml"`` method suffix.
 
     ``refine=True`` runs the generalized Algorithm-2 iterate loop after
     the direct partitioning (alternating majority re-encodings, keeping
@@ -199,6 +158,11 @@ def partition_kway(
             f"unknown method {method!r}; expected one of {METHOD_NAMES}"
         )
     cfg = get_config(config)
+    vcycles = cfg.kway_vcycles if vcycles is None else int(vcycles)
+    if vcycles < 0:
+        raise PartitioningError(
+            "vcycles must be non-negative (0 = flat direct k-way)"
+        )
     rng = as_generator(seed)
     backend = resolve_backend(cfg.kernel_backend)
     n = matrix.nnz
@@ -216,19 +180,21 @@ def partition_kway(
             parts = np.zeros(n, dtype=np.int64)
         elif method == "localbest":
             parts = _run_localbest_kway(
-                matrix, nparts, ceilings, cfg, rng, backend
+                matrix, nparts, ceilings, cfg, rng, backend, vcycles
             )
         elif method == "mediumgrain":
             split = initial_split(matrix, rng)
             instance = build_medium_grain(split)
             vparts = _kway_vertex_partition(
-                instance.hypergraph, nparts, ceilings, cfg, rng, backend
+                instance.hypergraph, nparts, ceilings, cfg, rng, backend,
+                vcycles,
             )
             parts = instance.nonzero_parts(vparts)
         else:
             model = _build_model(matrix, method)
             vparts = _kway_vertex_partition(
-                model.hypergraph, nparts, ceilings, cfg, rng, backend
+                model.hypergraph, nparts, ceilings, cfg, rng, backend,
+                vcycles,
             )
             parts = model.nonzero_parts(vparts)
         if refine and nparts > 1:
@@ -257,7 +223,9 @@ def partition_kway(
         feasible=biggest <= ceiling,
         imbalance=imbalance(matrix, parts, nparts),
         seconds=timer.elapsed,
-        method=method + ("+ir" if refine else ""),
+        method=method
+        + ("+ml" if vcycles and nparts > 1 else "")
+        + ("+ir" if refine else ""),
         bisection_volumes=[],
     )
 
@@ -269,6 +237,7 @@ def _run_localbest_kway(
     cfg: PartitionerConfig,
     rng: np.random.Generator,
     backend: KernelBackend,
+    vcycles: int = 0,
 ) -> np.ndarray:
     """Row-net and column-net k-way runs, keep the lower volume (ties:
     better balance, then row-net) — the k-way mirror of ``localbest``."""
@@ -277,7 +246,7 @@ def _run_localbest_kway(
     for name in ("rownet", "colnet"):
         model = _build_model(matrix, name)
         vparts = _kway_vertex_partition(
-            model.hypergraph, nparts, ceilings, cfg, rng, backend
+            model.hypergraph, nparts, ceilings, cfg, rng, backend, vcycles
         )
         parts = model.nonzero_parts(vparts)
         key = (

@@ -151,6 +151,7 @@ def collect_paper_runs(
     jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
     algo: str = "recursive",
+    kway_vcycles: int = 0,
     task_timeout: float | None = None,
     retries: int = 0,
 ) -> ExperimentData:
@@ -164,12 +165,13 @@ def collect_paper_runs(
     the key: volumes are bit-compatible across backends, but the
     recorded ``seconds`` — a first-class metric (Fig. 5, Table I) —
     depends systematically on which backend ran.  ``algo`` (the p-way
-    scheme for ``nparts > 2``) changes results outright, so it is part
-    of the key too.
+    scheme for ``nparts > 2``) and ``kway_vcycles`` (flat vs multilevel
+    direct k-way) change results outright, so they are part of the key
+    too.
     """
     key = (
         tier, max_tier, nruns, nparts, config, base_seed, with_bsp,
-        min_nnz, backend, algo,
+        min_nnz, backend, algo, kway_vcycles,
     )
     if key in _sweep_cache:
         return _sweep_cache[key]
@@ -192,6 +194,7 @@ def collect_paper_runs(
         jobs=jobs,
         backend=backend,
         algo=algo,
+        kway_vcycles=kway_vcycles,
         task_timeout=task_timeout,
         retries=retries,
     )

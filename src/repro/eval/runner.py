@@ -181,6 +181,7 @@ def run_methods(
     jobs: "int | None | JobsBudget" = 1,
     backend: str = "auto",
     algo: str = "recursive",
+    kway_vcycles: int = 0,
     task_timeout: float | None = None,
     retries: int = 0,
     checkpoint=None,
@@ -224,6 +225,11 @@ def run_methods(
         ``"recursive"`` bisection (default) or the direct ``"kway"``
         partitioner.  Unlike ``backend`` this changes the results — it
         is the comparison axis of the kway-vs-recursive experiments.
+    kway_vcycles:
+        Multilevel V-cycle count for ``algo="kway"`` runs (``0`` = the
+        flat direct k-way path; ``N >= 1`` = multilevel construction
+        plus ``N - 1`` restricted V-cycles).  Result-determining, like
+        ``algo``.  Ignored for recursive runs.
     task_timeout / retries:
         Hardened-execution knobs, handed to
         :func:`~repro.eval.sweep.run_sweep` unchanged: per-task deadline
@@ -249,6 +255,7 @@ def run_methods(
         with_bsp=with_bsp,
         backend=backend,
         algo=algo,
+        kway_vcycles=kway_vcycles,
     )
     data = ExperimentData()
     for record in run_sweep(

@@ -124,6 +124,13 @@ class RunSpec:
     #: :func:`repro.core.recursive.partition`'s ``algo``).  Ignored for
     #: bipartitionings.
     algo: str = "recursive"
+    #: Multilevel V-cycle count for ``algo="kway"`` runs (see
+    #: :attr:`repro.partitioner.config.PartitionerConfig.kway_vcycles`).
+    #: ``0`` keeps the flat direct k-way path bit-for-bit; a
+    #: result-determining knob, so it participates in the sweep
+    #: fingerprint (unlike ``jobs``).  Ignored for recursive runs and
+    #: bipartitionings.
+    kway_vcycles: int = 0
 
 
 def build_runspecs(
@@ -139,6 +146,7 @@ def build_runspecs(
     backend: str = "auto",
     verify_spmv: bool = False,
     algo: str = "recursive",
+    kway_vcycles: int = 0,
 ) -> list[RunSpec]:
     """Expand a sweep into specs in the canonical (serial) order.
 
@@ -170,6 +178,7 @@ def build_runspecs(
                         with_bsp=with_bsp,
                         verify_spmv=verify_spmv,
                         algo=algo,
+                        kway_vcycles=kway_vcycles,
                     )
                 )
     return specs
@@ -199,6 +208,8 @@ def execute_runspec(spec: RunSpec, matrix=None):
     cfg = get_config(spec.config)
     if spec.backend != cfg.kernel_backend:
         cfg = dataclasses.replace(cfg, kernel_backend=spec.backend)
+    if spec.kway_vcycles != cfg.kway_vcycles:
+        cfg = dataclasses.replace(cfg, kway_vcycles=spec.kway_vcycles)
     if spec.nparts == 2:
         res = bipartition(
             matrix,

@@ -251,6 +251,42 @@ class Hypergraph:
         return out
 
     # ------------------------------------------------------------------ #
+    # Induced sub-hypergraphs
+    # ------------------------------------------------------------------ #
+    def induce(self, vertices: np.ndarray) -> "Hypergraph":
+        """Sub-hypergraph induced by a vertex subset.
+
+        ``vertices`` is an array of distinct vertex ids; vertex ``i`` of
+        the result corresponds to ``vertices[i]`` (weights follow).
+        Nets are restricted to their kept pins; nets left with fewer
+        than two pins are dropped (they can never be cut).  Fully
+        vectorized — used by the recursive-bisection construction of
+        initial k-way partitionings, where sub-hypergraphs of the
+        coarsest level are bipartitioned independently.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64).ravel()
+        new_id = np.full(self.nverts, -1, dtype=np.int64)
+        new_id[vertices] = np.arange(vertices.size, dtype=np.int64)
+        keep_pin = new_id[self.pins] >= 0
+        net_ids = self.net_ids()
+        kept_counts = np.bincount(
+            net_ids[keep_pin], minlength=self.nnets
+        )
+        keep_net = kept_counts >= 2
+        keep = keep_pin & keep_net[net_ids]
+        sizes = kept_counts[keep_net]
+        xpins = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=xpins[1:])
+        return Hypergraph(
+            vertices.size,
+            xpins,
+            new_id[self.pins[keep]],
+            vwgt=self.vwgt[vertices],
+            ncost=self.ncost[keep_net],
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------ #
     # Cosmetics
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -19,8 +19,12 @@ from repro.partitioner.bipartition import (
     BipartitionHResult,
     bipartition_hypergraph,
 )
-from repro.partitioner.fm import fm_refine
-from repro.partitioner.multilevel import multilevel_bipartition
+from repro.partitioner.fm import fm_refine, kway_rebalance, kway_refine
+from repro.partitioner.multilevel import (
+    multilevel_bipartition,
+    multilevel_kway,
+)
+from repro.partitioner.vcycle import kway_vcycle_refine, vcycle_refine
 
 __all__ = [
     "PartitionerConfig",
@@ -28,5 +32,10 @@ __all__ = [
     "bipartition_hypergraph",
     "BipartitionHResult",
     "fm_refine",
+    "kway_refine",
+    "kway_rebalance",
     "multilevel_bipartition",
+    "multilevel_kway",
+    "vcycle_refine",
+    "kway_vcycle_refine",
 ]

@@ -98,6 +98,21 @@ class PartitionerConfig:
         the result — the two algorithms explore different search spaces;
         it does *not* change results across kernel/exec backends or
         ``jobs`` values within either algorithm.
+    kway_vcycles:
+        Multilevel V-cycles for the direct k-way partitioner
+        (``algo="kway"``; see :mod:`repro.core.kway`).  ``0`` (default)
+        refines the *flat* hypergraph — the original direct k-way path,
+        exactly.  ``N >= 1`` runs the multilevel engine instead: cycle 1
+        is a full multilevel construction (unrestricted coarsening,
+        coarsest-level k-way construction, k-way-FM refinement at every
+        level on the way up — :func:`repro.partitioner.multilevel.
+        multilevel_kway`), and each further cycle is an hMetis-style
+        *restricted* V-cycle (:func:`repro.partitioner.vcycle.
+        kway_vcycle_refine`) that re-coarsens respecting the current
+        partitioning and can move whole clusters between parts.  Unlike
+        the backend knobs this genuinely changes the result (better
+        volume for more time); within a fixed value results stay
+        bit-identical across kernel/exec backends and ``jobs``.
     task_timeout:
         Per-task deadline in seconds for pool-executed work (see
         ``docs/robustness.md``): a task still running past it is killed
@@ -128,6 +143,7 @@ class PartitionerConfig:
     jobs: int = 1
     exec_backend: str = "auto"
     algo: str = "recursive"
+    kway_vcycles: int = 0
     task_timeout: float | None = None
     retries: int = 0
 
@@ -167,6 +183,10 @@ class PartitionerConfig:
             raise PartitioningError(
                 f"unknown partitioning algorithm {self.algo!r}; "
                 f"expected one of {ALGO_CHOICES}"
+            )
+        if self.kway_vcycles < 0:
+            raise PartitioningError(
+                "kway_vcycles must be non-negative (0 = flat direct k-way)"
             )
         if self.task_timeout is not None and self.task_timeout < 0:
             raise PartitioningError(

@@ -35,7 +35,13 @@ from repro.kernels import FMPassState, KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["fm_refine", "FMResult", "kway_refine", "KWayFMResult"]
+__all__ = [
+    "fm_refine",
+    "FMResult",
+    "kway_refine",
+    "KWayFMResult",
+    "kway_rebalance",
+]
 
 
 @dataclass
@@ -242,6 +248,16 @@ def kway_refine(
     total_delta = 0
     passes_run = 0
     feasible = bool(np.all(part_weights(h, parts, nparts) <= ceilings))
+    if not feasible:
+        # The FM pass rebalances with *single* forced moves; when every
+        # single move off an overweight part would blow another ceiling
+        # (coarse V-cycle levels: few, heavy vertices against snug
+        # ceilings) the pass cannot make progress.  The swap-capable
+        # rebalancer covers exactly that case — and it never touches a
+        # feasible input, so the fast path is unchanged.
+        kway_rebalance(h, parts, nparts, ceilings)
+        cut = connectivity_volume(h, parts)
+        feasible = bool(np.all(part_weights(h, parts, nparts) <= ceilings))
     for _ in range(passes_budget):
         started_feasible = feasible
         delta, feasible = kb.kway_fm_pass(
@@ -261,3 +277,107 @@ def kway_refine(
         passes=passes_run,
         improvement=total_delta,
     )
+
+
+def kway_rebalance(
+    h: Hypergraph,
+    parts: np.ndarray,
+    nparts: int,
+    ceilings: np.ndarray,
+) -> bool:
+    """Weight-only repair of an infeasible k-way partitioning, in place.
+
+    The k-way FM pass drives infeasible states feasible with forced
+    *single* moves; this is its fallback for the states single moves
+    cannot fix — e.g. a projected V-cycle level whose coarse vertices
+    are so heavy that any move off the overweight part would overload
+    the target.  Two escalating repairs, both deterministic (lowest-id
+    tie-breaks, no RNG, pure NumPy — trivially backend-independent):
+
+    1. **single move** — the heaviest vertex of the most-overweight part
+       that fits the slack of the roomiest other part;
+    2. **pairwise swap** — a vertex of the overweight part exchanged
+       with a lighter vertex of another part, chosen (via one
+       ``searchsorted`` per candidate part) to shed the most weight the
+       target's slack allows.
+
+    Every applied repair strictly reduces the total overshoot
+    ``sum(max(w_k - ceil_k, 0))`` (an integer), so the loop terminates.
+    Cut quality is ignored — the caller follows with a k-way FM pass
+    that re-optimizes the cut from the repaired, feasible state.
+
+    Returns ``True`` when the result satisfies every ceiling.  A
+    feasible input returns immediately, untouched.
+    """
+    ceil = np.ascontiguousarray(ceilings, dtype=np.int64)
+    vw = np.asarray(h.vwgt, dtype=np.int64)
+    pw = np.bincount(parts, weights=vw, minlength=nparts).astype(np.int64)
+    if bool(np.all(pw <= ceil)):
+        return True
+    while True:
+        over = pw - ceil
+        s = int(np.argmax(over))
+        if over[s] <= 0:
+            return True
+        members = np.flatnonzero(parts == s)
+        mw = vw[members]
+        heavy_order = np.argsort(-mw, kind="stable")  # heaviest first
+        slack = ceil - pw
+        slack[s] = np.iinfo(np.int64).min
+        # 1. Single move: heaviest member that fits the roomiest target.
+        t = int(np.argmax(slack))
+        moved = False
+        if slack[t] > 0:
+            fits = heavy_order[
+                (mw[heavy_order] <= slack[t]) & (mw[heavy_order] > 0)
+            ]
+            if fits.size:
+                v = int(members[fits[0]])
+                parts[v] = t
+                pw[s] -= vw[v]
+                pw[t] += vw[v]
+                moved = True
+        if moved:
+            continue
+        # 2. Pairwise swap: for each candidate target, pair the heaviest
+        # donors with the lightest counter-weights that keep the target
+        # under its ceiling; keep the swap shedding the most weight.
+        best = None  # (shed, t, v, u) — maximize shed, tie to low ids
+        for t in range(nparts):
+            if t == s:
+                continue
+            others = np.flatnonzero(parts == t)
+            if not others.size:
+                continue
+            ow = vw[others]
+            asc = np.argsort(ow, kind="stable")
+            others, ow = others[asc], ow[asc]
+            # Donor v (weight wv) swaps with counter u (weight wu < wv)
+            # needing wv - wu <= slack_t; the lightest such u maximizes
+            # the shed.  Equal-weight donors shed identically, so only
+            # the first (lowest-id) of each weight is considered.
+            room = int(ceil[t] - pw[t])
+            prev_wv = -1
+            for i in heavy_order.tolist():
+                wv = int(mw[i])
+                if wv == prev_wv:
+                    continue
+                prev_wv = wv
+                lo = int(np.searchsorted(ow, wv - room, side="left"))
+                if lo >= ow.size:
+                    continue
+                wu = int(ow[lo])
+                shed = wv - wu
+                if shed <= 0:
+                    continue
+                cand = (shed, -t, -int(members[i]), -int(others[lo]))
+                if best is None or cand > best:
+                    best = cand
+        if best is None:
+            return False  # no repair strictly reduces the overshoot
+        _, t, v, u = best
+        t, v, u = -t, -v, -u
+        parts[v], parts[u] = t, s
+        dw = vw[v] - vw[u]
+        pw[s] -= dw
+        pw[t] += dw

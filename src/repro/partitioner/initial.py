@@ -12,6 +12,12 @@ the FM-refined best:
 
 Each construction is followed by FM refinement to convergence; candidates
 are ranked by (feasible, cut, balance metric).
+
+The k-way constructions live here too (:func:`greedy_kway_vertex_parts`
+and the best-of-restarts :func:`initial_kway_parts`): the direct k-way
+pipeline (:mod:`repro.core.kway`) and the k-way multilevel engine
+(:func:`repro.partitioner.multilevel.multilevel_kway`) share them, and
+this module sits below both in the import graph.
 """
 
 from __future__ import annotations
@@ -20,12 +26,20 @@ from collections import deque
 
 import numpy as np
 
+from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels import KernelBackend
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.fm import FMResult, fm_refine
 
-__all__ = ["initial_partition", "greedy_grow", "random_balanced"]
+__all__ = [
+    "initial_partition",
+    "greedy_grow",
+    "random_balanced",
+    "greedy_kway_vertex_parts",
+    "greedy_kway_grow",
+    "initial_kway_parts",
+]
 
 
 def random_balanced(
@@ -143,5 +157,175 @@ def initial_partition(
         key = (not result.feasible, result.cut, balance)
         if best_key is None or key < best_key:
             best, best_key = result, key
+    assert best is not None
+    return best
+
+
+def greedy_kway_vertex_parts(
+    h: Hypergraph,
+    nparts: int,
+    ceilings: np.ndarray,
+    rng: np.random.Generator,
+    strategy: str = "balance",
+) -> np.ndarray:
+    """Balanced greedy initial k-way assignment of the vertices.
+
+    Heaviest vertex first (ties shuffled by ``rng`` so restarts differ);
+    when no part has room the lightest part overall takes the vertex —
+    the start is then infeasible and the k-way FM pass drives it
+    feasible with forced moves.  Two placement disciplines:
+
+    ``"balance"``
+        Each vertex into the lightest part with room (ties to the lowest
+        part id) — longest-processing-time, keeping ``max_k w_k`` near
+        the eqn-(1) ceiling and the start maximally even.
+    ``"pack"``
+        First-fit decreasing: each vertex into the lowest-id part with
+        room.  Packs early parts tight and leaves the tail parts slack —
+        worse spread, but it fits tight instances (nearly uniform heavy
+        weights against a snug ceiling) that defeat the even spread.
+    """
+    if strategy not in ("balance", "pack"):
+        raise PartitioningError(
+            f"unknown initial-assignment strategy {strategy!r}"
+        )
+    pack = strategy == "pack"
+    k = int(nparts)
+    nverts = h.nverts
+    perm = rng.permutation(nverts)
+    order = perm[np.argsort(-h.vwgt[perm], kind="stable")]
+    ceil_l = [int(c) for c in ceilings]
+    vw_l = h.vwgt.tolist()
+    pw = [0] * k
+    out = np.empty(nverts, dtype=np.int64)
+    for v in order.tolist():
+        wv = vw_l[v]
+        best = -1
+        best_w = -1
+        any_p = 0
+        any_w = pw[0]
+        for p in range(k):
+            w = pw[p]
+            if w < any_w:
+                any_w = w
+                any_p = p
+            if w + wv <= ceil_l[p]:
+                if pack:
+                    best = p
+                    break
+                if best == -1 or w < best_w:
+                    best = p
+                    best_w = w
+        if best == -1:
+            best = any_p
+        out[v] = best
+        pw[best] += wv
+    return out
+
+
+def greedy_kway_grow(
+    h: Hypergraph,
+    nparts: int,
+    ceilings: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Net-growing k-way construction — the k-way :func:`greedy_grow`.
+
+    Grows parts ``0 .. nparts-2`` one at a time: seed a random
+    unassigned vertex, expand breadth-first through incident nets until
+    the part reaches its proportional share of the *remaining* weight,
+    then move on; leftovers form the last part.  Topology-aware where
+    :func:`greedy_kway_vertex_parts` is weight-only — on structured
+    instances (bands, grids) the grown parts are connected, low-cut
+    regions, which the weight-only spread cannot produce from any
+    tie-break order.  Parts may overshoot their share by at most one
+    vertex; feasibility is the caller's problem (ranked restarts + the
+    FM rebalancing pass).
+    """
+    k = int(nparts)
+    nverts = h.nverts
+    parts = np.full(nverts, k - 1, dtype=np.int64)
+    if nverts == 0 or k < 2:
+        parts[:] = 0 if k >= 1 else parts
+        return parts
+    ceil_l = [int(c) for c in ceilings]
+    vw = h.vwgt.tolist()
+    xnets = h.xnets.tolist()
+    vnets = h.vnets.tolist()
+    xpins = h.xpins.tolist()
+    pins = h.pins.tolist()
+
+    assigned = [False] * nverts
+    order = rng.permutation(nverts).tolist()
+    cursor = 0
+    remaining = float(h.total_weight())
+    for p in range(k - 1):
+        tail_cap = sum(ceil_l[p:]) or 1
+        target = remaining * (ceil_l[p] / tail_cap)
+        w = 0
+        net_seen = [False] * h.nnets
+        frontier: deque[int] = deque()
+        while w < target:
+            if not frontier:
+                # Find a fresh (possibly disconnected) seed.
+                while cursor < nverts and assigned[order[cursor]]:
+                    cursor += 1
+                if cursor == nverts:
+                    break
+                frontier.append(order[cursor])
+            v = frontier.popleft()
+            if assigned[v]:
+                continue
+            assigned[v] = True
+            parts[v] = p
+            w += vw[v]
+            if w >= target:
+                break
+            for i in range(xnets[v], xnets[v + 1]):
+                n = vnets[i]
+                if net_seen[n]:
+                    continue
+                net_seen[n] = True
+                for j in range(xpins[n], xpins[n + 1]):
+                    u = pins[j]
+                    if not assigned[u]:
+                        frontier.append(u)
+        remaining -= w
+    return parts
+
+
+def initial_kway_parts(
+    h: Hypergraph,
+    nparts: int,
+    ceilings: np.ndarray,
+    config: PartitionerConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Best-of-restarts greedy k-way construction (no refinement).
+
+    A feasible start provably stays feasible through the FM passes (the
+    best-prefix bookkeeping never records an infeasible state once one
+    feasible state exists), so the greedy assignment is retried with
+    fresh tie-break orders — up to ``config.n_initial`` times, mirroring
+    the coarsest-level restarts of the 2-way engine — until the packing
+    fits, alternating the even-spread and first-fit disciplines (an
+    instance of nearly uniform heavy weights against a snug ceiling
+    defeats the even spread on *every* order, but first-fit packs it);
+    the least-overweight attempt is returned otherwise and the caller's
+    FM rebalancing pass gets to repair it.
+    """
+    best: np.ndarray | None = None
+    best_over: int | None = None
+    for attempt in range(max(1, config.n_initial)):
+        vparts = greedy_kway_vertex_parts(
+            h, nparts, ceilings, rng,
+            strategy="balance" if attempt % 2 == 0 else "pack",
+        )
+        pw = np.bincount(vparts, weights=h.vwgt, minlength=nparts)
+        over = int((pw - np.asarray(ceilings)).max(initial=0))
+        if best_over is None or over < best_over:
+            best, best_over = vparts, over
+        if over <= 0:
+            break
     assert best is not None
     return best

@@ -8,15 +8,35 @@ scheme shared by Mondriaan, PaToH, hMetis, and MLpart (paper Section II).
 
 from __future__ import annotations
 
+import dataclasses
+
+import numpy as np
+
+from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import connectivity_volume, part_weights
 from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.coarsen import CoarseLevel, coarsen_level
 from repro.partitioner.config import PartitionerConfig, get_config
-from repro.partitioner.fm import FMResult, fm_refine
-from repro.partitioner.initial import initial_partition
+from repro.partitioner.fm import (
+    FMResult,
+    KWayFMResult,
+    fm_refine,
+    kway_rebalance,
+    kway_refine,
+)
+from repro.partitioner.initial import (
+    greedy_kway_grow,
+    greedy_kway_vertex_parts,
+    initial_partition,
+)
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["multilevel_bipartition"]
+__all__ = [
+    "multilevel_bipartition",
+    "multilevel_kway",
+    "recursive_kway_parts",
+]
 
 
 def multilevel_bipartition(
@@ -74,4 +94,201 @@ def multilevel_bipartition(
 
     if not levels:
         return result
+    return result
+
+
+def recursive_kway_parts(
+    h: Hypergraph,
+    nparts: int,
+    ceilings: np.ndarray,
+    config: PartitionerConfig,
+    rng: np.random.Generator,
+    backend: KernelBackend | None = None,
+) -> np.ndarray:
+    """Recursive-bisection construction of an initial k-way assignment.
+
+    Splits the part range ``[0, nparts)`` in half, bipartitions ``h``
+    under side ceilings summed from each half's per-part ceilings,
+    induces the two sub-hypergraphs
+    (:meth:`~repro.hypergraph.hypergraph.Hypergraph.induce`), and
+    recurses — depth-first, left side first, so the vertex order and
+    RNG stream are deterministic.  Sub-hypergraphs above
+    ``config.coarse_target`` vertices are bipartitioned with the full
+    multilevel engine (:func:`multilevel_bipartition`); smaller ones
+    with the flat 2-way initial machinery (:func:`~repro.partitioner.
+    initial.initial_partition`).  Hierarchically nested boundaries make
+    this by far the strongest k-way construction on structured
+    instances; it is meant for the *coarse* hypergraphs of the k-way
+    multilevel engine's coarsest level, where the FM work is cheap.
+
+    The bisections run under a lightened search budget (two initial
+    attempts, at most two FM passes): the construction only has to
+    place boundaries approximately — every level of the k-way
+    uncoarsening refines them afterwards.
+    """
+    config = dataclasses.replace(
+        config,
+        n_initial=2,
+        fm_max_passes=min(2, config.fm_max_passes),
+    )
+    parts = np.zeros(h.nverts, dtype=np.int64)
+
+    def split(sub: Hypergraph, ids: np.ndarray, lo: int, hi: int) -> None:
+        k = hi - lo
+        if k <= 1 or ids.size == 0:
+            parts[ids] = lo
+            return
+        k0 = k // 2
+        cap0 = int(np.sum(ceilings[lo : lo + k0]))
+        cap1 = int(np.sum(ceilings[lo + k0 : hi]))
+        if sub.total_weight() > cap0 + cap1:
+            # An ancestor bisection overflowed this subtree's combined
+            # ceilings (FM kept an infeasible side).  No feasible
+            # bisection exists; split by weight alone and let the
+            # candidate ranking / FM rebalancing judge the result.
+            two = greedy_kway_vertex_parts(
+                sub, 2, np.array([cap0, cap1], dtype=np.int64), rng
+            )
+            left = two == 0
+        elif sub.nverts > config.coarse_target:
+            result = multilevel_bipartition(
+                sub, (cap0, cap1), config, rng, backend=backend
+            )
+            left = result.parts == 0
+        else:
+            result = initial_partition(
+                sub, (cap0, cap1), config, rng, backend=backend
+            )
+            left = result.parts == 0
+        lids, rids = ids[left], ids[~left]
+        split(sub.induce(np.flatnonzero(left)), lids, lo, lo + k0)
+        split(sub.induce(np.flatnonzero(~left)), rids, lo + k0, hi)
+
+    split(h, np.arange(h.nverts, dtype=np.int64), 0, int(nparts))
+    return parts
+
+
+def multilevel_kway(
+    h: Hypergraph,
+    nparts: int,
+    ceilings: np.ndarray,
+    config: PartitionerConfig | str = "mondriaan",
+    seed: SeedLike = None,
+    backend: KernelBackend | None = None,
+) -> KWayFMResult:
+    """Partition ``h`` into ``nparts`` parts under per-part ``ceilings``.
+
+    The direct k-way analogue of :func:`multilevel_bipartition`: coarsen
+    with *unrestricted* matching until at most
+    ``max(config.coarse_target, 8 * nparts)`` vertices remain (enough
+    headroom that the coarsest level stays k-way partitionable), build
+    the coarsest partitioning from ranked construction candidates
+    (recursive bisection, net growing, greedy spread — see below) plus
+    k-way FM (:func:`~repro.partitioner.fm.kway_refine`), then project
+    up level by level, k-way-refining each.  The connectivity-(λ−1) cut
+    is the objective throughout — no intermediate two-sided proxy.
+
+    Returns a :class:`~repro.partitioner.fm.KWayFMResult` for the finest
+    level.  Requires ``nparts >= 2`` (``nparts == 1`` has nothing to
+    optimize — callers short-circuit it).
+    """
+    cfg = get_config(config)
+    rng = as_generator(seed)
+    nparts = int(nparts)
+    if nparts < 2:
+        raise PartitioningError(
+            f"multilevel_kway needs nparts >= 2, got {nparts}"
+        )
+    ceilings = np.ascontiguousarray(ceilings, dtype=np.int64)
+    if ceilings.shape != (nparts,):
+        raise PartitioningError(
+            f"ceilings must have shape ({nparts},), got {ceilings.shape}"
+        )
+    if backend is None:
+        backend = resolve_backend(cfg.kernel_backend)
+    if h.nverts == 0:
+        return KWayFMResult(
+            parts=np.zeros(0, dtype=np.int64),
+            cut=0,
+            feasible=True,
+            passes=0,
+            improvement=0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Coarsening phase (unrestricted — there is no partitioning yet).
+    # Granularity must scale with the part count: the coarsest level
+    # keeps ~8 vertices per part and clusters stay well under the
+    # per-part ceiling (a quarter of the 2-way cap), or the initial
+    # k-way construction cannot place boundaries anywhere useful.
+    # ------------------------------------------------------------------ #
+    cluster_cap = max(
+        1, int(cfg.cluster_weight_frac * int(ceilings.min())) // 4
+    )
+    coarse_target = max(cfg.coarse_target, 8 * nparts)
+    levels: list[CoarseLevel] = []
+    cur = h
+    while cur.nverts > coarse_target and len(levels) < cfg.max_levels:
+        level = coarsen_level(cur, cfg, rng, cluster_cap, backend=backend)
+        reduction = 1.0 - level.coarse.nverts / cur.nverts
+        if reduction < cfg.min_reduction:
+            break  # matching stalled; further levels would be wasted work
+        levels.append(level)
+        cur = level.coarse
+
+    # ------------------------------------------------------------------ #
+    # Initial k-way partitioning at the coarsest level: one
+    # recursive-bisection construction (hierarchically nested
+    # boundaries — the quality anchor) plus cheap restarts alternating
+    # net growing (topology — connected, low-cut parts) and the
+    # weight-only greedy spread (balance — fits snug ceilings the
+    # others can overshoot), ranked by (overshoot, cut) *after* the
+    # swap-capable weight repair — a topology-aware candidate a few
+    # percent overweight almost always beats a balanced-but-scattered
+    # one once repaired, so ranking raw overshoot first would throw the
+    # best cuts away.  The coarsest level is small, so repairing and
+    # scoring every candidate's exact connectivity cut is cheap.
+    # ------------------------------------------------------------------ #
+    best: np.ndarray | None = None
+    best_key: tuple | None = None
+    for attempt in range(max(2, cfg.n_initial)):
+        if attempt == 0:
+            cand = recursive_kway_parts(
+                cur, nparts, ceilings, cfg, rng, backend=backend
+            )
+        elif attempt % 2 == 1:
+            cand = greedy_kway_grow(cur, nparts, ceilings, rng)
+        else:
+            cand = greedy_kway_vertex_parts(
+                cur, nparts, ceilings, rng,
+                strategy="balance" if (attempt // 2) % 2 == 1 else "pack",
+            )
+        kway_rebalance(cur, cand, nparts, ceilings)
+        over = int(
+            (part_weights(cur, cand, nparts) - ceilings).max(initial=0)
+        )
+        key = (over, connectivity_volume(cur, cand))
+        if best_key is None or key < best_key:
+            best, best_key = cand, key
+    assert best is not None
+    result = kway_refine(
+        cur, best, nparts, ceilings, cfg, rng, backend=backend
+    )
+    parts = result.parts
+
+    # ------------------------------------------------------------------ #
+    # Uncoarsening: project and k-way-refine at every level.  One pass
+    # per intermediate level — the hierarchy itself provides the
+    # repeated refinement (every vertex is revisited at each of the
+    # O(log n) levels), so extra same-level passes buy little cut for a
+    # lot of time; only the finest level gets the full pass budget.
+    # ------------------------------------------------------------------ #
+    for i, level in enumerate(reversed(levels)):
+        parts = parts[level.cmap]
+        finest = i == len(levels) - 1
+        result = kway_refine(
+            level.fine, parts, nparts, ceilings, cfg, rng,
+            max_passes=2 if finest else 1, backend=backend,
+        )
+        parts = result.parts
     return result

@@ -18,6 +18,12 @@ One V-cycle:
 Like Algorithm 2, the result is monotonically non-increasing in the cut;
 unlike it, a cycle re-coarsens (paying coarsening time) and can move whole
 clusters across the cut at the coarse levels.
+
+:func:`vcycle_refine` is the 2-way engine used inside recursive
+bisection; :func:`kway_vcycle_refine` generalizes the same procedure to
+k parts (restricted matching already only merges vertices with *equal*
+part ids, so it works for arbitrary part vectors unchanged) and refines
+every level with the connectivity-(λ−1) k-way FM pass instead.
 """
 
 from __future__ import annotations
@@ -28,14 +34,14 @@ import numpy as np
 
 from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.metrics import connectivity_volume
+from repro.hypergraph.metrics import connectivity_volume, part_weights
 from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.coarsen import contract, match_vertices
 from repro.partitioner.config import PartitionerConfig, get_config
-from repro.partitioner.fm import fm_refine
+from repro.partitioner.fm import fm_refine, kway_refine
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["VCycleResult", "vcycle_refine"]
+__all__ = ["VCycleResult", "vcycle_refine", "kway_vcycle_refine"]
 
 
 @dataclass
@@ -99,15 +105,175 @@ def vcycle_refine(
         if cuts[-1] >= cuts[-2]:
             break
 
-    w1 = int(np.dot(parts, h.vwgt))
-    w0 = h.total_weight() - w1
     return VCycleResult(
         parts=parts,
         cut=cuts[-1],
         cycles=cycles,
         cuts=cuts,
-        feasible=w0 <= max_weights[0] and w1 <= max_weights[1],
+        feasible=_parts_feasible(h, parts, 2, np.asarray(max_weights)),
     )
+
+
+def _parts_feasible(
+    h: Hypergraph, parts: np.ndarray, nparts: int, ceilings: np.ndarray
+) -> bool:
+    """Do the per-part weights of ``parts`` satisfy every ceiling?
+
+    Arity-generic (``np.bincount`` against per-part ceilings) — the old
+    2-way check hardcoded ``w1 = dot(parts, vwgt)``, which silently
+    mis-reports feasibility for any k > 2 part vector.
+    """
+    return bool(
+        np.all(part_weights(h, parts, nparts) <= np.asarray(ceilings))
+    )
+
+
+def kway_vcycle_refine(
+    h: Hypergraph,
+    parts: np.ndarray,
+    nparts: int,
+    ceilings: np.ndarray,
+    config: PartitionerConfig | str = "mondriaan",
+    seed: SeedLike = None,
+    max_cycles: int = 3,
+    *,
+    backend: KernelBackend | None = None,
+) -> VCycleResult:
+    """Refine a k-way partitioning of ``h`` with repeated V-cycles.
+
+    The k-way generalization of :func:`vcycle_refine`: each cycle
+    re-coarsens with *restricted* matching (only same-part vertices may
+    merge, so the k-way assignment projects to every level with an
+    identical connectivity-(λ−1) cut), refines the coarsest projection
+    with :func:`~repro.partitioner.fm.kway_refine`, then uncoarsens,
+    k-way-refining at every level.  ``parts`` holds ids in
+    ``[0, nparts)``; ``ceilings`` the per-part weight ceilings (length
+    ``nparts``).  The input array is not modified.
+
+    Keep-best contract: a cycle's outcome replaces the incumbent only
+    when it wins the lexicographic ``(feasible, -cut)`` order, so from a
+    feasible input the reported ``cuts`` are monotonically
+    non-increasing and the result is never worse than the input.  An
+    *infeasible* input is repaired on the way (``kway_refine`` falls
+    back to the swap-capable ``kway_rebalance``), which may raise the
+    cut once in exchange for feasibility — never silently kept: the
+    ``feasible`` flag always reports the returned vector's true state.
+
+    ``max_cycles=0`` is a pure no-op returning the input cut; so are
+    ``nparts=1`` and empty hypergraphs (nothing to refine).
+    """
+    cfg = get_config(config)
+    rng = as_generator(seed)
+    nparts = int(nparts)
+    if nparts < 1:
+        raise PartitioningError(
+            f"kway_vcycle_refine needs nparts >= 1, got {nparts}"
+        )
+    parts = np.asarray(parts)
+    if parts.shape != (h.nverts,):
+        raise PartitioningError(
+            f"parts must have shape ({h.nverts},), got {parts.shape}"
+        )
+    parts = parts.astype(np.int64, copy=True)
+    if h.nverts and (parts.min() < 0 or parts.max() >= nparts):
+        raise PartitioningError(
+            f"kway_vcycle_refine expects part ids in [0, {nparts})"
+        )
+    ceilings = np.ascontiguousarray(ceilings, dtype=np.int64)
+    if ceilings.shape != (nparts,):
+        raise PartitioningError(
+            f"ceilings must have shape ({nparts},), got {ceilings.shape}"
+        )
+    if max_cycles < 0:
+        raise PartitioningError("max_cycles must be non-negative")
+    if backend is None:
+        backend = resolve_backend(cfg.kernel_backend)
+
+    best = parts
+    best_cut = connectivity_volume(h, best)
+    best_feasible = _parts_feasible(h, best, nparts, ceilings)
+    cuts = [best_cut]
+    cycles = 0
+    # A total weight above the combined ceilings is unrepairable by any
+    # sequence of moves: skip the cycles (kway_refine would refuse the
+    # state anyway) and report the input truthfully infeasible.
+    repairable = h.total_weight() <= int(ceilings.sum())
+    if nparts >= 2 and h.nverts and repairable:
+        for _ in range(max_cycles):
+            cand = _one_kway_cycle(
+                h, best, nparts, ceilings, cfg, rng, backend
+            )
+            cand_cut = connectivity_volume(h, cand)
+            cand_feasible = _parts_feasible(h, cand, nparts, ceilings)
+            cycles += 1
+            improved = (
+                (cand_feasible, -cand_cut) > (best_feasible, -best_cut)
+            )
+            if improved:
+                best, best_cut = cand, cand_cut
+                best_feasible = cand_feasible
+            cuts.append(best_cut)
+            if not improved:
+                break
+    return VCycleResult(
+        parts=best,
+        cut=best_cut,
+        cycles=cycles,
+        cuts=cuts,
+        feasible=best_feasible,
+    )
+
+
+def _one_kway_cycle(
+    h: Hypergraph,
+    parts: np.ndarray,
+    nparts: int,
+    ceilings: np.ndarray,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    backend: KernelBackend,
+) -> np.ndarray:
+    """One restricted-coarsen / k-way-refine-up pass.
+
+    Restricted matching keeps every cluster within one part, so the
+    projected partitioning is well defined at every level (and each
+    nonempty part retains at least one coarse vertex — the coarsest
+    level is always k-way partitionable).
+    """
+    cluster_cap = max(
+        1, int(cfg.cluster_weight_frac * int(ceilings.min()))
+    )
+    levels: list[tuple[Hypergraph, np.ndarray]] = []  # (fine, cmap)
+    cur_h = h
+    cur_parts = parts
+    while cur_h.nverts > cfg.coarse_target and len(levels) < cfg.max_levels:
+        match = match_vertices(
+            cur_h, cfg, rng, cluster_cap,
+            restrict_parts=cur_parts, backend=backend,
+        )
+        cmap, coarse = contract(
+            cur_h,
+            match,
+            merge_identical_nets=cfg.merge_identical_nets,
+            backend=backend,
+        )
+        if coarse.nverts > (1.0 - cfg.min_reduction) * cur_h.nverts:
+            break
+        # Project the partitioning: constant on clusters by construction.
+        coarse_parts = np.empty(coarse.nverts, dtype=np.int64)
+        coarse_parts[cmap] = cur_parts
+        levels.append((cur_h, cmap))
+        cur_h, cur_parts = coarse, coarse_parts
+
+    cur_parts = kway_refine(
+        cur_h, cur_parts, nparts, ceilings, cfg, rng, backend=backend
+    ).parts
+    for fine, cmap in reversed(levels):
+        cur_parts = cur_parts[cmap]
+        cur_parts = kway_refine(
+            fine, cur_parts, nparts, ceilings, cfg, rng, backend=backend
+        ).parts
+    return cur_parts
 
 
 def _one_cycle(

@@ -90,8 +90,8 @@ class ServeClient:
         Keyword fields mirror
         :class:`repro.serve.protocol.PartitionRequest` (``instance=`` or
         ``matrix_market=``, plus ``nparts``/``eps``/``method``/
-        ``refine``/``algo``/``seed``/``config``/``include_parts``/
-        ``timeout``).
+        ``refine``/``algo``/``kway_vcycles``/``seed``/``config``/
+        ``include_parts``/``timeout``).
 
         Raises :class:`~repro.errors.ProtocolError` on a 400,
         :class:`~repro.errors.RequestFailed` on a 500/504 (with the

@@ -145,16 +145,25 @@ def _execute_request(arg):
     fixed shape to check.  The ``executor.task``/``executor.result``
     fault points make requests injectable exactly like batch tasks.
     """
+    import dataclasses
+
+    from repro.partitioner.config import get_config
+
     handle, spec = arg
     faults.fault_point("executor.task")
     matrix = handle.open()
+    cfg = get_config(spec["config"])
+    if spec.get("kway_vcycles", 0) != cfg.kway_vcycles:
+        cfg = dataclasses.replace(
+            cfg, kway_vcycles=spec["kway_vcycles"]
+        )
     res = partition(
         matrix,
         spec["nparts"],
         method=spec["method"],
         eps=spec["eps"],
         refine=spec["refine"],
-        config=spec["config"],
+        config=cfg,
         seed=spec["seed"],
         jobs=1,
         algo=spec["algo"],
@@ -228,6 +237,7 @@ class PartitionDaemon:
             "method": req.method,
             "refine": req.refine,
             "algo": req.algo,
+            "kway_vcycles": req.kway_vcycles,
             "seed": req.seed,
             "config": req.config,
         }
@@ -261,6 +271,7 @@ class PartitionDaemon:
             "method": req.method,
             "refine": req.refine,
             "algo": req.algo,
+            "kway_vcycles": req.kway_vcycles,
             "seed": req.seed,
             "config": req.config,
             "volume": info["volume"],

@@ -10,7 +10,7 @@ Three concerns live here because daemon and client must agree on them:
   matrix's exact nonzero structure and values, and
   :meth:`PartitionRequest.cache_key` combines it with every
   result-determining knob ``(digest, nparts, eps, method, refine, algo,
-  seed, config)``.  Two requests with equal keys are guaranteed the
+  kway_vcycles, seed, config)``.  Two requests with equal keys are guaranteed the
   same partition (partitioning is deterministic in the seed), which is
   what makes the partition cache safe to serve from.
 * Minimal HTTP/1.1 — the daemon speaks just enough HTTP for stdlib
@@ -33,6 +33,7 @@ from repro.errors import ProtocolError
 __all__ = [
     "DEFAULT_SEED",
     "MAX_NPARTS",
+    "MAX_KWAY_VCYCLES",
     "PartitionRequest",
     "matrix_digest",
     "read_http_request",
@@ -48,6 +49,11 @@ DEFAULT_SEED = 2014
 #: an absurd ``nparts`` is refused up front instead of exhausting a
 #: worker.
 MAX_NPARTS = 4096
+
+#: Admission-control ceiling on ``kway_vcycles`` — each V-cycle is a
+#: full coarsen/refine sweep, so an absurd count is a denial-of-service
+#: knob, not a quality knob.
+MAX_KWAY_VCYCLES = 64
 
 _DIGEST_KEY = "serve_digest"
 
@@ -92,6 +98,9 @@ class PartitionRequest:
     method: str = "mediumgrain"
     refine: bool = False
     algo: str = "recursive"
+    #: Multilevel V-cycle count for ``algo="kway"`` (0 = the flat direct
+    #: k-way path).  Result-determining, so it is part of the cache key.
+    kway_vcycles: int = 0
     seed: int = DEFAULT_SEED
     config: str = "mondriaan"
     #: Echo the per-nonzero part vector in the response (the one field
@@ -146,6 +155,12 @@ class PartitionRequest:
                 f"unknown algo {algo!r}; expected one of "
                 f"{tuple(ALGO_NAMES)}"
             )
+        kway_vcycles = _typed(payload, "kway_vcycles", int, 0)
+        if not 0 <= kway_vcycles <= MAX_KWAY_VCYCLES:
+            raise ProtocolError(
+                f"kway_vcycles must be in [0, {MAX_KWAY_VCYCLES}], got "
+                f"{kway_vcycles}"
+            )
         config = _typed(payload, "config", str, "mondriaan")
         if config not in PRESETS:
             raise ProtocolError(
@@ -167,6 +182,7 @@ class PartitionRequest:
             method=method,
             refine=_typed(payload, "refine", bool, False),
             algo=algo,
+            kway_vcycles=kway_vcycles,
             seed=_typed(payload, "seed", int, DEFAULT_SEED),
             config=config,
             include_parts=_typed(payload, "include_parts", bool, True),
@@ -181,7 +197,8 @@ class PartitionRequest:
         """
         raw = (
             f"{digest}:{self.nparts}:{self.eps!r}:{self.method}:"
-            f"{int(self.refine)}:{self.algo}:{self.seed}:{self.config}"
+            f"{int(self.refine)}:{self.algo}:{self.kway_vcycles}:"
+            f"{self.seed}:{self.config}"
         )
         return hashlib.sha256(raw.encode()).hexdigest()[:32]
 

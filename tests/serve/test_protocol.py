@@ -9,6 +9,7 @@ import pytest
 from repro.errors import ProtocolError
 from repro.serve.protocol import (
     DEFAULT_SEED,
+    MAX_KWAY_VCYCLES,
     MAX_NPARTS,
     PartitionRequest,
     http_response,
@@ -35,6 +36,14 @@ def test_minimal_payload_fills_defaults():
     assert req.seed == DEFAULT_SEED
     assert req.include_parts is True
     assert req.timeout is None
+    assert req.kway_vcycles == 0  # flat direct k-way unless asked
+
+
+def test_kway_vcycles_accepted_in_range():
+    req = PartitionRequest.from_payload(
+        {"instance": "x", "algo": "kway", "kway_vcycles": MAX_KWAY_VCYCLES}
+    )
+    assert req.kway_vcycles == MAX_KWAY_VCYCLES
 
 
 def test_payload_must_be_object():
@@ -72,6 +81,10 @@ def test_exactly_one_matrix_source(payload):
         ("eps", 1.5, r"eps must be in"),
         ("method", "nope", r"unknown method"),
         ("algo", "nope", r"unknown algo"),
+        ("kway_vcycles", -1, r"kway_vcycles must be in"),
+        ("kway_vcycles", MAX_KWAY_VCYCLES + 1, r"kway_vcycles must be in"),
+        ("kway_vcycles", True, r"must be int"),
+        ("kway_vcycles", "2", r"must be int"),
         ("config", "nope", r"unknown config preset"),
         ("timeout", -1.0, r"timeout must be positive"),
         ("refine", "yes", r"must be bool"),
@@ -115,6 +128,7 @@ def test_cache_key_covers_result_determining_knobs():
         {"method": "finegrain"},
         {"refine": True},
         {"algo": "kway"},
+        {"kway_vcycles": 1},
         {"seed": 7},
         {"config": "patoh"},
     ):
