@@ -5,7 +5,7 @@ Where ``bench_e2e`` times the batch pipeline, this times the *daemon*
 Every stage drives a real ``repro-partition serve`` subprocess via
 :func:`repro.serve.testing.start_daemon`.
 
-Two gated stages:
+Three gated stages:
 
 ``cache``
     Each request key is submitted cold (computed) and then warm (served
@@ -20,6 +20,14 @@ Two gated stages:
     daemon's retry machinery).  The gate is graceful degradation: the
     faulted p99 latency must stay within **3x** of the fault-free p99,
     with every completed answer bit-identical across the two runs.
+``deadline``
+    The same workload twice more: once unconstrained (the quality
+    baseline), once under a deliberately tight per-request soft
+    deadline (a quarter of the baseline median latency).  The gate is
+    the anytime contract: at least **95%** of the deadline-constrained
+    requests must answer 200 — degraded 200s count, that is the point —
+    and every request that *didn't* degrade must be bit-identical to
+    its unconstrained baseline twin.
 
 Latencies are wall-clock per request as measured by the client,
 including HTTP framing — the serving contract, not the kernel time.
@@ -43,6 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.errors import ServeError
+from repro.serve.client import DegradedResult
 from repro.serve.protocol import DEFAULT_SEED
 from repro.serve.testing import start_daemon
 from repro.utils import faults
@@ -61,7 +70,13 @@ NPARTS = 4
 #: Gates (mirrored into the report so the JSON is self-describing).
 GATE_CACHE_SPEEDUP = 20.0
 GATE_FAULT_P99_RATIO = 3.0
+GATE_DEADLINE_200_RATE = 0.95
 CRASH_RATE = 0.1
+
+#: Deadline stage: the soft deadline is this fraction of the baseline
+#: median latency, floored so HTTP framing alone can't expire it.
+DEADLINE_FRACTION = 0.25
+DEADLINE_FLOOR_S = 0.05
 
 
 def _p99(latencies: list[float]) -> float:
@@ -129,23 +144,35 @@ def bench_cache(tmp_path: Path, keys: int, jobs: int) -> dict:
 # --------------------------------------------------------------------- #
 def _saturate(
     tmp_path: Path, seeds: list[int], jobs: int, env: dict | None,
+    timeout: float | None = None,
 ) -> dict:
-    """One saturation run; returns per-seed latencies and volumes."""
+    """One saturation run; returns per-seed latencies and volumes.
+
+    A non-``None`` ``timeout`` rides along on every request as its soft
+    anytime deadline; degraded 200s are counted (and listed by seed)
+    separately from full-quality answers.
+    """
     handle = start_daemon(
         tmp_path, "--jobs", str(jobs), "--retries", "3", env=env,
     )
     try:
+        extra = {} if timeout is None else {"timeout": timeout}
+
         def submit(seed: int):
             client = handle.client()
             t0 = time.perf_counter()
             try:
                 result = client.partition(
                     instance=INSTANCE, nparts=NPARTS, seed=seed,
-                    include_parts=False,
+                    include_parts=False, **extra,
                 )
             except ServeError as exc:
                 return seed, time.perf_counter() - t0, None, type(exc).__name__
-            recovered = bool(result["failures"])
+            # Degraded[...] briefs mean "deadline cut", not "fault
+            # recovered" — keep the two stories apart.
+            recovered = any(
+                not b.startswith("Degraded") for b in result["failures"]
+            )
             return seed, time.perf_counter() - t0, result, recovered
 
         with ThreadPoolExecutor(max_workers=4) as pool:
@@ -154,11 +181,14 @@ def _saturate(
             raise AssertionError("daemon died during the saturation run")
         served = [(s, t, r, f) for s, t, r, f in outcomes if r is not None]
         latencies = [t for _, t, _, _ in served]
+        degraded = [s for s, _, r, _ in served if isinstance(r, DegradedResult)]
         return {
             "requests": len(seeds),
             "served": len(served),
             "failed": len(seeds) - len(served),
             "recovered": sum(1 for _, _, _, f in served if f is True),
+            "degraded": len(degraded),
+            "degraded_seeds": [str(s) for s in degraded],
             "volumes": {str(s): r["volume"] for s, _, r, _ in served},
             "latencies_ms": [_ms(t) for t in latencies],
             "p50_ms": _ms(statistics.median(latencies)),
@@ -204,8 +234,53 @@ def bench_saturation(tmp_path: Path, requests: int, jobs: int) -> dict:
     }
 
 
+# --------------------------------------------------------------------- #
+# Stage 3: anytime deadlines — degraded 200s, never wrong answers
+# --------------------------------------------------------------------- #
+def bench_deadline(tmp_path: Path, requests: int, jobs: int) -> dict:
+    """The same workload unconstrained, then under a tight soft deadline.
+
+    The constrained run must keep answering 200 (degraded counts), and
+    any request that *didn't* degrade must be bit-identical to its
+    unconstrained twin — the deadline may cost quality, never
+    correctness.
+    """
+    seeds = spawn_seeds(BASE_SEED + 2, requests)
+    baseline = _saturate(tmp_path, seeds, jobs, env=None)
+    if baseline["failed"]:
+        raise AssertionError("baseline deadline run dropped requests")
+    if baseline["degraded"]:
+        raise AssertionError("baseline run degraded without a deadline")
+
+    soft = max(DEADLINE_FLOOR_S, DEADLINE_FRACTION * baseline["p50_ms"] / 1e3)
+    constrained = _saturate(tmp_path, seeds, jobs, env=None, timeout=soft)
+
+    # Full-quality answers under the deadline are the *same* answers.
+    degraded_seeds = set(constrained["degraded_seeds"])
+    for seed, volume in constrained["volumes"].items():
+        if seed in degraded_seeds:
+            continue
+        if baseline["volumes"][seed] != volume:
+            raise AssertionError(
+                f"seed {seed}: non-degraded volume {volume} != baseline "
+                f"{baseline['volumes'][seed]}"
+            )
+    return {
+        "instance": INSTANCE,
+        "nparts": NPARTS,
+        "threads": 4,
+        "soft_deadline_ms": _ms(soft),
+        "baseline": baseline,
+        "constrained": constrained,
+        "rate_200": round(constrained["served"] / constrained["requests"], 4),
+        "degraded_200s": constrained["degraded"],
+        "bit_identical_full_quality": True,
+        "gate_min_200_rate": GATE_DEADLINE_200_RATE,
+    }
+
+
 def enforce_gates(report: dict) -> int:
-    """Print and enforce the two serving gates; returns failure count."""
+    """Print and enforce the serving gates; returns failure count."""
     failures = 0
     speedup = report["cache"]["speedup_cache"]
     ok = speedup >= GATE_CACHE_SPEEDUP
@@ -229,6 +304,15 @@ def enforce_gates(report: dict) -> int:
         f"(<= 1)  {'ok' if ok else 'FAIL'}"
     )
     failures += not ok
+    rate = report["deadline"]["rate_200"]
+    ok = rate >= GATE_DEADLINE_200_RATE
+    print(
+        f"  gate deadline-200s : {rate:<8.0%} "
+        f"(>= {GATE_DEADLINE_200_RATE:.0%}, "
+        f"{report['deadline']['degraded_200s']} degraded)  "
+        f"{'ok' if ok else 'FAIL'}"
+    )
+    failures += not ok
     return failures
 
 
@@ -239,9 +323,11 @@ def run_benchmarks(tmp_path: Path, keys: int, requests: int, jobs: int) -> dict:
         "jobs": jobs,
         "cache": bench_cache(tmp_path, keys, jobs),
         "saturation": bench_saturation(tmp_path, requests, jobs),
+        "deadline": bench_deadline(tmp_path, requests, jobs),
     }
     cache = report["cache"]
     sat = report["saturation"]
+    dl = report["deadline"]
     print(
         f"  cache      : cold {cache['median_cold_ms']:8.1f} ms   warm "
         f"{cache['median_warm_ms']:6.2f} ms   x{cache['speedup_cache']:.1f}"
@@ -251,6 +337,11 @@ def run_benchmarks(tmp_path: Path, keys: int, requests: int, jobs: int) -> dict:
         f"   faulted {sat['faulted']['p99_ms']:8.1f} ms   "
         f"x{sat['p99_ratio']:.2f}   "
         f"({sat['faulted']['recovered']} recovered crashes)"
+    )
+    print(
+        f"  deadline   : soft {dl['soft_deadline_ms']:8.1f} ms   "
+        f"200-rate {dl['rate_200']:.0%}   "
+        f"({dl['degraded_200s']} of {dl['constrained']['requests']} degraded)"
     )
     return report
 

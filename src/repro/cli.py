@@ -140,6 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_hardening_flags(p_part)
+    p_part.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "anytime soft deadline: every refinement loop stops at its "
+            "next pass/level boundary once it expires and the best "
+            "partition found so far is returned (marked degraded); "
+            "omitted = run to completion, bit-identically"
+        ),
+    )
     p_part.add_argument("--seed", type=int, default=None)
     p_part.add_argument(
         "--save-parts",
@@ -234,7 +246,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--timeout", type=float, default=60.0,
-        help="default per-request worker deadline in seconds",
+        help=(
+            "default per-request soft deadline in seconds (the anytime "
+            "budget handed to the partitioner)"
+        ),
+    )
+    p_srv.add_argument(
+        "--deadline-grace", type=float, default=5.0,
+        help=(
+            "headroom between a request's soft deadline and the "
+            "watchdog's hard worker kill — the window in which an "
+            "expiring request still answers 200 with its incumbent"
+        ),
+    )
+    p_srv.add_argument(
+        "--overload-deadline-factor", type=float, default=0.5,
+        help=(
+            "soft-deadline multiplier once the admission queue is more "
+            "than half full (1.0 = disabled): degrade everyone a bit "
+            "before shedding anyone"
+        ),
     )
     p_srv.add_argument(
         "--retries", type=int, default=1,
@@ -335,6 +366,9 @@ def _add_hardening_flags(sub: argparse.ArgumentParser) -> None:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.utils.deadline import Deadline
+
+    deadline = Deadline(args.deadline) if args.deadline else None
     if args.instance:
         matrix = load_instance(args.instance)
         name = args.instance
@@ -363,6 +397,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             refine=args.refine,
             config=cfg,
             seed=args.seed,
+            deadline=deadline,
         )
         parts = res.parts
         print(f"method            : {res.method}")
@@ -373,6 +408,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         print(f"time              : {res.seconds:.3f} s")
         if res.refinement is not None:
             print(f"IR volume trace   : {res.refinement.volumes}")
+            if res.refinement.degraded is not None:
+                print(f"degraded          : "
+                      f"{res.refinement.degraded.brief()} (deadline hit; "
+                      f"best partition so far returned)")
     else:
         res = partition(
             matrix,
@@ -382,6 +421,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             refine=args.refine,
             config=cfg,
             seed=args.seed,
+            deadline=deadline,
         )
         parts = res.parts
         scheme = (
@@ -394,8 +434,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         print(f"imbalance         : {res.imbalance:.4f} (eps = {args.eps})")
         print(f"feasible          : {res.feasible}")
         print(f"time              : {res.seconds:.3f} s")
-        if res.failures:
-            print(f"recovered faults  : {', '.join(res.failures)}")
+        cut_short = [b for b in res.failures if b.startswith("Degraded")]
+        recovered = [
+            b for b in res.failures if not b.startswith("Degraded")
+        ]
+        if cut_short:
+            print(f"degraded          : {', '.join(cut_short)} "
+                  f"(deadline hit; best partition so far returned)")
+        if recovered:
+            print(f"recovered faults  : {', '.join(recovered)}")
     if args.save_parts:
         Path(args.save_parts).write_text(
             "\n".join(str(int(p)) for p in parts) + "\n", encoding="utf-8"
@@ -501,6 +548,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         queue_cap=args.queue_cap,
         timeout=args.timeout,
+        deadline_grace=args.deadline_grace,
+        overload_deadline_factor=args.overload_deadline_factor,
         retries=args.retries,
         jobs=args.jobs,
         backend=args.serve_backend,
@@ -545,6 +594,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"matrix            : {args.instance or Path(args.file).name} "
           f"(digest {result['digest']})")
     print(f"served from       : {origin}")
+    if result.get("degraded"):
+        briefs = [
+            b for b in result.get("failures", ())
+            if isinstance(b, str) and b.startswith("Degraded")
+        ]
+        print(f"degraded          : yes — deadline hit, best partition "
+              f"found so far ({', '.join(briefs) or 'no brief'})")
     print(f"nparts            : {result['nparts']} ({result['algo']})")
     print(f"communication vol : {result['volume']}")
     print(f"max part size     : {result['max_part']}")
@@ -552,8 +608,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
           f"(eps = {result['eps']})")
     print(f"feasible          : {result['feasible']}")
     print(f"time              : {result['seconds']:.3f} s")
-    if result.get("failures"):
-        print(f"recovered faults  : {', '.join(result['failures'])}")
+    recovered = [
+        b for b in result.get("failures", ())
+        if not b.startswith("Degraded")
+    ]
+    if recovered:
+        print(f"recovered faults  : {', '.join(recovered)}")
     if args.save_parts and "parts" in result:
         Path(args.save_parts).write_text(
             "\n".join(str(int(p)) for p in result["parts"]) + "\n",

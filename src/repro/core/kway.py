@@ -73,6 +73,7 @@ from repro.partitioner.vcycle import kway_vcycle_refine
 from repro.sparse.matrix import SparseMatrix
 from repro.utils import faults
 from repro.utils.balance import max_allowed_part_size
+from repro.utils.deadline import Deadline, Degraded
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 from repro.utils.validation import check_eps, check_pos_int
@@ -88,7 +89,8 @@ def _kway_vertex_partition(
     rng: np.random.Generator,
     backend: KernelBackend,
     vcycles: int = 0,
-) -> np.ndarray:
+    deadline: Deadline | None = None,
+) -> tuple[np.ndarray, tuple[Degraded, ...]]:
     """Partition the vertices of one hypergraph into ``nparts`` parts.
 
     ``vcycles=0`` (the default) is the original *flat* path — greedy
@@ -100,23 +102,33 @@ def _kway_vertex_partition(
     (:func:`repro.partitioner.multilevel.multilevel_kway`), and cycles
     ``2..vcycles`` are hMetis-style restricted V-cycles
     (:func:`repro.partitioner.vcycle.kway_vcycle_refine`).
+
+    Returns the part vector and the tuple of
+    :class:`~repro.utils.deadline.Degraded` records the engines reported
+    (empty unless a ``deadline`` expired mid-run).
     """
     if vcycles <= 0:
         best = initial_kway_parts(h, nparts, ceilings, cfg, rng)
         result = kway_refine(
-            h, best, nparts, ceilings, cfg, rng, backend=backend
+            h, best, nparts, ceilings, cfg, rng, backend=backend,
+            deadline=deadline,
         )
-        return result.parts
+        degraded = (result.degraded,) if result.degraded else ()
+        return result.parts, degraded
     result = multilevel_kway(
-        h, nparts, ceilings, cfg, rng, backend=backend
+        h, nparts, ceilings, cfg, rng, backend=backend, deadline=deadline
     )
+    degraded = (result.degraded,) if result.degraded else ()
     parts = result.parts
     if vcycles > 1:
-        parts = kway_vcycle_refine(
+        vres = kway_vcycle_refine(
             h, parts, nparts, ceilings, cfg, rng,
-            max_cycles=vcycles - 1, backend=backend,
-        ).parts
-    return parts
+            max_cycles=vcycles - 1, backend=backend, deadline=deadline,
+        )
+        parts = vres.parts
+        if vres.degraded:
+            degraded += (vres.degraded,)
+    return parts, degraded
 
 
 def partition_kway(
@@ -128,6 +140,7 @@ def partition_kway(
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
     vcycles: int | None = None,
+    deadline: Deadline | None = None,
 ) -> PartitionResult:
     """Partition the nonzeros of ``matrix`` into ``nparts`` parts directly.
 
@@ -150,6 +163,14 @@ def partition_kway(
 
     ``bisection_volumes`` of the result stays empty: there are no
     bisections.
+
+    An optional ``deadline`` (:class:`~repro.utils.deadline.Deadline` or
+    the deterministic :class:`~repro.utils.deadline.SoftBudget`) makes
+    the run *anytime*: every engine stops at its next pass/level/cycle
+    boundary once it expires, the incumbent is returned, and each
+    cut-short loop contributes a ``Degraded[...]`` brief to the result's
+    ``failures`` tuple.  With ``deadline=None`` the run is byte-for-byte
+    the pre-deadline pipeline.
     """
     nparts = check_pos_int(nparts, "nparts")
     check_eps(eps)
@@ -174,27 +195,29 @@ def partition_kway(
     ceilings = np.full(nparts, ceiling, dtype=np.int64)
 
     timer = Timer()
+    degraded: tuple[Degraded, ...] = ()
     with timer:
         faults.fault_point("kway.partition")
         if nparts == 1:
             parts = np.zeros(n, dtype=np.int64)
         elif method == "localbest":
-            parts = _run_localbest_kway(
-                matrix, nparts, ceilings, cfg, rng, backend, vcycles
+            parts, degraded = _run_localbest_kway(
+                matrix, nparts, ceilings, cfg, rng, backend, vcycles,
+                deadline,
             )
         elif method == "mediumgrain":
             split = initial_split(matrix, rng)
             instance = build_medium_grain(split)
-            vparts = _kway_vertex_partition(
+            vparts, degraded = _kway_vertex_partition(
                 instance.hypergraph, nparts, ceilings, cfg, rng, backend,
-                vcycles,
+                vcycles, deadline,
             )
             parts = instance.nonzero_parts(vparts)
         else:
             model = _build_model(matrix, method)
-            vparts = _kway_vertex_partition(
+            vparts, degraded = _kway_vertex_partition(
                 model.hypergraph, nparts, ceilings, cfg, rng, backend,
-                vcycles,
+                vcycles, deadline,
             )
             parts = model.nonzero_parts(vparts)
         if refine and nparts > 1:
@@ -207,7 +230,10 @@ def partition_kway(
                 nparts=nparts,
                 max_weights=ceilings if nparts > 2 else (ceiling, ceiling),
                 backend=backend,
+                deadline=deadline,
             )
+            if _trace.degraded is not None:
+                degraded += (_trace.degraded,)
 
     # The k-way kernels are trusted the same amount as every other
     # partitioning producer: not at all.  Structural invariants are
@@ -227,6 +253,7 @@ def partition_kway(
         + ("+ml" if vcycles and nparts > 1 else "")
         + ("+ir" if refine else ""),
         bisection_volumes=[],
+        failures=tuple(d.brief() for d in degraded),
     )
 
 
@@ -238,16 +265,20 @@ def _run_localbest_kway(
     rng: np.random.Generator,
     backend: KernelBackend,
     vcycles: int = 0,
-) -> np.ndarray:
+    deadline: Deadline | None = None,
+) -> tuple[np.ndarray, tuple[Degraded, ...]]:
     """Row-net and column-net k-way runs, keep the lower volume (ties:
     better balance, then row-net) — the k-way mirror of ``localbest``."""
     best_parts: np.ndarray | None = None
     best_key: tuple | None = None
+    all_degraded: tuple[Degraded, ...] = ()
     for name in ("rownet", "colnet"):
         model = _build_model(matrix, name)
-        vparts = _kway_vertex_partition(
-            model.hypergraph, nparts, ceilings, cfg, rng, backend, vcycles
+        vparts, degraded = _kway_vertex_partition(
+            model.hypergraph, nparts, ceilings, cfg, rng, backend, vcycles,
+            deadline,
         )
+        all_degraded += degraded
         parts = model.nonzero_parts(vparts)
         key = (
             communication_volume(matrix, parts),
@@ -256,4 +287,4 @@ def _run_localbest_kway(
         if best_key is None or key < best_key:
             best_parts, best_key = parts, key
     assert best_parts is not None
-    return best_parts
+    return best_parts, all_degraded

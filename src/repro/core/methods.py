@@ -52,6 +52,7 @@ from repro.partitioner.config import (
 )
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.balance import max_allowed_part_size
+from repro.utils.deadline import Deadline
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 from repro.utils.validation import check_eps
@@ -122,6 +123,7 @@ def bipartition(
     seed: SeedLike = None,
     *,
     max_weights: tuple[int, int] | None = None,
+    deadline: Deadline | None = None,
 ) -> BipartitionResult:
     """Bipartition a sparse matrix with one of the paper's methods.
 
@@ -144,6 +146,12 @@ def bipartition(
     max_weights:
         Optional per-side nonzero ceilings overriding ``eps`` (recursive
         bisection uses this).
+    deadline:
+        Optional anytime deadline for the ``refine=True`` iterate loop
+        (:func:`repro.core.refine.iterative_refine` stops at its next
+        iteration boundary and keeps the incumbent); the base
+        multilevel run itself is not interrupted here.  ``None`` (the
+        default) is byte-for-byte the undeadlined run.
 
     Returns
     -------
@@ -179,6 +187,7 @@ def bipartition(
                 cfg,
                 rng,
                 max_weights=max_weights,
+                deadline=deadline,
             )
 
     volume = communication_volume(matrix, parts)

@@ -63,6 +63,7 @@ from repro.partitioner.config import PartitionerConfig, get_config
 from repro.sparse.matrix import SparseMatrix
 from repro.utils import faults
 from repro.utils.balance import max_allowed_part_size
+from repro.utils.deadline import Deadline, Degraded
 from repro.utils.executor import (
     MatrixExecutor,
     RetryPolicy,
@@ -171,6 +172,7 @@ def partition(
     jobs: int | None = None,
     exec_backend: str | None = None,
     algo: str | None = None,
+    deadline: Deadline | None = None,
 ) -> PartitionResult:
     """Partition the nonzeros of ``matrix`` into ``nparts`` parts.
 
@@ -202,6 +204,19 @@ def partition(
     :attr:`~repro.partitioner.config.PartitionerConfig.exec_backend`,
     whose ``"auto"`` default resolves per environment).  Also a pure
     speed knob — every backend returns the identical partition.
+
+    ``deadline`` (a :class:`~repro.utils.deadline.Deadline` or the
+    deterministic :class:`~repro.utils.deadline.SoftBudget`) makes the
+    run *anytime*: the recursion checks it before each bisection and,
+    once expired, finishes the remaining subtrees with an even
+    contiguous fallback split instead of further method runs — every
+    nonzero still gets a part in ``[0, nparts)`` and per-part sizes stay
+    within one of each other, so the result passes validation, just at
+    degraded quality.  The cut-short run reports a
+    ``Degraded[recursive]`` brief in ``failures``; under
+    ``algo="kway"`` the deadline is threaded into every engine loop
+    instead (see :func:`repro.core.kway.partition_kway`).  With
+    ``deadline=None`` nothing changes, bit for bit.
     """
     nparts = check_pos_int(nparts, "nparts")
     check_eps(eps)
@@ -225,7 +240,7 @@ def partition(
 
         return partition_kway(
             matrix, nparts, method=method, eps=eps, refine=refine,
-            config=cfg, seed=seed,
+            config=cfg, seed=seed, deadline=deadline,
         )
     if algo != "recursive":
         from repro.partitioner.config import ALGO_CHOICES
@@ -245,6 +260,7 @@ def partition(
     ceiling = max_allowed_part_size(n, nparts, eps)
     volumes: dict[tuple[int, ...], int] = {}
     failures: tuple = ()
+    skipped = 0
     policy = RetryPolicy.resolve(cfg.task_timeout, cfg.retries)
     timer = Timer()
     with timer:
@@ -257,12 +273,20 @@ def partition(
             # With fewer than 4 parts at most one bisection can ever be
             # in flight, so a pool would only add process overhead.
             if jobs >= 2 and nparts >= 4:
-                failures = _solve_parallel(
+                failures, skipped = _solve_parallel(
                     matrix, root, job, jobs, exec_backend, parts, volumes,
-                    policy,
+                    policy, deadline,
                 )
             else:
-                _solve_serial(matrix, root, job, parts, volumes)
+                skipped = _solve_serial(
+                    matrix, root, job, parts, volumes, deadline
+                )
+    if skipped:
+        failures = failures + (
+            Degraded(
+                "recursive", completed=len(volumes), skipped=skipped
+            ).brief(),
+        )
 
     biggest = max_part_size(matrix, parts, nparts)
     return PartitionResult(
@@ -328,23 +352,47 @@ def _bisect_node(
     return result.parts, result.volume
 
 
+def _fallback_split(node: _Node, out: np.ndarray) -> None:
+    """Assign ``node``'s nonzeros to its part range without bisecting.
+
+    Contiguous even chunks: sizes differ by at most one, and since a
+    subtree holding ``q`` parts has at most ``L * q`` nonzeros,
+    ``ceil(n/q) <= L`` — the fallback respects the global eqn-(1)
+    ceiling whenever the ancestors did.  Quality is sacrificed (the
+    split ignores the matrix structure entirely); validity is not.
+    """
+    for offset, chunk in enumerate(
+        np.array_split(node.indices, node.nparts)
+    ):
+        out[chunk] = node.first_part + offset
+
+
 def _solve_serial(
     matrix: SparseMatrix,
     node: _Node,
     job: _TreeJob,
     out: np.ndarray,
     volumes: dict,
-) -> None:
+    deadline: Deadline | None = None,
+) -> int:
     """Depth-first reference traversal; assigns parts ``node.first_part ..
-    first_part + nparts - 1`` to the nonzeros in ``node.indices``."""
+    first_part + nparts - 1`` to the nonzeros in ``node.indices``.
+
+    Returns the number of subtrees an expired ``deadline`` finished with
+    the fallback split instead of bisections (0 on a normal run).
+    """
     if node.nparts == 1:
         out[node.indices] = node.first_part
-        return
+        return 0
+    if deadline is not None and deadline.expired():
+        _fallback_split(node, out)
+        return 1
     parts01, volume = _bisect_node(matrix, node, job)
     volumes[node.path] = volume
     left, right = node.children(parts01)
-    _solve_serial(matrix, left, job, out, volumes)
-    _solve_serial(matrix, right, job, out, volumes)
+    skipped = _solve_serial(matrix, left, job, out, volumes, deadline)
+    skipped += _solve_serial(matrix, right, job, out, volumes, deadline)
+    return skipped
 
 
 def _bisect_task(sub: SparseMatrix, extra) -> tuple[np.ndarray, int]:
@@ -456,7 +504,8 @@ def _solve_parallel(
     out: np.ndarray,
     volumes: dict,
     policy: RetryPolicy | None = None,
-) -> tuple:
+    deadline: Deadline | None = None,
+) -> tuple[tuple, int]:
     """Scheduler for ``jobs >= 2``: frontier-widening rounds of concurrent
     bisections, then one serial subtree per worker.
 
@@ -464,11 +513,12 @@ def _solve_parallel(
     influence on the result — this produces exactly the partition of
     :func:`_solve_serial` under every execution backend.  Returns the
     failure briefs the hardened executor accumulated (empty when nothing
-    went wrong).
+    went wrong) and the number of subtrees an expired ``deadline``
+    finished via the fallback split.
     """
     with MatrixExecutor(matrix, jobs, exec_backend, policy=policy) as ex:
-        _schedule_tree(ex, root, job, jobs, out, volumes)
-        return tuple(f.brief() for f in ex.failures)
+        skipped = _schedule_tree(ex, root, job, jobs, out, volumes, deadline)
+        return tuple(f.brief() for f in ex.failures), skipped
 
 
 def _schedule_tree(
@@ -478,14 +528,24 @@ def _schedule_tree(
     jobs: int,
     out: np.ndarray,
     volumes: dict,
-) -> None:
-    """Widen the frontier until every worker has a subtree, then dispatch."""
+    deadline: Deadline | None = None,
+) -> int:
+    """Widen the frontier until every worker has a subtree, then dispatch.
+
+    The deadline is checked at round boundaries (between frontier rounds
+    and before the subtree dispatch) — the driver-side counterpart of
+    :func:`_solve_serial`'s per-node check.  Workers never see it: a
+    dispatched subtree always completes, so worker results keep their
+    deterministic ``(parts, volumes)`` contract.
+    """
     matrix = ex.matrix
     frontier: list[_Node] = [root]
     while True:
         splittable = [nd for nd in frontier if nd.nparts > 1]
         if not splittable or len(splittable) >= jobs:
             break
+        if deadline is not None and deadline.expired():
+            break  # stop widening; the dispatch check below degrades
         # (A single bisection runs inline — the executor short-circuits
         # one-task maps — so the round-trip is skipped automatically.)
         results = ex.map(
@@ -510,6 +570,10 @@ def _schedule_tree(
         if nd.nparts == 1:
             out[nd.indices] = nd.first_part
     if subtrees:
+        if deadline is not None and deadline.expired():
+            for nd in subtrees:
+                _fallback_split(nd, out)
+            return len(subtrees)
         results = ex.map(
             _subtree_task,
             [_node_task(matrix, nd, job) for nd in subtrees],
@@ -520,3 +584,4 @@ def _schedule_tree(
         for nd, (local, vols) in zip(subtrees, results):
             out[nd.indices] = nd.first_part + local
             volumes.update(vols)
+    return 0

@@ -32,6 +32,7 @@ from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import fm_refine, kway_refine
 from repro.sparse.matrix import SparseMatrix
 from repro.utils.balance import max_allowed_part_size
+from repro.utils.deadline import Deadline, Degraded
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_eps
 
@@ -59,12 +60,16 @@ class RefinementTrace:
     converged:
         True when the loop ended by the Algorithm-2 stopping rule rather
         than the ``max_iterations`` safety cap.
+    degraded:
+        A :class:`~repro.utils.deadline.Degraded` record when a deadline
+        stopped the loop before either rule fired, else ``None``.
     """
 
     volumes: list[int] = field(default_factory=list)
     directions: list[int] = field(default_factory=list)
     iterations: int = 0
     converged: bool = False
+    degraded: Degraded | None = None
 
     @property
     def initial_volume(self) -> int:
@@ -89,6 +94,7 @@ def iterative_refine(
     alternate: bool = True,
     backend: KernelBackend | None = None,
     initial_volume: int | None = None,
+    deadline: Deadline | None = None,
 ) -> tuple[np.ndarray, RefinementTrace]:
     """Iteratively refine a partitioning (Algorithm 2, generalized).
 
@@ -142,6 +148,13 @@ def iterative_refine(
         volume by eqn (6), so e.g. the full iterative method hands it
         down instead of paying one redundant volume evaluation per
         iteration).  ``None`` computes it.
+    deadline:
+        Optional cooperative deadline, checked **between** iterations.
+        Algorithm 2 keeps a valid partitioning at every boundary, so an
+        expired deadline just ends the loop early with the incumbent and
+        a ``trace.degraded`` record; each iteration's inner FM run also
+        receives the deadline so a single oversized iteration cannot
+        overshoot by more than one pass.
 
     Returns
     -------
@@ -170,6 +183,7 @@ def iterative_refine(
             alternate=alternate,
             backend=backend,
             initial_volume=initial_volume,
+            deadline=deadline,
         )
     if k == 1:
         trace = RefinementTrace(converged=True)
@@ -193,12 +207,18 @@ def iterative_refine(
     direction = start_direction
     k = 1
     while k <= max_iterations:
+        if deadline is not None and deadline.expired():
+            trace.degraded = Degraded(
+                "iterate", completed=k - 1,
+                skipped=max_iterations - (k - 1),
+            )
+            break
         split = split_from_bipartition(matrix, parts, direction)
         instance = build_medium_grain(split)
         vparts = instance.vertex_parts_from_nonzero(parts)
         result = fm_refine(
             instance.hypergraph, vparts, max_weights, cfg, rng,
-            backend=backend,
+            backend=backend, deadline=deadline,
         )
         parts = instance.nonzero_parts(result.parts)
         vk = communication_volume(matrix, parts)
@@ -235,6 +255,7 @@ def _kway_iterative_refine(
     alternate: bool,
     backend: KernelBackend | None,
     initial_volume: int | None,
+    deadline: Deadline | None = None,
 ) -> tuple[np.ndarray, RefinementTrace]:
     """The ``nparts > 2`` body of :func:`iterative_refine` (keep-best
     alternation over majority re-encodings; see its docstring)."""
@@ -266,12 +287,18 @@ def _kway_iterative_refine(
     direction = start_direction
     k = 1
     while k <= max_iterations:
+        if deadline is not None and deadline.expired():
+            trace.degraded = Degraded(
+                "iterate", completed=k - 1,
+                skipped=max_iterations - (k - 1),
+            )
+            break
         split = split_from_kway(matrix, best, direction, nparts=nparts)
         instance = build_medium_grain(split)
         vparts = instance.vertex_parts_majority(best, nparts)
         result = kway_refine(
             instance.hypergraph, vparts, nparts, ceilings, cfg, rng,
-            backend=backend,
+            backend=backend, deadline=deadline,
         )
         cand = instance.nonzero_parts(result.parts)
         vol = communication_volume(matrix, cand)

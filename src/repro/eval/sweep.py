@@ -43,9 +43,11 @@ items:
 from __future__ import annotations
 
 import dataclasses
+import errno as _errno
 import hashlib
 import json
 import os
+import sys
 import time
 from collections import deque
 from concurrent.futures.process import BrokenProcessPool
@@ -368,16 +370,31 @@ class SweepCheckpoint:
     yields the journal's records in their place, so an interrupted sweep
     resumed with the same specs streams results bit-identical to an
     uninterrupted run.
+
+    Disk pressure degrades, never aborts: an ``OSError`` on a journal
+    write (``ENOSPC``, quota) drops the file handle and the sweep keeps
+    streaming **unjournaled** — records after the failure simply rerun
+    on a resume.  The one-shot brief is exposed via
+    :meth:`take_write_error` so :func:`run_sweep` can annotate the
+    record in flight when it happened; the ``checkpoint.write`` fault
+    point (inside :meth:`_write`) lets the chaos suite inject exactly
+    this.
     """
 
     def __init__(self, path, specs: Sequence[RunSpec]) -> None:
         self.path = Path(path)
         self.fingerprint = _sweep_fingerprint(specs)
         self.done: dict[int, object] = {}
+        self.write_error: str | None = None
+        self._error_taken = False
+        self._fh = None
         if self.path.exists() and self.path.stat().st_size:
             self._load()
-        self._fh = open(self.path, "a", encoding="utf-8")
-        if self._fh.tell() == 0:
+        try:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            self._degrade(exc)
+        if self._fh is not None and self._fh.tell() == 0:
             self._write({"sweep": self.fingerprint, "version": 1})
 
     def _load(self) -> None:
@@ -405,9 +422,44 @@ class SweepCheckpoint:
             )
 
     def _write(self, obj: dict) -> None:
-        self._fh.write(json.dumps(obj) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if self._fh is None:
+            return  # journaling already degraded away
+        try:
+            faults.fault_point("checkpoint.write")
+            self._fh.write(json.dumps(obj) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            self._degrade(exc)
+
+    def _degrade(self, exc: OSError) -> None:
+        """Stop journaling after a write failure; the sweep continues."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - close-on-full-disk
+                pass
+            self._fh = None
+        name = _errno.errorcode.get(exc.errno, "OSError")
+        self.write_error = f"CheckpointWriteError[{name}]"
+        print(
+            f"repro-sweep: checkpoint journal degraded to read-only "
+            f"({name}: {exc}); the sweep continues unjournaled",
+            file=sys.stderr,
+        )
+
+    def take_write_error(self) -> str | None:
+        """The degradation brief, the first time it is asked for.
+
+        One record carries the annotation (the one whose append
+        failed); later records run identically to an unjournaled sweep
+        and stay clean — ``failures`` describes events, not a sticky
+        state, and ``/stats``-style polling belongs to the daemon tier.
+        """
+        if self.write_error is None or self._error_taken:
+            return None
+        self._error_taken = True
+        return self.write_error
 
     def append(self, spec: RunSpec, record) -> None:
         """Journal one completed record (flushed and fsynced)."""
@@ -565,6 +617,9 @@ def run_sweep(
                 record = next(stream)
                 if journal is not None:
                     journal.append(spec, record)
+                    brief = journal.take_write_error()
+                    if brief is not None:
+                        record = _annotate(record, (brief,))
                 faults.fault_point("sweep.record")
                 yield record
         finally:

@@ -33,6 +33,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import connectivity_volume, part_weights
 from repro.kernels import FMPassState, KernelBackend, resolve_backend
 from repro.partitioner.config import PartitionerConfig, get_config
+from repro.utils.deadline import Deadline, Degraded
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -61,6 +62,9 @@ class FMResult:
     improvement:
         Total cut reduction over the call (>= 0 whenever the input was
         feasible).
+    degraded:
+        A :class:`~repro.utils.deadline.Degraded` record when a deadline
+        cut the pass schedule short, else ``None``.
     """
 
     parts: np.ndarray
@@ -68,6 +72,7 @@ class FMResult:
     feasible: bool
     passes: int
     improvement: int
+    degraded: Degraded | None = None
 
 
 def fm_refine(
@@ -80,6 +85,7 @@ def fm_refine(
     *,
     backend: KernelBackend | str | None = None,
     state: FMPassState | None = None,
+    deadline: Deadline | None = None,
 ) -> FMResult:
     """Refine a bipartitioning of ``h`` with repeated FM passes.
 
@@ -105,6 +111,11 @@ def fm_refine(
     state:
         Explicit reusable pass state for ``h``.  Defaults to the state
         cached on the hypergraph; results are identical either way.
+    deadline:
+        Optional cooperative deadline, checked **between** passes only
+        (each pass rolls back to its best prefix, so the incumbent is
+        valid at every boundary).  When it expires the remaining passes
+        are skipped and the result carries a ``degraded`` record.
 
     Returns
     -------
@@ -141,7 +152,14 @@ def fm_refine(
     total_delta = 0
     passes_run = 0
     feasible = _is_feasible(h, parts, maxw)
+    degraded = None
     for _ in range(passes_budget):
+        if deadline is not None and deadline.expired():
+            degraded = Degraded(
+                "fm", completed=passes_run,
+                skipped=passes_budget - passes_run,
+            )
+            break
         started_feasible = feasible
         delta, feasible = kb.fm_pass(state, parts, maxw, cfg, rng)
         passes_run += 1
@@ -157,6 +175,7 @@ def fm_refine(
         feasible=feasible,
         passes=passes_run,
         improvement=total_delta,
+        degraded=degraded,
     )
 
 
@@ -179,6 +198,7 @@ class KWayFMResult:
     feasible: bool
     passes: int
     improvement: int
+    degraded: Degraded | None = None
 
 
 def kway_refine(
@@ -192,6 +212,7 @@ def kway_refine(
     *,
     backend: KernelBackend | str | None = None,
     state: FMPassState | None = None,
+    deadline: Deadline | None = None,
 ) -> KWayFMResult:
     """Refine a k-way partitioning of ``h`` with repeated k-way FM passes.
 
@@ -258,7 +279,14 @@ def kway_refine(
         kway_rebalance(h, parts, nparts, ceilings)
         cut = connectivity_volume(h, parts)
         feasible = bool(np.all(part_weights(h, parts, nparts) <= ceilings))
+    degraded = None
     for _ in range(passes_budget):
+        if deadline is not None and deadline.expired():
+            degraded = Degraded(
+                "kway-fm", completed=passes_run,
+                skipped=passes_budget - passes_run,
+            )
+            break
         started_feasible = feasible
         delta, feasible = kb.kway_fm_pass(
             state, parts, nparts, ceilings, cfg, rng
@@ -276,6 +304,7 @@ def kway_refine(
         feasible=feasible,
         passes=passes_run,
         improvement=total_delta,
+        degraded=degraded,
     )
 
 

@@ -30,6 +30,7 @@ from repro.partitioner.initial import (
     greedy_kway_vertex_parts,
     initial_partition,
 )
+from repro.utils.deadline import Deadline, Degraded
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = [
@@ -175,6 +176,7 @@ def multilevel_kway(
     config: PartitionerConfig | str = "mondriaan",
     seed: SeedLike = None,
     backend: KernelBackend | None = None,
+    deadline: Deadline | None = None,
 ) -> KWayFMResult:
     """Partition ``h`` into ``nparts`` parts under per-part ``ceilings``.
 
@@ -191,6 +193,13 @@ def multilevel_kway(
     Returns a :class:`~repro.partitioner.fm.KWayFMResult` for the finest
     level.  Requires ``nparts >= 2`` (``nparts == 1`` has nothing to
     optimize — callers short-circuit it).
+
+    An expired ``deadline`` degrades each phase at its natural boundary:
+    coarsening stops adding levels, the construction keeps the cheapest
+    feasible-ish candidate instead of ranking every restart, and
+    uncoarsening projects the remaining levels *without* refining them —
+    always returning a complete finest-level assignment, flagged via the
+    result's ``degraded`` record.
     """
     cfg = get_config(config)
     rng = as_generator(seed)
@@ -226,9 +235,13 @@ def multilevel_kway(
         1, int(cfg.cluster_weight_frac * int(ceilings.min())) // 4
     )
     coarse_target = max(cfg.coarse_target, 8 * nparts)
+    cut_short = False  # any phase stopped at a deadline boundary
     levels: list[CoarseLevel] = []
     cur = h
     while cur.nverts > coarse_target and len(levels) < cfg.max_levels:
+        if deadline is not None and deadline.expired():
+            cut_short = True
+            break  # partition whatever granularity we reached
         level = coarsen_level(cur, cfg, rng, cluster_cap, backend=backend)
         reduction = 1.0 - level.coarse.nverts / cur.nverts
         if reduction < cfg.min_reduction:
@@ -252,6 +265,16 @@ def multilevel_kway(
     best: np.ndarray | None = None
     best_key: tuple | None = None
     for attempt in range(max(2, cfg.n_initial)):
+        if deadline is not None and deadline.expired():
+            cut_short = True
+            if best is None:
+                # Never return empty-handed: the weight-only greedy
+                # spread is near-instant and always yields a complete
+                # assignment; the repair keeps it as balanced as single
+                # moves and swaps can.
+                best = greedy_kway_vertex_parts(cur, nparts, ceilings, rng)
+                kway_rebalance(cur, best, nparts, ceilings)
+            break
         if attempt == 0:
             cand = recursive_kway_parts(
                 cur, nparts, ceilings, cfg, rng, backend=backend
@@ -272,9 +295,11 @@ def multilevel_kway(
             best, best_key = cand, key
     assert best is not None
     result = kway_refine(
-        cur, best, nparts, ceilings, cfg, rng, backend=backend
+        cur, best, nparts, ceilings, cfg, rng, backend=backend,
+        deadline=deadline,
     )
     parts = result.parts
+    cut_short = cut_short or result.degraded is not None
 
     # ------------------------------------------------------------------ #
     # Uncoarsening: project and k-way-refine at every level.  One pass
@@ -283,12 +308,39 @@ def multilevel_kway(
     # O(log n) levels), so extra same-level passes buy little cut for a
     # lot of time; only the finest level gets the full pass budget.
     # ------------------------------------------------------------------ #
+    refined_levels = 0
+    skipped_levels = 0
     for i, level in enumerate(reversed(levels)):
         parts = parts[level.cmap]
+        if deadline is not None and deadline.expired():
+            # Projection alone keeps the assignment complete and its
+            # per-part weights identical — only the per-level polish is
+            # forfeited.
+            skipped_levels += 1
+            continue
         finest = i == len(levels) - 1
         result = kway_refine(
             level.fine, parts, nparts, ceilings, cfg, rng,
             max_passes=2 if finest else 1, backend=backend,
+            deadline=deadline,
         )
         parts = result.parts
+        refined_levels += 1
+    if skipped_levels or cut_short:
+        # ``result`` may describe a coarser level than ``parts`` (a
+        # skipped refinement leaves only the projection); rebuild the
+        # outcome from the finest-level vector with its true cut.
+        return KWayFMResult(
+            parts=parts,
+            cut=connectivity_volume(h, parts),
+            feasible=bool(
+                np.all(part_weights(h, parts, nparts) <= ceilings)
+            ),
+            passes=result.passes,
+            improvement=result.improvement,
+            degraded=Degraded(
+                "multilevel", completed=refined_levels,
+                skipped=skipped_levels,
+            ),
+        )
     return result

@@ -39,6 +39,7 @@ from repro.kernels import KernelBackend, resolve_backend
 from repro.partitioner.coarsen import contract, match_vertices
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import fm_refine, kway_refine
+from repro.utils.deadline import Deadline, Degraded
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["VCycleResult", "vcycle_refine", "kway_vcycle_refine"]
@@ -60,6 +61,9 @@ class VCycleResult:
         Cut after each cycle (index 0 is the input cut); non-increasing.
     feasible:
         Whether the weight ceilings hold.
+    degraded:
+        A :class:`~repro.utils.deadline.Degraded` record when a deadline
+        stopped the cycles early, else ``None``.
     """
 
     parts: np.ndarray
@@ -67,6 +71,7 @@ class VCycleResult:
     cycles: int
     cuts: list[int]
     feasible: bool
+    degraded: Degraded | None = None
 
 
 def vcycle_refine(
@@ -138,6 +143,7 @@ def kway_vcycle_refine(
     max_cycles: int = 3,
     *,
     backend: KernelBackend | None = None,
+    deadline: Deadline | None = None,
 ) -> VCycleResult:
     """Refine a k-way partitioning of ``h`` with repeated V-cycles.
 
@@ -161,6 +167,12 @@ def kway_vcycle_refine(
 
     ``max_cycles=0`` is a pure no-op returning the input cut; so are
     ``nparts=1`` and empty hypergraphs (nothing to refine).
+
+    The keep-best contract is what makes an optional ``deadline`` safe
+    here: the incumbent is a complete, scored partitioning before every
+    cycle, so an expiry observed at a cycle boundary (or inside a
+    cycle's per-level refinements) simply ends the loop with the best
+    vector found so far and a ``degraded`` record on the result.
     """
     cfg = get_config(config)
     rng = as_generator(seed)
@@ -198,10 +210,18 @@ def kway_vcycle_refine(
     # sequence of moves: skip the cycles (kway_refine would refuse the
     # state anyway) and report the input truthfully infeasible.
     repairable = h.total_weight() <= int(ceilings.sum())
+    degraded = None
     if nparts >= 2 and h.nverts and repairable:
         for _ in range(max_cycles):
+            if deadline is not None and deadline.expired():
+                degraded = Degraded(
+                    "vcycle", completed=cycles,
+                    skipped=max_cycles - cycles,
+                )
+                break
             cand = _one_kway_cycle(
-                h, best, nparts, ceilings, cfg, rng, backend
+                h, best, nparts, ceilings, cfg, rng, backend,
+                deadline=deadline,
             )
             cand_cut = connectivity_volume(h, cand)
             cand_feasible = _parts_feasible(h, cand, nparts, ceilings)
@@ -221,6 +241,7 @@ def kway_vcycle_refine(
         cycles=cycles,
         cuts=cuts,
         feasible=best_feasible,
+        degraded=degraded,
     )
 
 
@@ -232,6 +253,7 @@ def _one_kway_cycle(
     cfg: PartitionerConfig,
     rng: np.random.Generator,
     backend: KernelBackend,
+    deadline: Deadline | None = None,
 ) -> np.ndarray:
     """One restricted-coarsen / k-way-refine-up pass.
 
@@ -247,6 +269,8 @@ def _one_kway_cycle(
     cur_h = h
     cur_parts = parts
     while cur_h.nverts > cfg.coarse_target and len(levels) < cfg.max_levels:
+        if deadline is not None and deadline.expired():
+            break  # refine whatever granularity we reached
         match = match_vertices(
             cur_h, cfg, rng, cluster_cap,
             restrict_parts=cur_parts, backend=backend,
@@ -266,12 +290,19 @@ def _one_kway_cycle(
         cur_h, cur_parts = coarse, coarse_parts
 
     cur_parts = kway_refine(
-        cur_h, cur_parts, nparts, ceilings, cfg, rng, backend=backend
+        cur_h, cur_parts, nparts, ceilings, cfg, rng, backend=backend,
+        deadline=deadline,
     ).parts
     for fine, cmap in reversed(levels):
+        # Restricted coarsening means projection alone reproduces the
+        # incoming assignment at every level — skipping a refinement
+        # under an expired deadline degrades quality, never validity.
         cur_parts = cur_parts[cmap]
+        if deadline is not None and deadline.expired():
+            continue
         cur_parts = kway_refine(
-            fine, cur_parts, nparts, ceilings, cfg, rng, backend=backend
+            fine, cur_parts, nparts, ceilings, cfg, rng, backend=backend,
+            deadline=deadline,
         ).parts
     return cur_parts
 

@@ -25,12 +25,21 @@ Two deliberate differences from the checkpoint journal:
   on disk (append-only) until they outnumber live entries enough that a
   restart would mostly replay garbage, at which point the journal is
   atomically rewritten (tmp + fsync + rename) with live entries only.
+
+Disk pressure is a degradation, never a crash: an ``OSError`` on a
+journal write (``ENOSPC``, quota, a yanked volume) switches the cache to
+**pass-through mode** — the journal handle is dropped, the in-memory LRU
+keeps serving hits, and :attr:`PartitionCache.write_error` records one
+brief for the daemon to surface.  The ``cache.write`` fault point sits
+inside the guarded append so the chaos suite can inject exactly that.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 import json
 import os
+import sys
 from collections import OrderedDict
 from pathlib import Path
 
@@ -66,8 +75,14 @@ class PartitionCache:
         self._live: OrderedDict[str, dict] = OrderedDict()
         self._valid_bytes = 0
         self._fh = None
+        #: One brief (``"CacheWriteError[ENOSPC]"``) after the journal
+        #: degraded to pass-through mode; ``None`` while healthy.
+        self.write_error: str | None = None
         if self.path is not None:
-            self._open_journal()
+            try:
+                self._open_journal()
+            except OSError as exc:
+                self._degrade(exc)
 
     # ------------------------------------------------------------------ #
     # Journal lifecycle
@@ -161,6 +176,34 @@ class PartitionCache:
         self._fh = open(self.path, "a", encoding="utf-8")
         self._dead = 0
 
+    def _degrade(self, exc: OSError) -> None:
+        """Drop the journal: pass-through mode, one recorded brief.
+
+        The in-memory LRU is untouched — hits keep serving — and the
+        degradation is one-way for this process's lifetime: a disk that
+        just filled will fill again, and flapping between modes would
+        interleave torn appends with good ones.
+        """
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - close-on-full-disk
+                pass
+            self._fh = None
+        name = _errno.errorcode.get(exc.errno, "OSError")
+        self.write_error = f"CacheWriteError[{name}]"
+        print(
+            f"repro-serve: partition cache journal degraded to "
+            f"pass-through ({name}: {exc}); memoization continues "
+            f"in memory only",
+            file=sys.stderr,
+        )
+
+    @property
+    def read_only(self) -> bool:
+        """True once a journal write failure dropped persistence."""
+        return self.write_error is not None
+
     # ------------------------------------------------------------------ #
     # The cache API
     # ------------------------------------------------------------------ #
@@ -197,9 +240,13 @@ class PartitionCache:
         if self._fh is None:
             return
         faults.fault_point("serve.cache")
-        self._append_line({"key": key, "result": result})
-        if self._dead > max(64, 2 * len(self._live)):
-            self._compact()
+        try:
+            faults.fault_point("cache.write")
+            self._append_line({"key": key, "result": result})
+            if self._dead > max(64, 2 * len(self._live)):
+                self._compact()
+        except OSError as exc:
+            self._degrade(exc)
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""

@@ -20,6 +20,11 @@ resilience contract instead:
   cooldown one trial call is let through (half-open); success closes
   the circuit.
 
+A 200 carrying ``degraded: true`` — the daemon's anytime path answered
+with a deadline-cut incumbent instead of a 504 — comes back as a
+:class:`DegradedResult` (still a plain dict) so callers can tell a
+full-quality answer from a degraded one without inspecting keys.
+
 Stdlib-only (``http.client``), one connection per call — matching the
 daemon's one-request-per-connection HTTP.
 """
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import socket
 import time
 from typing import Optional
@@ -40,7 +46,34 @@ from repro.errors import (
     ServeError,
 )
 
-__all__ = ["ServeClient"]
+__all__ = ["DegradedResult", "ServeClient"]
+
+#: Retry-After hints above this are treated as malformed (a daemon that
+#: asks a minute of patience is lying or broken — use local backoff).
+_RETRY_AFTER_ABSURD = 60.0
+#: Honoured hints are capped here regardless of what the server said.
+_RETRY_AFTER_CAP = 30.0
+#: Local backoff fallback when the hint is missing or malformed.
+_RETRY_AFTER_FALLBACK = 0.5
+
+
+class DegradedResult(dict):
+    """A 200 whose partition was cut short by the request's deadline.
+
+    Behaves exactly like the plain result dict (it *is* one) so
+    existing callers keep working, but the distinct type lets callers
+    that care — the CLI, retry wrappers re-submitting with more
+    headroom — branch on ``isinstance`` instead of fishing for the
+    ``degraded`` key.  ``briefs`` lists the ``Degraded[...]`` records
+    saying which loops were cut short.
+    """
+
+    @property
+    def briefs(self) -> tuple:
+        return tuple(
+            b for b in self.get("failures", ())
+            if isinstance(b, str) and b.startswith("Degraded")
+        )
 
 #: Transport-level failures that mean "the daemon may be fine, the
 #: attempt was not" — retryable, and counted by the circuit breaker.
@@ -180,6 +213,8 @@ class ServeClient:
     @staticmethod
     def _finish(status: int, body: dict):
         if status == 200:
+            if isinstance(body, dict) and body.get("degraded"):
+                return DegradedResult(body)
             return body
         message = str(body.get("error", f"HTTP {status}"))
         if status in (400, 404, 405, 413):
@@ -214,8 +249,24 @@ class ServeClient:
 
 
 def _retry_after(headers: dict, body: dict) -> float:
-    raw = headers.get("Retry-After") or body.get("retry_after") or 0.5
+    """The server's Retry-After hint, sanitized to ``[0, 30]`` seconds.
+
+    A hint is advice from a possibly-broken (or hostile) server, so it
+    is *clamped*, never trusted: non-numeric, NaN/inf, negative, or
+    absurdly large (> 60 s) values fall back to the local backoff's
+    0.5 s floor instead of stalling the caller for however long a
+    garbled header says, and honoured values are capped at 30 s.
+    """
+    raw = headers.get("Retry-After")
+    if raw is None:
+        raw = body.get("retry_after")
+    if raw is None or isinstance(raw, bool):
+        return _RETRY_AFTER_FALLBACK
     try:
-        return max(0.0, float(raw))
+        value = float(raw)
     except (TypeError, ValueError):
-        return 0.5
+        return _RETRY_AFTER_FALLBACK
+    if not math.isfinite(value) or value < 0.0 \
+            or value > _RETRY_AFTER_ABSURD:
+        return _RETRY_AFTER_FALLBACK
+    return min(value, _RETRY_AFTER_CAP)

@@ -18,6 +18,16 @@ admission control
     ``queue_cap`` more may wait; everything beyond that is shed
     immediately as 503 + ``Retry-After`` — the daemon degrades by
     refusing work, never by falling over under it.
+anytime degradation
+    Each request's ``timeout`` becomes a *soft* deadline handed to the
+    partitioner, which stops at its next pass/level boundary and
+    returns the incumbent: an expiring request answers **200 with
+    ``degraded: true``** (plus the ``Degraded[...]`` briefs) instead of
+    a 504, and the watchdog's hard kill waits ``deadline_grace``
+    seconds behind the soft deadline.  Under queue pressure the soft
+    deadline shrinks (``overload_deadline_factor``) — everyone gets a
+    slightly worse answer before anyone is shed.  Degraded results are
+    never cached.
 crash isolation
     Work runs in pool workers under a per-request
     :class:`~repro.utils.executor.RetryPolicy` deadline; the watchdog
@@ -79,6 +89,7 @@ from repro.serve.protocol import (
 from repro.sparse.io_mm import read_matrix_market
 from repro.sparse.matrix import SparseMatrix
 from repro.utils import faults
+from repro.utils.deadline import Deadline
 from repro.utils.executor import (
     RetryPolicy,
     SharedMatrixStore,
@@ -109,6 +120,17 @@ class ServeConfig:
     #: Default per-request deadline (seconds) on each worker attempt;
     #: requests may lower/raise it via their ``timeout`` field.
     timeout: float = 60.0
+    #: Headroom (seconds) between a request's *soft* anytime deadline —
+    #: handed to the partitioner, which stops at its next pass/level
+    #: boundary and returns the incumbent — and the watchdog's hard
+    #: SIGKILL.  The grace is what turns "deadline missed" into a 200
+    #: with ``degraded: true`` instead of a killed worker and a 504.
+    deadline_grace: float = 5.0
+    #: Overload rung: once the admission queue is more than half full,
+    #: new requests get their soft deadline multiplied by this factor —
+    #: the daemon answers everyone a bit worse before it sheds anyone.
+    #: ``1.0`` disables the rung.
+    overload_deadline_factor: float = 0.5
     #: Worker-attempt retry budget per request.
     retries: int = 1
     #: Pool size backing request execution.
@@ -134,6 +156,10 @@ class _Stats:
     failed: int = 0
     rejected: int = 0
     shed: int = 0
+    #: 200s answered with ``degraded: true`` (anytime incumbent).
+    degraded_responses: int = 0
+    #: Requests whose soft deadline expired (degraded 200s *and* 504s).
+    deadline_misses: int = 0
 
 
 def _execute_request(arg):
@@ -157,6 +183,12 @@ def _execute_request(arg):
         cfg = dataclasses.replace(
             cfg, kway_vcycles=spec["kway_vcycles"]
         )
+    # The soft deadline starts ticking *here*, per attempt: a retry
+    # after a crashed worker gets the full anytime window again, and
+    # the watchdog's hard kill sits ``deadline_grace`` behind it.
+    deadline = (
+        Deadline(spec["deadline"]) if spec.get("deadline") else None
+    )
     res = partition(
         matrix,
         spec["nparts"],
@@ -167,6 +199,7 @@ def _execute_request(arg):
         seed=spec["seed"],
         jobs=1,
         algo=spec["algo"],
+        deadline=deadline,
     )
     info = {
         "volume": int(res.volume),
@@ -175,6 +208,7 @@ def _execute_request(arg):
         "imbalance": float(res.imbalance),
         "seconds": float(res.seconds),
         "failures": list(res.failures),
+        "degraded": any(b.startswith("Degraded") for b in res.failures),
     }
     return faults.fault_point("executor.result", (res.parts, info))
 
@@ -193,6 +227,7 @@ class PartitionDaemon:
             self.config.cache_path or None, cap=self.config.cache_cap
         )
         self.stats = _Stats()
+        self._cache_error_surfaced = False
         self.port: Optional[int] = None
         self._ready = False
         self._draining = False
@@ -226,11 +261,24 @@ class PartitionDaemon:
         except MatrixFormatError as exc:
             raise ProtocolError(f"bad matrix_market upload: {exc}") from None
 
-    def _dispatch(self, req: PartitionRequest, matrix: SparseMatrix) -> dict:
+    def _dispatch(
+        self,
+        req: PartitionRequest,
+        matrix: SparseMatrix,
+        soft_deadline: float | None = None,
+    ) -> tuple[dict, bool]:
         """Blocking execution of one cache-miss request (dispatch
         thread): publish, run hardened, validate at the trust boundary,
-        assemble the cacheable result dict."""
+        assemble the cacheable result dict plus a degraded flag.
+
+        ``soft_deadline`` is the anytime budget (seconds) the worker
+        hands to the partitioner; the watchdog's hard kill sits
+        ``deadline_grace`` behind it, so an expiring request answers
+        with its incumbent instead of dying.
+        """
         store = SharedMatrixStore.for_matrix(matrix, label=req.label())
+        if soft_deadline is None:
+            soft_deadline = req.timeout or self.config.timeout
         spec = {
             "nparts": req.nparts,
             "eps": req.eps,
@@ -240,9 +288,10 @@ class PartitionDaemon:
             "kway_vcycles": req.kway_vcycles,
             "seed": req.seed,
             "config": req.config,
+            "deadline": soft_deadline,
         }
         policy = RetryPolicy(
-            timeout=req.timeout or self.config.timeout,
+            timeout=soft_deadline + self.config.deadline_grace,
             retries=self.config.retries,
         )
         label = req.label()
@@ -283,7 +332,7 @@ class PartitionDaemon:
             "failures": list(info.get("failures", ()))
             + [f.brief() for f in failures],
         }
-        return result
+        return result, bool(info.get("degraded", False))
 
     async def _partition(self, payload) -> tuple[int, dict, dict]:
         """The ``POST /partition`` pipeline; returns
@@ -313,6 +362,13 @@ class PartitionDaemon:
                 retry_after=round(0.2 * max(1, waiting), 2),
             )
 
+        # Anytime/overload rung: the soft deadline the partitioner gets.
+        # Above the queue's high-water mark it shrinks — the daemon
+        # answers everyone a little worse *before* it sheds anyone.
+        soft = req.timeout or self.config.timeout
+        if waiting > self.config.queue_cap // 2:
+            soft = max(0.05, soft * self.config.overload_deadline_factor)
+
         self._inflight += 1
         try:
             async with self._sem:
@@ -320,8 +376,8 @@ class PartitionDaemon:
                 # an execution lane (chaos tests poison exactly here).
                 faults.fault_point("serve.request")
                 loop = asyncio.get_running_loop()
-                result = await loop.run_in_executor(
-                    self._exec, self._dispatch, req, matrix
+                result, degraded = await loop.run_in_executor(
+                    self._exec, self._dispatch, req, matrix, soft
                 )
         except DegradedExecution as exc:
             self.stats.failed += 1
@@ -329,6 +385,8 @@ class PartitionDaemon:
             status = 504 if briefs and all(
                 "Timeout" in b for b in briefs
             ) else 500
+            if status == 504:
+                self.stats.deadline_misses += 1
             raise RequestFailed(
                 f"request {req.label()} exhausted its retry budget; "
                 f"inline fallback is disabled in the daemon",
@@ -336,6 +394,19 @@ class PartitionDaemon:
             ) from None
         finally:
             self._inflight -= 1
+
+        if degraded:
+            # The soft deadline expired inside the worker: the incumbent
+            # partition comes back as a 200 with ``degraded: true`` and
+            # the ``Degraded[...]`` briefs saying what was cut short.
+            # Never cached — a retry with more headroom deserves (and
+            # will get) the full-quality answer under the same key.
+            self.stats.deadline_misses += 1
+            self.stats.degraded_responses += 1
+            self.stats.served += 1
+            body = self._render(req, result, cached=False)
+            body["degraded"] = True
+            return 200, body, {}
 
         try:
             self.cache.put(key, result)
@@ -346,7 +417,15 @@ class PartitionDaemon:
                 f"uncached", file=sys.stderr, flush=True,
             )
         self.stats.served += 1
-        return 200, self._render(req, result, cached=False), {}
+        body = self._render(req, result, cached=False)
+        if self.cache.read_only and not self._cache_error_surfaced:
+            # Surface the journal degradation once, on the response that
+            # (first) observed it; /stats carries it permanently.
+            self._cache_error_surfaced = True
+            body["failures"] = list(body.get("failures", ())) + [
+                self.cache.write_error
+            ]
+        return 200, body, {}
 
     @staticmethod
     def _render(req: PartitionRequest, result: dict, *, cached: bool) -> dict:
@@ -455,11 +534,14 @@ class PartitionDaemon:
             "failed": s.failed,
             "rejected": s.rejected,
             "shed": s.shed,
+            "degraded_responses": s.degraded_responses,
+            "deadline_misses": s.deadline_misses,
             "cache": {
                 "entries": len(self.cache),
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "hit_rate": round(self.cache.hit_rate(), 4),
+                "read_only": self.cache.read_only,
             },
         }
 

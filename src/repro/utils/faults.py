@@ -31,7 +31,10 @@ Fault kinds
     ``"shm"`` raises :class:`FileNotFoundError`, emulating an
     evicted/unlinked shared-memory segment at the attach boundary;
     ``"poison"`` deterministically corrupts the payload passed through
-    the fault point — the fault the result validator exists to catch.
+    the fault point — the fault the result validator exists to catch;
+    ``"disk"`` raises ``OSError(ENOSPC)``, emulating a full disk at a
+    journal-append boundary (the fault the read-only degradation of the
+    partition cache and sweep checkpoint exists to absorb).
 
 Determinism
     A rule fires on explicit 1-based per-process hit indices (``hits``),
@@ -85,9 +88,11 @@ FAULT_POINTS = frozenset({
     "serve.request",      # daemon side, after a request is admitted
     "serve.cache",        # daemon side, before each cache journal write
     "serve.drain",        # daemon side, at the start of a graceful drain
+    "cache.write",        # inside the partition cache's journal append
+    "checkpoint.write",   # inside the sweep checkpoint's journal append
 })
 
-FAULT_KINDS = ("exception", "crash", "hang", "shm", "poison")
+FAULT_KINDS = ("exception", "crash", "hang", "shm", "poison", "disk")
 
 
 @dataclass(frozen=True)
@@ -351,6 +356,13 @@ def _fire(rule: FaultRule, name: str, payload):
     if rule.kind == "shm":
         raise FileNotFoundError(
             f"[injected fault] shared-memory segment gone at {name}"
+        )
+    if rule.kind == "disk":
+        import errno
+
+        raise OSError(
+            errno.ENOSPC,
+            f"[injected fault] no space left on device at {name}",
         )
     if rule.kind == "hang":
         _RELEASE.wait(rule.delay)

@@ -1,0 +1,146 @@
+"""Deterministic anytime-degradation contract of the engines.
+
+``SoftBudget`` expires after a fixed number of boundary checks, so
+every degradation here is exact and host-speed independent: a budget of
+N lets exactly N boundaries through, and the cut-short result is
+pinned, not racy.  Three invariants are pinned for every engine:
+
+* an expired deadline still yields a *complete, valid* partition (the
+  incumbent / fallback), never an exception or a partial assignment;
+* the cut-short run says so — a ``Degraded[...]`` brief in
+  ``failures`` (or the refinement trace);
+* no deadline, ``Deadline(None)``, and a far-future deadline are all
+  byte-identical to each other: the anytime substrate costs nothing
+  until it fires.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kway import partition_kway
+from repro.core.methods import bipartition
+from repro.core.recursive import partition
+from repro.core.validate import validate_partition
+from repro.sparse.collection import load_instance
+from repro.utils.balance import max_allowed_part_size
+from repro.utils.deadline import Deadline, SoftBudget
+
+SEED = 2014
+INSTANCE = "sym_grid2d_s"
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return load_instance(INSTANCE)
+
+
+def _assert_complete_and_valid(matrix, res, nparts, eps=0.03):
+    ceiling = max_allowed_part_size(matrix.nnz, nparts, eps)
+    validate_partition(
+        matrix, res.parts, nparts,
+        volume=res.volume, max_part=res.max_part,
+        feasible=res.feasible, ceiling=ceiling,
+        context="anytime",
+    )
+
+
+# --------------------------------------------------------------------- #
+# No-deadline paths are byte-identical
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("vcycles", [0, 1])
+def test_unbounded_deadlines_are_bit_identical(matrix, vcycles):
+    base = partition_kway(matrix, 4, seed=SEED, vcycles=vcycles)
+    for idle in (Deadline(None), Deadline(3600.0)):
+        run = partition_kway(
+            matrix, 4, seed=SEED, vcycles=vcycles, deadline=idle
+        )
+        np.testing.assert_array_equal(run.parts, base.parts)
+        assert run.volume == base.volume
+        assert run.failures == ()
+
+
+def test_recursive_unbounded_deadline_is_bit_identical(matrix):
+    base = partition(matrix, 8, seed=SEED)
+    run = partition(matrix, 8, seed=SEED, deadline=Deadline(3600.0))
+    np.testing.assert_array_equal(run.parts, base.parts)
+    assert run.volume == base.volume
+    assert run.failures == ()
+
+
+# --------------------------------------------------------------------- #
+# Expired budgets degrade, never break
+# --------------------------------------------------------------------- #
+def test_flat_kway_expired_budget_returns_feasible_incumbent(matrix):
+    res = partition_kway(
+        matrix, 4, seed=SEED, vcycles=0, deadline=SoftBudget(0)
+    )
+    _assert_complete_and_valid(matrix, res, 4)
+    assert res.feasible is True
+    assert any(b.startswith("Degraded[kway-fm]") for b in res.failures)
+
+
+def test_multilevel_kway_expired_budget_returns_feasible(matrix):
+    res = partition_kway(
+        matrix, 4, seed=SEED, vcycles=2, deadline=SoftBudget(0)
+    )
+    _assert_complete_and_valid(matrix, res, 4)
+    assert res.feasible is True
+    assert any("Degraded[" in b for b in res.failures)
+    # The multilevel engine itself must report the cut-short build.
+    assert any("multilevel" in b for b in res.failures)
+
+
+def test_partial_budget_is_no_worse_than_zero_budget(matrix):
+    # More boundaries granted can only help: the keep-best contract
+    # makes quality monotone in the budget.
+    cut0 = partition_kway(
+        matrix, 4, seed=SEED, vcycles=1, deadline=SoftBudget(0)
+    )
+    cut64 = partition_kway(
+        matrix, 4, seed=SEED, vcycles=1, deadline=SoftBudget(64)
+    )
+    full = partition_kway(matrix, 4, seed=SEED, vcycles=1)
+    assert full.volume <= cut64.volume <= cut0.volume
+
+
+def test_recursive_expired_budget_fallback_split_is_complete(matrix):
+    res = partition(matrix, 8, seed=SEED, deadline=SoftBudget(0))
+    _assert_complete_and_valid(matrix, res, 8)
+    # The fallback split is even by construction: every part exists and
+    # the result is feasible under the eqn-(1) ceiling.
+    assert res.feasible is True
+    np.testing.assert_array_equal(np.unique(res.parts), np.arange(8))
+    assert any(b.startswith("Degraded[recursive]") for b in res.failures)
+
+
+def test_recursive_partial_budget_finishes_some_bisections(matrix):
+    res = partition(matrix, 8, seed=SEED, deadline=SoftBudget(2))
+    _assert_complete_and_valid(matrix, res, 8)
+    briefs = [b for b in res.failures if b.startswith("Degraded[recursive]")]
+    assert briefs, res.failures
+    # At least the root bisection completed before the budget ran out.
+    assert len(res.bisection_volumes) >= 1
+
+
+def test_parallel_recursion_budget_matches_serial(matrix):
+    # The deadline lives driver-side only, so the degraded partition is
+    # the same with and without a worker pool.
+    serial = partition(matrix, 8, seed=SEED, deadline=SoftBudget(0))
+    parallel = partition(
+        matrix, 8, seed=SEED, jobs=2, deadline=SoftBudget(0)
+    )
+    np.testing.assert_array_equal(parallel.parts, serial.parts)
+
+
+def test_iterative_refine_expired_budget_keeps_base_partition(matrix):
+    # Budget 0 stops the Algorithm-2 iterate loop before its first
+    # iteration: the refined run must return exactly the unrefined
+    # partition, flagged degraded in the trace.
+    base = bipartition(matrix, seed=SEED)
+    cut = bipartition(
+        matrix, refine=True, seed=SEED, deadline=SoftBudget(0)
+    )
+    np.testing.assert_array_equal(cut.parts, base.parts)
+    assert cut.refinement is not None
+    assert cut.refinement.degraded is not None
+    assert cut.refinement.degraded.where == "iterate"

@@ -16,7 +16,8 @@ from repro.errors import (
     RequestFailed,
     RequestRejected,
 )
-from repro.serve.client import ServeClient
+from repro.serve.client import DegradedResult, ServeClient
+from repro.serve.client import _retry_after
 
 
 class _Script(http.server.BaseHTTPRequestHandler):
@@ -148,3 +149,71 @@ def test_health_does_not_retry(stub):
     client = stub([OK])
     assert client.health()["volume"] == 1  # passthrough body
     assert len(_Script.seen) == 1
+
+
+# --------------------------------------------------------------------- #
+# Degraded 200s surface distinctly
+# --------------------------------------------------------------------- #
+def test_degraded_200_returns_degraded_result(stub):
+    body = {
+        "volume": 9, "cached": False, "degraded": True,
+        "failures": ["Degraded[vcycle]@1done+2skipped", "other"],
+    }
+    client = stub([(200, body, {})])
+    result = client.partition(instance="x", timeout=0.1)
+    assert isinstance(result, DegradedResult)
+    assert result["volume"] == 9  # still the plain result dict
+    assert result.briefs == ("Degraded[vcycle]@1done+2skipped",)
+
+
+def test_full_quality_200_stays_a_plain_dict(stub):
+    client = stub([OK])
+    result = client.partition(instance="x")
+    assert not isinstance(result, DegradedResult)
+    assert type(result) is dict
+
+
+# --------------------------------------------------------------------- #
+# Retry-After sanitation: hints are advice, not orders
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("raw", ["0.25", 0.25, 5, "30"])
+def test_retry_after_honours_sane_hints(raw):
+    assert _retry_after({"Retry-After": raw}, {}) == float(raw)
+
+
+def test_retry_after_prefers_header_over_body():
+    assert _retry_after({"Retry-After": "2"}, {"retry_after": 9}) == 2.0
+
+
+def test_retry_after_falls_back_to_body_then_default():
+    assert _retry_after({}, {"retry_after": 1.5}) == 1.5
+    assert _retry_after({}, {}) == 0.5
+
+
+@pytest.mark.parametrize("raw", [
+    "soon", "", "nan km", None, True, float("nan"), float("inf"),
+    -1, "-0.5", 61, "3600", 1e18,
+])
+def test_retry_after_clamps_malformed_and_absurd_hints(raw):
+    # Non-numeric, NaN/inf, negative, or absurd (> 60 s) hints must not
+    # stall the caller: local backoff's 0.5 s floor instead.
+    assert _retry_after({"Retry-After": raw}, {}) == 0.5
+
+
+def test_retry_after_caps_honoured_hints_at_30s():
+    assert _retry_after({"Retry-After": "30"}, {}) == 30.0
+    assert _retry_after({"Retry-After": "45"}, {}) == 30.0  # capped
+    assert _retry_after({"Retry-After": "59"}, {}) == 30.0  # capped
+
+
+def test_malformed_retry_after_does_not_stall_the_retry_loop(stub):
+    # A garbled header on a shed response must cost ~backoff, not hang.
+    import time
+
+    client = stub(
+        [(503, {"error": "full"}, {"Retry-After": "tomorrow"}), OK],
+        retries=2,
+    )
+    t0 = time.monotonic()
+    assert client.partition(instance="x")["volume"] == 1
+    assert time.monotonic() - t0 < 5.0

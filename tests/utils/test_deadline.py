@@ -1,0 +1,97 @@
+"""Unit contract of the anytime-deadline substrate.
+
+The deadline types are the ground everything anytime stands on: the
+engines only ever call ``expired()`` at boundaries, so these tests pin
+the three behaviours the engines assume — ``Deadline(None)`` never
+fires, expiry is monotonic-clock based and survives pickling (the
+daemon mints deadlines that forked workers must honour), and
+``SoftBudget`` is exactly deterministic in its check count.
+"""
+
+import pickle
+import time
+
+from repro.utils.deadline import Deadline, Degraded, SoftBudget
+
+
+# --------------------------------------------------------------------- #
+# Deadline
+# --------------------------------------------------------------------- #
+def test_none_deadline_never_expires():
+    d = Deadline(None)
+    assert d.expired() is False
+    assert d.remaining() is None
+    assert repr(d) == "Deadline(None)"
+
+
+def test_zero_and_negative_deadlines_expire_immediately():
+    assert Deadline(0).expired() is True
+    assert Deadline(-3.5).expired() is True
+    assert Deadline(-3.5).remaining() == 0.0
+
+
+def test_future_deadline_counts_down_not_up():
+    d = Deadline(3600.0)
+    assert d.expired() is False
+    remaining = d.remaining()
+    assert 0.0 < remaining <= 3600.0
+
+
+def test_deadline_is_absolute_not_relative():
+    # The expiry is fixed at construction: sleeping consumes it.
+    d = Deadline(0.01)
+    time.sleep(0.02)
+    assert d.expired() is True
+
+
+def test_deadline_pickles_to_the_same_expiry():
+    # CLOCK_MONOTONIC is system-wide on Linux: the absolute expiry is
+    # exactly what must cross a fork into a pool worker.
+    d = Deadline(3600.0)
+    clone = pickle.loads(pickle.dumps(d))
+    assert clone.expired() is False
+    assert abs(clone.remaining() - d.remaining()) < 1.0
+    gone = pickle.loads(pickle.dumps(Deadline(0)))
+    assert gone.expired() is True
+
+
+# --------------------------------------------------------------------- #
+# SoftBudget
+# --------------------------------------------------------------------- #
+def test_soft_budget_allows_exactly_n_checks():
+    budget = SoftBudget(3)
+    assert [budget.expired() for _ in range(6)] == [
+        False, False, False, True, True, True,
+    ]
+
+
+def test_soft_budget_zero_and_negative_expire_instantly():
+    assert SoftBudget(0).expired() is True
+    assert SoftBudget(-5).expired() is True
+
+
+def test_soft_budget_remaining_is_the_countdown():
+    budget = SoftBudget(2)
+    assert budget.remaining() == 2.0
+    budget.expired()
+    assert budget.remaining() == 1.0
+
+
+# --------------------------------------------------------------------- #
+# Degraded
+# --------------------------------------------------------------------- #
+def test_degraded_brief_shape():
+    rec = Degraded("vcycle", completed=2, skipped=1)
+    assert rec.brief() == "Degraded[vcycle]@2done+1skipped"
+    assert Degraded("fm").brief() == "Degraded[fm]@0done+0skipped"
+
+
+def test_degraded_is_frozen_and_comparable():
+    a = Degraded("iterate", completed=1, skipped=4)
+    assert a == Degraded("iterate", completed=1, skipped=4)
+    try:
+        a.completed = 9
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("Degraded must be immutable")
