@@ -347,12 +347,73 @@ def run_benchmarks(tmp_path: Path, keys: int, requests: int, jobs: int) -> dict:
 
 
 # --------------------------------------------------------------------- #
-# CI smoke: both algorithms, cache hit, clean drain — no timings
+# CI smoke: both algorithms, cache hit, /metrics scrape, clean drain
 # --------------------------------------------------------------------- #
+def _scrape_metrics(port: int) -> dict[str, float]:
+    """GET /metrics and parse the Prometheus text exposition format.
+
+    Returns ``{sample_name_with_labels: value}``; raises
+    ``AssertionError`` on any structural violation (a family without
+    HELP/TYPE headers, a malformed sample line, a sample outside its
+    family) — the smoke test's format gate.
+    """
+    import http.client
+    import re
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        body = resp.read().decode("utf-8")
+        if resp.status != 200:
+            raise AssertionError(f"GET /metrics answered {resp.status}")
+        ctype = resp.getheader("Content-Type", "")
+        if not ctype.startswith("text/plain"):
+            raise AssertionError(f"GET /metrics Content-Type: {ctype!r}")
+    finally:
+        conn.close()
+
+    sample_re = re.compile(
+        r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+        r'(?P<labels>\{[^}]*\})?'
+        r' (?P<value>[0-9eE.+-]+|\+Inf|-Inf|NaN)$'
+    )
+    samples: dict[str, float] = {}
+    family = None
+    typed = set()
+    for line in body.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            family = line.split(" ", 3)[2]
+        elif line.startswith("# TYPE "):
+            name, kind = line.split(" ", 3)[2:4]
+            if name != family:
+                raise AssertionError(f"TYPE {name} does not follow its HELP")
+            if kind not in ("counter", "gauge", "histogram", "untyped"):
+                raise AssertionError(f"unknown metric type {kind!r}")
+            typed.add(name)
+        else:
+            m = sample_re.match(line)
+            if m is None:
+                raise AssertionError(f"malformed sample line: {line!r}")
+            if family is None or not m.group("name").startswith(family):
+                raise AssertionError(
+                    f"sample {m.group('name')} outside family {family}"
+                )
+            samples[m.group("name") + (m.group("labels") or "")] = float(
+                m.group("value").replace("+Inf", "inf")
+            )
+    if family is not None and not typed:
+        raise AssertionError("exposition has HELP lines but no TYPE lines")
+    return samples
+
+
 def run_smoke(tmp_path: Path) -> int:
     """Boot a daemon, submit p in {2, 4} over both algorithms, verify a
-    cache hit on resubmission, and drain it cleanly.  **No wall-clock
-    gating** — this proves the serving plumbing on a cold CI runner."""
+    cache hit on resubmission, scrape and validate ``GET /metrics``,
+    and drain it cleanly.  **No wall-clock gating** — this proves the
+    serving plumbing on a cold CI runner."""
     failures = 0
     handle = start_daemon(
         tmp_path, "--cache", str(tmp_path / "smoke.cache"),
@@ -378,6 +439,28 @@ def run_smoke(tmp_path: Path) -> int:
                 f"  {algo:10s} p={nparts}  volume={first['volume']:<6d} "
                 f"cache-hit={'ok' if ok else 'MISMATCH'}"
             )
+    try:
+        samples = _scrape_metrics(handle.port)
+    except AssertionError as exc:
+        failures += 1
+        print(f"  metrics: FAIL ({exc})")
+    else:
+        requests = samples.get(
+            'repro_serve_events_total{event="requests"}', 0.0
+        )
+        served = samples.get('repro_serve_events_total{event="served"}', 0.0)
+        lat_count = sum(
+            v for k, v in samples.items()
+            if k.startswith("repro_serve_request_seconds_count")
+        )
+        ok = requests >= 8 and served >= 8 and lat_count >= 8
+        failures += not ok
+        print(
+            f"  metrics: {len(samples)} samples  "
+            f"requests={requests:.0f} served={served:.0f} "
+            f"latency-observations={lat_count:.0f} "
+            f"{'ok' if ok else 'FAIL (expected >= 8 of each)'}"
+        )
     stats = client.stats()
     rc = handle.terminate(timeout=60)
     ok = rc == 0

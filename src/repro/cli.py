@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands:
+Five subcommands:
 
 ``partition``
     Partition a MatrixMarket file (or a named collection instance) with
@@ -27,6 +27,12 @@ Four subcommands:
     (capped-exponential retry honouring ``Retry-After``, circuit
     breaker) and print the result.
 
+``trace-report``
+    Aggregate a span trace (written with ``--trace out.jsonl`` on
+    ``partition``/``experiment``/``serve``) into the classic profiler
+    table: per-stage counts, total and self wall time.  See
+    ``docs/observability.md``.
+
 Examples
 --------
 .. code-block:: shell
@@ -42,6 +48,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -166,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(input/output vector distributions)"
         ),
     )
+    _add_trace_flag(p_part)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument(
@@ -220,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_hardening_flags(p_exp)
+    _add_trace_flag(p_exp)
 
     p_srv = sub.add_parser(
         "serve", help="run the always-available partitioning daemon"
@@ -294,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-warmup", action="store_true",
         help="skip the startup warmup partition",
     )
+    _add_trace_flag(p_srv)
 
     p_sub = sub.add_parser(
         "submit", help="submit one request to a running daemon"
@@ -331,6 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-parts",
         help="write the nonzero part vector to this file (one id per line)",
     )
+
+    p_rep = sub.add_parser(
+        "trace-report",
+        help="aggregate a span trace into a time-per-stage table",
+    )
+    p_rep.add_argument(
+        "trace",
+        help="JSONL trace file written with --trace",
+    )
     return parser
 
 
@@ -363,6 +382,43 @@ def _add_hardening_flags(sub: argparse.ArgumentParser) -> None:
             "retry, today's behavior)"
         ),
     )
+
+
+def _add_trace_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a JSONL span trace of the run to FILE, with a final "
+            "metrics-snapshot record (render it with `repro-partition "
+            "trace-report FILE`); omitted = tracing disabled, the "
+            "zero-overhead default — results are bit-identical either way"
+        ),
+    )
+
+
+@contextlib.contextmanager
+def _tracing(path: str | None):
+    """Arm the module tracer around a command, then dump metrics.
+
+    The final record in the trace file is ``{"metrics": ...}`` — the
+    full registry snapshot at exit — which ``read_trace`` skips and
+    humans/scripts can pick up with one ``tail -1``.
+    """
+    if not path:
+        yield
+        return
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
+    tracer = _trace.enable(path)
+    try:
+        yield
+    finally:
+        tracer.sink.write({"metrics": _metrics.snapshot()})
+        _trace.disable()
+        print(f"trace written     : {path}")
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -530,7 +586,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if wanted in ("fig6", "all"):
             reports.append(exp.run_fig6_profiles(data_p2, data_p64))
         if wanted in ("table2", "all"):
-            reports.append(exp.run_table2_geomeans(data_p2, data_p64))
+            data_kway = None
+            if args.algo == "recursive":
+                # The k-way / kway+ml method-family columns need the
+                # recursive MG baseline in ``data_p64`` to normalize
+                # against; under --algo kway that baseline IS k-way
+                # already, so the extra sweeps would compare an engine
+                # with itself.
+                data_kway = exp.collect_kway_runs(
+                    max_tier=args.max_tier,
+                    base_seed=args.seed,
+                    progress=args.progress,
+                    jobs=args.jobs,
+                    backend=args.backend,
+                    task_timeout=args.task_timeout or None,
+                    retries=args.retries,
+                )
+            reports.append(
+                exp.run_table2_geomeans(data_p2, data_p64, data_kway)
+            )
     for report in reports:
         report.write(out)
         print(report.text)
@@ -557,6 +631,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_cap=args.cache_cap,
         port_file=args.port_file,
         warmup=not args.no_warmup,
+        trace_path=args.trace,
     )
     return run_daemon(config)
 
@@ -623,17 +698,35 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        aggregate_trace,
+        count_events,
+        read_trace,
+        render_report,
+    )
+
+    records = list(read_trace(args.trace))
+    print(render_report(aggregate_trace(records),
+                        events=count_events(records)), end="")
+    return 0 if records else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``repro-partition`` script)."""
     args = build_parser().parse_args(argv)
     if args.command == "partition":
-        return _cmd_partition(args)
+        with _tracing(args.trace):
+            return _cmd_partition(args)
     if args.command == "experiment":
-        return _cmd_experiment(args)
+        with _tracing(args.trace):
+            return _cmd_experiment(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "trace-report":
+        return _cmd_trace_report(args)
     raise AssertionError("unreachable")
 
 

@@ -62,6 +62,7 @@ from repro.core.volume import (
 from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.kernels import KernelBackend, resolve_backend
+from repro.obs import trace as _obs
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import kway_refine
 from repro.partitioner.initial import (
@@ -196,7 +197,10 @@ def partition_kway(
 
     timer = Timer()
     degraded: tuple[Degraded, ...] = ()
-    with timer:
+    with timer, _obs.span(
+        "partition", method=method, nparts=nparts, algo="kway",
+        vcycles=vcycles,
+    ):
         faults.fault_point("kway.partition")
         if nparts == 1:
             parts = np.zeros(n, dtype=np.int64)
@@ -221,6 +225,7 @@ def partition_kway(
             )
             parts = model.nonzero_parts(vparts)
         if refine and nparts > 1:
+            iterate_span = _obs.span("kway.iterate")
             parts, _trace = iterative_refine(
                 matrix,
                 parts,
@@ -232,6 +237,7 @@ def partition_kway(
                 backend=backend,
                 deadline=deadline,
             )
+            iterate_span.end()
             if _trace.degraded is not None:
                 degraded += (_trace.degraded,)
 

@@ -59,6 +59,7 @@ from repro.core.volume import (
     max_part_size,
 )
 from repro.errors import PartitioningError, ResultValidationError
+from repro.obs import trace as _trace
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.sparse.matrix import SparseMatrix
 from repro.utils import faults
@@ -263,12 +264,16 @@ def partition(
     skipped = 0
     policy = RetryPolicy.resolve(cfg.task_timeout, cfg.retries)
     timer = Timer()
-    with timer:
+    with timer, _trace.span(
+        "partition", method=method, nparts=nparts, algo="recursive",
+        jobs=jobs,
+    ):
         if nparts > 1:
             root = _Node((), np.arange(n, dtype=np.int64), 0, nparts)
             job = _TreeJob(
                 ceiling=ceiling, eps=eps, method=method, refine=refine,
                 cfg=cfg, root_seed=root_seed,
+                trace=_trace.current_context(),
             )
             # With fewer than 4 parts at most one bisection can ever be
             # in flight, so a pool would only add process overhead.
@@ -314,6 +319,9 @@ class _TreeJob:
     refine: bool
     cfg: PartitionerConfig
     root_seed: np.random.SeedSequence
+    # Cross-process trace envelope (None when tracing is disabled) —
+    # rides the job like the deadline does, never influences results.
+    trace: object = None
 
 
 def _bisect_node(
@@ -341,14 +349,19 @@ def _bisect_node(
         relaxed = max_allowed_part_size(node.indices.size, node.nparts, job.eps)
         cap0 = max(cap0, relaxed * q0)
         cap1 = max(cap1, relaxed * q1)
-    result = bipartition(
-        sub,
-        method=job.method,
-        refine=job.refine,
-        config=job.cfg,
-        seed=as_generator(child_sequence(job.root_seed, *node.path)),
-        max_weights=(cap0, cap1),
-    )
+    with _trace.span(
+        "recursive.bisect",
+        path="".join(map(str, node.path)) or "root",
+        nnz=int(node.indices.size),
+    ):
+        result = bipartition(
+            sub,
+            method=job.method,
+            refine=job.refine,
+            config=job.cfg,
+            seed=as_generator(child_sequence(job.root_seed, *node.path)),
+            max_weights=(cap0, cap1),
+        )
     return result.parts, result.volume
 
 
@@ -401,7 +414,11 @@ def _bisect_task(sub: SparseMatrix, extra) -> tuple[np.ndarray, int]:
     """
     path, nparts, job = extra
     local = _Node(path, np.arange(sub.nnz, dtype=np.int64), 0, nparts)
-    return _bisect_node(sub, local, job)
+    with _trace.activate(
+        job.trace, "worker.bisect",
+        path="".join(map(str, path)) or "root",
+    ):
+        return _bisect_node(sub, local, job)
 
 
 def _subtree_task(sub: SparseMatrix, extra) -> tuple[np.ndarray, dict]:
@@ -416,7 +433,11 @@ def _subtree_task(sub: SparseMatrix, extra) -> tuple[np.ndarray, dict]:
     local = _Node(path, np.arange(sub.nnz, dtype=np.int64), 0, nparts)
     out = np.zeros(sub.nnz, dtype=np.int64)
     volumes: dict = {}
-    _solve_serial(sub, local, job, out, volumes)
+    with _trace.activate(
+        job.trace, "worker.subtree",
+        path="".join(map(str, path)) or "root", nparts=nparts,
+    ):
+        _solve_serial(sub, local, job, out, volumes)
     return out, volumes
 
 

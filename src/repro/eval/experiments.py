@@ -32,14 +32,18 @@ from repro.core.medium_grain import assemble_b_matrix, build_medium_grain
 from repro.eval.geomean import normalized_geomeans
 from repro.eval.profiles import PerformanceProfile, performance_profile
 from repro.eval.report import (
+    PWAY_COLUMNS,
     ascii_profile_chart,
     format_float,
     markdown_table,
+    pway_rows,
+    pway_table,
     write_csv,
 )
 from repro.eval.runner import (
     PAPER_METHODS,
     ExperimentData,
+    MethodSpec,
     run_methods,
 )
 from repro.sparse.collection import build_collection
@@ -50,6 +54,7 @@ __all__ = [
     "ExperimentReport",
     "run_fig3_demo",
     "collect_paper_runs",
+    "collect_kway_runs",
     "run_fig4_profiles",
     "run_fig5_time_profile",
     "run_table1_geomeans",
@@ -202,6 +207,73 @@ def collect_paper_runs(
     return data
 
 
+#: Method-family columns of the Table-II k-way comparison: the direct
+#: k-way partitioner, flat and multilevel.  ``KWAY_ML_VCYCLES`` matches
+#: the BENCH ``kway-ml`` stage (one full multilevel construction).
+KWAY_ML_VCYCLES = 1
+KWAY_FAMILIES: tuple[tuple[str, int], ...] = (
+    ("kway", 0),
+    ("kway+ml", KWAY_ML_VCYCLES),
+)
+
+
+def collect_kway_runs(
+    *,
+    max_tier: str | None = "medium",
+    nparts: int = 64,
+    base_seed: int = 2014,
+    with_bsp: bool = True,
+    min_nnz: int = 6400,
+    progress: bool = False,
+    jobs: "int | None | JobsBudget" = 1,
+    backend: str = "auto",
+    task_timeout: float | None = None,
+    retries: int = 0,
+) -> dict[str, ExperimentData]:
+    """Mediumgrain p-way runs under the direct k-way families.
+
+    One sweep per :data:`KWAY_FAMILIES` entry — the ``kway`` (flat) and
+    ``kway+ml`` (multilevel) method-family columns of the Table-II
+    comparison — restricted to the mediumgrain method so the extra cost
+    stays a fraction of the six-method recursive sweep.  Seeds, entries,
+    and the PaToH preset match :func:`collect_paper_runs`' p = 64 data,
+    so records line up per instance.  Memoized like the paper sweeps.
+    """
+    key = (
+        "kway-families", max_tier, nparts, base_seed, with_bsp,
+        min_nnz, backend,
+    )
+    if key in _sweep_cache:
+        return _sweep_cache[key]
+    entries = build_collection(max_tier=max_tier)
+    if min_nnz:
+        from repro.sparse.collection import load_instance
+
+        entries = [
+            e for e in entries if load_instance(e.name).nnz >= min_nnz
+        ]
+    out: dict[str, ExperimentData] = {}
+    for label, vcycles in KWAY_FAMILIES:
+        out[label] = run_methods(
+            entries,
+            (MethodSpec(label, "mediumgrain", False),),
+            nruns=1,
+            nparts=nparts,
+            config="patoh",
+            base_seed=base_seed,
+            with_bsp=with_bsp,
+            progress=progress,
+            jobs=jobs,
+            backend=backend,
+            algo="kway",
+            kway_vcycles=vcycles,
+            task_timeout=task_timeout,
+            retries=retries,
+        )
+    _sweep_cache[key] = out
+    return out
+
+
 def _profile_report(
     name: str,
     title: str,
@@ -326,9 +398,19 @@ def run_fig6_profiles(
 
 
 def run_table2_geomeans(
-    data_p2: ExperimentData, data_p64: ExperimentData | None
+    data_p2: ExperimentData,
+    data_p64: ExperimentData | None,
+    data_kway: "dict[str, ExperimentData] | None" = None,
 ) -> ExperimentReport:
-    """Table II: volume and BSP-cost geometric means, p = 2 and p = 64."""
+    """Table II: volume and BSP-cost geometric means, p = 2 and p = 64.
+
+    ``data_kway`` (label -> mediumgrain-only runs, see
+    :func:`collect_kway_runs`) appends the method-family comparison:
+    ``kway`` / ``kway+ml`` columns normalized against the recursive
+    ``MG`` baseline, plus the per-record :func:`pway_table` so the
+    families are compared in the paper-style table, not just in BENCH
+    JSON.
+    """
     lines = ["Table II — geometric means relative to LB (patoh preset)"]
     rows: list[list[object]] = []
     header: list[object] | None = None
@@ -353,9 +435,43 @@ def run_table2_geomeans(
                 + f"   (n={n_used})"
             )
     md = markdown_table(rows[0], rows[1:]) if rows else ""
+    tables = {"geomeans": rows}
+    if data_kway and data_p64 is not None and data_p64.records:
+        # Method-family comparison: recursive MG vs the direct k-way
+        # engines on the same instances/seeds, normalized by MG.
+        combined = ExperimentData(
+            [r for r in data_p64.records if r.method == "MG"]
+            + [r for d in data_kway.values() for r in d.records]
+        )
+        fam_methods = combined.methods()
+        fam_rows: list[list[object]] = [["metric", "p"] + fam_methods]
+        lines.append("")
+        lines.append(
+            "p-way method families — recursive MG vs direct k-way "
+            "(geomeans relative to MG):"
+        )
+        for metric, label in (("volume", "Vol"), ("bsp", "Cost")):
+            values = combined.mean_metric(metric)
+            means, n_used = normalized_geomeans(values, "MG")
+            fam_rows.append(
+                [label, "64"] + [round(means[m], 3) for m in fam_methods]
+            )
+            lines.append(
+                f"  {label:5s} p=64  "
+                + "  ".join(
+                    f"{m}={format_float(means[m])}" for m in fam_methods
+                )
+                + f"   (n={n_used})"
+            )
+        md += "\n\n" + markdown_table(fam_rows[0], fam_rows[1:])
+        md += "\n\n" + pway_table(combined.records)
+        tables["kway_families"] = fam_rows
+        tables["kway_pway"] = (
+            [list(PWAY_COLUMNS)] + pway_rows(combined.records)
+        )
     return ExperimentReport(
         name="table2",
         text="\n".join(lines) + "\n\n" + md,
-        tables={"geomeans": rows},
+        tables=tables,
         data=data_p2,
     )

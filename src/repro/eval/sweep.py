@@ -56,6 +56,8 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.validate import validate_run_record
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.errors import (
     EvaluationError,
     ExecutionError,
@@ -77,6 +79,14 @@ from repro.utils.executor import (
 )
 from repro.utils.parallel import resolve_jobs as _resolve_jobs
 from repro.utils.rng import spawn_seeds
+
+_SWEEP_CHUNKS = _metrics.counter(
+    "repro_sweep_chunks_total", "Sweep chunks dispatched to workers."
+)
+_SWEEP_RUNS = _metrics.counter(
+    "repro_sweep_runs_total",
+    "Sweep runs executed (checkpoint replays excluded).",
+)
 
 __all__ = [
     "RunSpec",
@@ -133,6 +143,12 @@ class RunSpec:
     #: fingerprint (unlike ``jobs``).  Ignored for recursive runs and
     #: bipartitionings.
     kway_vcycles: int = 0
+    #: Cross-process trace envelope
+    #: (:class:`repro.obs.trace.TraceContext`, ``None`` when tracing is
+    #: disabled).  Rides the spec into pool workers the way the
+    #: deadline rides hardened tasks; purely observational, so it is
+    #: normalized away from the sweep fingerprint like ``jobs``.
+    trace: object = None
 
 
 def build_runspecs(
@@ -265,7 +281,13 @@ def execute_runspec(spec: RunSpec, matrix=None):
 def _execute_chunk(specs: list[RunSpec]) -> list:
     """Worker entry point: execute one chunk of specs in order."""
     faults.fault_point("sweep.chunk")
-    records = [execute_runspec(spec) for spec in specs]
+    ctx = specs[0].trace if specs else None
+    with _trace.activate(
+        ctx, "sweep.chunk",
+        instance=specs[0].instance if specs else "",
+        nspecs=len(specs),
+    ):
+        records = [execute_runspec(spec) for spec in specs]
     return faults.fault_point("sweep.result", records)
 
 
@@ -283,14 +305,21 @@ def _execute_chunk_shm(payload) -> list:
     """
     handle, name, specs = payload
     faults.fault_point("sweep.chunk")
-    if handle is None:
-        matrix = load_instance(name)
-    else:
-        try:
-            matrix = handle.open()
-        except ShmAttachError:
+    ctx = specs[0].trace if specs else None
+    with _trace.activate(
+        ctx, "sweep.chunk", instance=name, nspecs=len(specs),
+        shm=handle is not None,
+    ):
+        if handle is None:
             matrix = load_instance(name)
-    records = [execute_runspec(spec, matrix=matrix) for spec in specs]
+        else:
+            try:
+                matrix = handle.open()
+            except ShmAttachError:
+                matrix = load_instance(name)
+        records = [
+            execute_runspec(spec, matrix=matrix) for spec in specs
+        ]
     return faults.fault_point("sweep.result", records)
 
 
@@ -332,7 +361,7 @@ def _sweep_fingerprint(specs: Sequence[RunSpec]) -> str:
                 task_timeout=None, retries=0,
             )
         payload.append(dataclasses.astuple(
-            dataclasses.replace(spec, jobs=0, config=cfg)
+            dataclasses.replace(spec, jobs=0, config=cfg, trace=None)
         ))
     return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
 
@@ -596,6 +625,12 @@ def run_sweep(
         jobs = workers
     else:
         jobs = resolve_jobs(jobs)
+    ctx = _trace.current_context()
+    if ctx is not None:
+        # Stamp the live trace envelope onto every spec so pool workers
+        # parent their chunk spans into this sweep.  Fingerprints
+        # normalize the field away, so checkpoints are unaffected.
+        specs = [dataclasses.replace(s, trace=ctx) for s in specs]
     policy = RetryPolicy.resolve(task_timeout, retries)
     journal = (
         SweepCheckpoint(checkpoint, specs) if checkpoint is not None
@@ -621,6 +656,7 @@ def run_sweep(
                     if brief is not None:
                         record = _annotate(record, (brief,))
                 faults.fault_point("sweep.record")
+                _SWEEP_RUNS.inc()
                 yield record
         finally:
             stream.close()
@@ -645,6 +681,7 @@ def _execute_pending(
             if progress and spec.instance != last:  # pragma: no cover
                 print(f"[sweep] {spec.instance}", flush=True)
                 last = spec.instance
+            _SWEEP_CHUNKS.inc()
             yield _execute_serial(spec, policy)
         return
     chunks = _chunk_by_instance(specs)
@@ -657,6 +694,7 @@ def _execute_pending(
         # instance would share its cached kernel states.)
         chunks = [[spec] for spec in specs]
     workers = min(jobs, len(chunks))
+    _SWEEP_CHUNKS.inc(len(chunks))
     if policy.active:
         yield from _run_chunks_resilient(
             chunks, workers, exec_backend, policy, progress

@@ -1,0 +1,70 @@
+"""Observability: tracing, metrics, and per-stage profiling.
+
+The paper's headline claim is a *time* claim (medium-grain at a
+fraction of fine-grain's cost), and the serving roadmap needs the same
+per-stage attribution operationally.  ``repro.obs`` supplies both
+halves:
+
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.Tracer` /
+  :class:`~repro.obs.trace.Span` core with monotonic timestamps (the
+  same clock discipline as :class:`repro.utils.deadline.Deadline`),
+  hierarchical span/trace IDs, a JSONL sink following the journal
+  idiom (append + flush, torn-tail tolerant readers), and a picklable
+  :class:`~repro.obs.trace.TraceContext` envelope so one request
+  yields a single stitched span tree across process-pool workers.
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and fixed-bucket histograms with Prometheus text rendering
+  for the daemon's ``GET /metrics`` endpoint.
+* :mod:`repro.obs.report` — trace-file aggregation into a self/total
+  time-per-stage table (the ``trace-report`` CLI).
+
+Tracing is **off by default** and the disabled path is a module-level
+``is None`` check: no span objects are allocated, no clock is read,
+and partition results stay bit-identical to the pinned goldens.
+Metrics are plain in-process integer/float adds — never consulted by
+any algorithm — so they, too, sit outside the bit-identity contract.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.report import (
+    aggregate_trace,
+    count_events,
+    read_trace,
+    render_report,
+)
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    current_context,
+    current_span,
+    detached_span,
+    disable,
+    enable,
+    event,
+    span,
+)
+
+__all__ = [
+    "metrics",
+    "trace",
+    "REGISTRY",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "TraceContext",
+    "enable",
+    "disable",
+    "span",
+    "detached_span",
+    "event",
+    "activate",
+    "current_context",
+    "current_span",
+    "aggregate_trace",
+    "count_events",
+    "read_trace",
+    "render_report",
+]

@@ -1,0 +1,373 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A deliberately small subset of the Prometheus client model — exactly
+what the daemon's ``GET /metrics`` endpoint and the CLI's trace dump
+need, with zero dependencies:
+
+* :class:`Counter` — monotonically increasing float, optional labels.
+* :class:`Gauge` — settable float, optional labels.
+* :class:`Histogram` — fixed upper-bound buckets (cumulative counts,
+  ``+Inf`` implicit), plus ``_sum`` / ``_count``, optional labels.
+
+Metrics are **process-local**: a pool worker's counters live in the
+worker.  That is the honest scope — the daemon's endpoint reports the
+daemon process, and per-run CLI dumps report the driver process —
+and it keeps every increment a lock-guarded float add, cheap enough
+to leave permanently on.  Nothing in the registry is ever consulted
+by an algorithm, so metrics sit outside the bit-identity contract by
+construction.
+
+Rendering follows the Prometheus text exposition format 0.0.4
+(``# HELP`` / ``# TYPE`` headers, ``{label="value"}`` sample lines,
+histogram ``_bucket``/``_sum``/``_count`` series with a ``le`` label).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "LATENCY_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "render_prometheus",
+    "snapshot",
+]
+
+# Log-ish spaced seconds buckets covering sub-millisecond FM passes
+# through minute-scale sweeps; shared default for latency histograms.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_RESERVED = frozenset({"le"})
+
+
+def _fmt_value(v: float) -> str:
+    """Prometheus sample formatting: integers without a trailing .0."""
+    if v == math.inf:
+        return "+Inf"
+    f = float(v)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _fmt_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared machinery: name/help, label children, a lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for ln in self.labelnames:
+            if ln in _RESERVED:
+                raise ValueError(f"reserved label name: {ln}")
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], "_Metric"] = {}
+
+    def labels(self, *values: object, **kv: object):
+        """The child metric for one label combination (created lazily)."""
+        if kv:
+            if values:
+                raise TypeError("pass label values or keywords, not both")
+            values = tuple(str(kv[ln]) for ln in self.labelnames)
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {values}"
+            )
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                child = self._make_child()
+                self._children[values] = child
+            return child
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _samples(self) -> Iterable[tuple]:
+        """Yield ``(suffix, labelpairs, value)`` triples."""
+        if self.labelnames:
+            with self._lock:
+                items = sorted(self._children.items())
+            for values, child in items:
+                pairs = tuple(zip(self.labelnames, values))
+                for suffix, extra, v in child._own_samples():
+                    yield suffix, pairs + extra, v
+        else:
+            yield from self._own_samples()
+
+    def _own_samples(self) -> Iterable[tuple]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing float; ``inc`` is the only mutator."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def _make_child(self):
+        return Counter(self.name, self.help)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _own_samples(self):
+        yield "", (), self._value
+
+
+class Gauge(_Metric):
+    """A settable level (inflight requests, pool size, readiness)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def _make_child(self):
+        return Gauge(self.name, self.help)
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's level."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Raise the gauge by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Lower the gauge by ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _own_samples(self):
+        yield "", (), self._value
+
+
+class Histogram(_Metric):
+    """Fixed-upper-bound buckets; cumulative on render, like Prometheus.
+
+    Buckets are chosen at construction and never resized — observing
+    is a binary search plus two adds, safe to leave in serving paths.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames=(),
+                 buckets: Sequence[float] = LATENCY_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bs = tuple(sorted(float(b) for b in buckets))
+        if not bs:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = bs
+        self._counts = [0] * (len(bs) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def _make_child(self):
+        return Histogram(self.name, self.help, buckets=self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (binary search + two adds)."""
+        v = float(value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if v <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        with self._lock:
+            self._counts[lo] += 1
+            self._sum += v
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def _own_samples(self):
+        cumulative = 0
+        for ub, c in zip(self.buckets, self._counts):
+            cumulative += c
+            yield "_bucket", (("le", _fmt_value(ub)),), cumulative
+        yield "_bucket", (("le", "+Inf"),), self._count
+        yield "_sum", (), self._sum
+        yield "_count", (), self._count
+
+
+class MetricsRegistry:
+    """Name -> metric map with idempotent registration and rendering.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric on
+    re-registration (same name + kind), so modules can declare their
+    instruments at import time without ordering constraints; a name
+    collision across kinds is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, cls, name, help, labelnames, **kw):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kw)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help, labelnames=()) -> Counter:
+        """Register (or fetch the already-registered) counter."""
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name, help, labelnames=()) -> Gauge:
+        """Register (or fetch the already-registered) gauge."""
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name, help, labelnames=(),
+                  buckets: Sequence[float] = LATENCY_BUCKETS
+                  ) -> Histogram:
+        """Register (or fetch the already-registered) histogram."""
+        return self._register(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def render(self) -> str:
+        """Prometheus text exposition (format 0.0.4)."""
+        out = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, m in metrics:
+            out.append(f"# HELP {name} {m.help}")
+            out.append(f"# TYPE {name} {m.kind}")
+            for suffix, labels, value in m._samples():
+                out.append(
+                    f"{name}{suffix}{_fmt_labels(labels)} "
+                    f"{_fmt_value(value)}"
+                )
+        return "\n".join(out) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump (the ``--trace`` file's metrics record)."""
+        out = {}
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, m in metrics:
+            samples = [
+                {"suffix": suffix, "labels": dict(labels),
+                 "value": value}
+                for suffix, labels, value in m._samples()
+            ]
+            out[name] = {"kind": m.kind, "help": m.help,
+                         "samples": samples}
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric **in place** (tests, forked-worker re-init).
+
+        Registration survives — instrumented modules hold module-level
+        references to their instruments, so dropping entries would
+        silently disconnect them from rendering.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        stack = list(metrics)
+        while stack:
+            m = stack.pop()
+            with m._lock:
+                stack.extend(m._children.values())
+                if isinstance(m, Histogram):
+                    m._counts = [0] * (len(m.buckets) + 1)
+                    m._sum = 0.0
+                    m._count = 0
+                elif isinstance(m, (Counter, Gauge)):
+                    m._value = 0.0
+
+
+REGISTRY = MetricsRegistry()
+
+
+def counter(name, help, labelnames=()) -> Counter:
+    """Register (or fetch) a counter on the default registry."""
+    return REGISTRY.counter(name, help, labelnames)
+
+
+def gauge(name, help, labelnames=()) -> Gauge:
+    """Register (or fetch) a gauge on the default registry."""
+    return REGISTRY.gauge(name, help, labelnames)
+
+
+def histogram(name, help, labelnames=(),
+              buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+    """Register (or fetch) a histogram on the default registry."""
+    return REGISTRY.histogram(name, help, labelnames, buckets=buckets)
+
+
+def render_prometheus() -> str:
+    """Render the default registry in Prometheus text format."""
+    return REGISTRY.render()
+
+
+def snapshot() -> dict:
+    """JSON-friendly dump of the default registry."""
+    return REGISTRY.snapshot()

@@ -32,6 +32,8 @@ from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import connectivity_volume, part_weights
 from repro.kernels import FMPassState, KernelBackend, resolve_backend
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.utils.deadline import Deadline, Degraded
 from repro.utils.rng import SeedLike, as_generator
@@ -43,6 +45,23 @@ __all__ = [
     "KWayFMResult",
     "kway_rebalance",
 ]
+
+# Observability: plain process-local counters, never read by the
+# algorithm (see docs/observability.md for the catalog).  ``kind`` is
+# "bi" for 2-way passes, "kway" for direct k-way passes.
+_FM_PASSES = _metrics.counter(
+    "repro_fm_passes_total", "FM refinement passes executed", ("kind",)
+)
+_FM_MOVES = _metrics.counter(
+    "repro_fm_moves_total",
+    "Vertices left in a moved position by an FM pass's best prefix",
+    ("kind",),
+)
+_FM_GAIN = _metrics.counter(
+    "repro_fm_gain_total",
+    "Total cut reduction achieved by improving FM passes",
+    ("kind",),
+)
 
 
 @dataclass
@@ -159,11 +178,20 @@ def fm_refine(
                 "fm", completed=passes_run,
                 skipped=passes_budget - passes_run,
             )
+            _trace.event("deadline", where="fm", completed=passes_run)
             break
         started_feasible = feasible
-        delta, feasible = kb.fm_pass(state, parts, maxw, cfg, rng)
+        before = parts.copy()
+        with _trace.span("fm.pass") as sp:
+            delta, feasible = kb.fm_pass(state, parts, maxw, cfg, rng)
+            moved = int(np.count_nonzero(parts != before))
+            sp.set(delta=delta, moved=moved)
         passes_run += 1
         total_delta += delta
+        _FM_PASSES.labels(kind="bi").inc()
+        _FM_MOVES.labels(kind="bi").inc(moved)
+        if delta > 0:
+            _FM_GAIN.labels(kind="bi").inc(delta)
         # Stop once a pass that started from a feasible state no longer
         # reduces the cut; a rebalancing pass (infeasible start) may have
         # delta <= 0 yet unlock further improvement, so it never stops us.
@@ -286,13 +314,22 @@ def kway_refine(
                 "kway-fm", completed=passes_run,
                 skipped=passes_budget - passes_run,
             )
+            _trace.event("deadline", where="kway-fm", completed=passes_run)
             break
         started_feasible = feasible
-        delta, feasible = kb.kway_fm_pass(
-            state, parts, nparts, ceilings, cfg, rng
-        )
+        before = parts.copy()
+        with _trace.span("kway_fm.pass") as sp:
+            delta, feasible = kb.kway_fm_pass(
+                state, parts, nparts, ceilings, cfg, rng
+            )
+            moved = int(np.count_nonzero(parts != before))
+            sp.set(delta=delta, moved=moved)
         passes_run += 1
         total_delta += delta
+        _FM_PASSES.labels(kind="kway").inc()
+        _FM_MOVES.labels(kind="kway").inc(moved)
+        if delta > 0:
+            _FM_GAIN.labels(kind="kway").inc(delta)
         # Same stopping rule as fm_refine: a feasible-start pass that no
         # longer reduces the cut ends the call; a rebalancing pass never
         # does.

@@ -16,6 +16,8 @@ from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import connectivity_volume, part_weights
 from repro.kernels import KernelBackend, resolve_backend
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.partitioner.coarsen import CoarseLevel, coarsen_level
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import (
@@ -38,6 +40,14 @@ __all__ = [
     "multilevel_kway",
     "recursive_kway_parts",
 ]
+
+# Observability (see docs/observability.md): coarsening depth per
+# engine, never consulted by the algorithm.
+_COARSEN_LEVELS = _metrics.counter(
+    "repro_coarsen_levels_total",
+    "Coarsening levels built by the multilevel engines",
+    ("engine",),
+)
 
 
 def multilevel_bipartition(
@@ -69,28 +79,35 @@ def multilevel_bipartition(
     )
     levels: list[CoarseLevel] = []
     cur = h
-    while cur.nverts > cfg.coarse_target and len(levels) < cfg.max_levels:
-        level = coarsen_level(cur, cfg, rng, cluster_cap, backend=backend)
-        reduction = 1.0 - level.coarse.nverts / cur.nverts
-        if reduction < cfg.min_reduction:
-            break  # matching stalled; further levels would be wasted work
-        levels.append(level)
-        cur = level.coarse
+    with _trace.span("multilevel.coarsen") as sp:
+        while cur.nverts > cfg.coarse_target and len(levels) < cfg.max_levels:
+            level = coarsen_level(cur, cfg, rng, cluster_cap, backend=backend)
+            reduction = 1.0 - level.coarse.nverts / cur.nverts
+            if reduction < cfg.min_reduction:
+                break  # matching stalled; further levels would be wasted work
+            levels.append(level)
+            cur = level.coarse
+        sp.set(levels=len(levels), coarse_nverts=cur.nverts)
+    _COARSEN_LEVELS.labels(engine="bi").inc(len(levels))
 
     # ------------------------------------------------------------------ #
     # Initial partitioning at the coarsest level.
     # ------------------------------------------------------------------ #
-    result = initial_partition(cur, max_weights, cfg, rng, backend=backend)
+    with _trace.span("multilevel.initial"):
+        result = initial_partition(
+            cur, max_weights, cfg, rng, backend=backend
+        )
     parts = result.parts
 
     # ------------------------------------------------------------------ #
     # Uncoarsening: project and refine at every level.
     # ------------------------------------------------------------------ #
-    for level in reversed(levels):
+    for i, level in enumerate(reversed(levels)):
         parts = parts[level.cmap]
-        result = fm_refine(
-            level.fine, parts, max_weights, cfg, rng, backend=backend
-        )
+        with _trace.span("multilevel.uncoarsen_level", level=i):
+            result = fm_refine(
+                level.fine, parts, max_weights, cfg, rng, backend=backend
+            )
         parts = result.parts
 
     if not levels:
@@ -238,16 +255,20 @@ def multilevel_kway(
     cut_short = False  # any phase stopped at a deadline boundary
     levels: list[CoarseLevel] = []
     cur = h
-    while cur.nverts > coarse_target and len(levels) < cfg.max_levels:
-        if deadline is not None and deadline.expired():
-            cut_short = True
-            break  # partition whatever granularity we reached
-        level = coarsen_level(cur, cfg, rng, cluster_cap, backend=backend)
-        reduction = 1.0 - level.coarse.nverts / cur.nverts
-        if reduction < cfg.min_reduction:
-            break  # matching stalled; further levels would be wasted work
-        levels.append(level)
-        cur = level.coarse
+    with _trace.span("multilevel_kway.coarsen") as sp:
+        while cur.nverts > coarse_target and len(levels) < cfg.max_levels:
+            if deadline is not None and deadline.expired():
+                cut_short = True
+                sp.event("deadline", where="coarsen")
+                break  # partition whatever granularity we reached
+            level = coarsen_level(cur, cfg, rng, cluster_cap, backend=backend)
+            reduction = 1.0 - level.coarse.nverts / cur.nverts
+            if reduction < cfg.min_reduction:
+                break  # matching stalled; further levels would be wasted work
+            levels.append(level)
+            cur = level.coarse
+        sp.set(levels=len(levels), coarse_nverts=cur.nverts)
+    _COARSEN_LEVELS.labels(engine="kway").inc(len(levels))
 
     # ------------------------------------------------------------------ #
     # Initial k-way partitioning at the coarsest level: one
@@ -264,6 +285,7 @@ def multilevel_kway(
     # ------------------------------------------------------------------ #
     best: np.ndarray | None = None
     best_key: tuple | None = None
+    initial_span = _trace.span("multilevel_kway.initial")
     for attempt in range(max(2, cfg.n_initial)):
         if deadline is not None and deadline.expired():
             cut_short = True
@@ -293,11 +315,13 @@ def multilevel_kway(
         key = (over, connectivity_volume(cur, cand))
         if best_key is None or key < best_key:
             best, best_key = cand, key
+    initial_span.end()
     assert best is not None
-    result = kway_refine(
-        cur, best, nparts, ceilings, cfg, rng, backend=backend,
-        deadline=deadline,
-    )
+    with _trace.span("multilevel_kway.coarsest_refine"):
+        result = kway_refine(
+            cur, best, nparts, ceilings, cfg, rng, backend=backend,
+            deadline=deadline,
+        )
     parts = result.parts
     cut_short = cut_short or result.degraded is not None
 
@@ -317,13 +341,16 @@ def multilevel_kway(
             # per-part weights identical — only the per-level polish is
             # forfeited.
             skipped_levels += 1
+            _trace.event("level_skipped", level=i)
             continue
         finest = i == len(levels) - 1
-        result = kway_refine(
-            level.fine, parts, nparts, ceilings, cfg, rng,
-            max_passes=2 if finest else 1, backend=backend,
-            deadline=deadline,
-        )
+        with _trace.span("multilevel_kway.uncoarsen_level", level=i,
+                         nverts=level.fine.nverts):
+            result = kway_refine(
+                level.fine, parts, nparts, ceilings, cfg, rng,
+                max_passes=2 if finest else 1, backend=backend,
+                deadline=deadline,
+            )
         parts = result.parts
         refined_levels += 1
     if skipped_levels or cut_short:

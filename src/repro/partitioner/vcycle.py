@@ -36,6 +36,8 @@ from repro.errors import PartitioningError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import connectivity_volume, part_weights
 from repro.kernels import KernelBackend, resolve_backend
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.partitioner.coarsen import contract, match_vertices
 from repro.partitioner.config import PartitionerConfig, get_config
 from repro.partitioner.fm import fm_refine, kway_refine
@@ -43,6 +45,17 @@ from repro.utils.deadline import Deadline, Degraded
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["VCycleResult", "vcycle_refine", "kway_vcycle_refine"]
+
+# Observability (see docs/observability.md): cycle counts and the
+# keep-best verdict per cycle; never consulted by the algorithm.
+_VCYCLE_CYCLES = _metrics.counter(
+    "repro_vcycle_cycles_total", "V-cycles executed", ("kind",)
+)
+_VCYCLE_KEEP_BEST = _metrics.counter(
+    "repro_vcycle_keep_best_total",
+    "Keep-best decisions at k-way V-cycle boundaries",
+    ("decision",),
+)
 
 
 @dataclass
@@ -104,9 +117,11 @@ def vcycle_refine(
     cuts = [connectivity_volume(h, parts)]
     cycles = 0
     for _ in range(max_cycles):
-        parts = _one_cycle(h, parts, max_weights, cfg, rng, backend)
+        with _trace.span("vcycle.cycle", kind="bi", cycle=cycles):
+            parts = _one_cycle(h, parts, max_weights, cfg, rng, backend)
         cuts.append(connectivity_volume(h, parts))
         cycles += 1
+        _VCYCLE_CYCLES.labels(kind="bi").inc()
         if cuts[-1] >= cuts[-2]:
             break
 
@@ -218,17 +233,25 @@ def kway_vcycle_refine(
                     "vcycle", completed=cycles,
                     skipped=max_cycles - cycles,
                 )
+                _trace.event("deadline", where="vcycle", completed=cycles)
                 break
-            cand = _one_kway_cycle(
-                h, best, nparts, ceilings, cfg, rng, backend,
-                deadline=deadline,
-            )
-            cand_cut = connectivity_volume(h, cand)
-            cand_feasible = _parts_feasible(h, cand, nparts, ceilings)
-            cycles += 1
-            improved = (
-                (cand_feasible, -cand_cut) > (best_feasible, -best_cut)
-            )
+            with _trace.span("vcycle.cycle", kind="kway",
+                             cycle=cycles) as sp:
+                cand = _one_kway_cycle(
+                    h, best, nparts, ceilings, cfg, rng, backend,
+                    deadline=deadline,
+                )
+                cand_cut = connectivity_volume(h, cand)
+                cand_feasible = _parts_feasible(h, cand, nparts, ceilings)
+                cycles += 1
+                improved = (
+                    (cand_feasible, -cand_cut) > (best_feasible, -best_cut)
+                )
+                sp.set(improved=improved, cut=cand_cut)
+            _VCYCLE_CYCLES.labels(kind="kway").inc()
+            _VCYCLE_KEEP_BEST.labels(
+                decision="improved" if improved else "kept"
+            ).inc()
             if improved:
                 best, best_cut = cand, cand_cut
                 best_feasible = cand_feasible

@@ -48,8 +48,10 @@ graceful drain
     503), lets inflight requests finish, then exits 0.
 
 Endpoints: ``GET /healthz`` (liveness), ``GET /readyz`` (readiness),
-``GET /stats`` (counters), ``POST /partition`` (the work),
-``POST /drain`` (graceful shutdown).  See ``docs/serving.md``.
+``GET /stats`` (counters), ``GET /metrics`` (Prometheus text
+exposition of the :mod:`repro.obs` registry), ``POST /partition``
+(the work), ``POST /drain`` (graceful shutdown).  See
+``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -63,7 +65,7 @@ import signal
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -79,6 +81,8 @@ from repro.errors import (
     RequestRejected,
     ResultValidationError,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.serve.cache import PartitionCache
 from repro.serve.protocol import (
     PartitionRequest,
@@ -145,21 +149,61 @@ class ServeConfig:
     port_file: Optional[str] = None
     #: Skip the startup warmup partition (tests that only probe HTTP).
     warmup: bool = True
+    #: JSONL trace sink (``None`` = tracing disabled, the default).
+    #: When set, every request produces one stitched span tree —
+    #: admission, cache probe, dispatch, worker attempts, FM passes —
+    #: in this file (see ``docs/observability.md``).
+    trace_path: Optional[str] = None
 
 
-@dataclass
+_SERVE_EVENTS = _metrics.counter(
+    "repro_serve_events_total",
+    "Daemon request-lifecycle events by kind.",
+    ("event",),
+)
+_SERVE_LATENCY = _metrics.histogram(
+    "repro_serve_request_seconds",
+    "POST /partition latency by outcome (hit/miss/degraded/shed/failed).",
+    ("outcome",),
+)
+
+#: The daemon's lifecycle counters; ``degraded_responses`` counts 200s
+#: answered with ``degraded: true`` (anytime incumbent) and
+#: ``deadline_misses`` counts requests whose soft deadline expired
+#: (degraded 200s *and* 504s).
+_STAT_EVENTS = (
+    "requests", "served", "cached", "failed", "rejected", "shed",
+    "degraded_responses", "deadline_misses",
+)
+
+
 class _Stats:
-    started: float = field(default_factory=time.monotonic)
-    requests: int = 0
-    served: int = 0
-    cached: int = 0
-    failed: int = 0
-    rejected: int = 0
-    shed: int = 0
-    #: 200s answered with ``degraded: true`` (anytime incumbent).
-    degraded_responses: int = 0
-    #: Requests whose soft deadline expired (degraded 200s *and* 504s).
-    deadline_misses: int = 0
+    """Daemon counters, migrated onto the shared metrics registry.
+
+    Each count lives as a ``repro_serve_events_total{event=...}`` child,
+    so ``GET /stats`` and ``GET /metrics`` read the same source of
+    truth.  The ``/stats`` JSON shape is unchanged: attribute reads
+    return plain ints *relative to this daemon's start* (the registry is
+    process-global and outlives a daemon instance — tests spin up
+    several per process — while the historical hand-maintained ints
+    started at zero with the daemon).
+    """
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self._base = {
+            name: _SERVE_EVENTS.labels(event=name).value
+            for name in _STAT_EVENTS
+        }
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        _SERVE_EVENTS.labels(event=name).inc(amount)
+
+    def __getattr__(self, name: str) -> int:
+        base = self.__dict__.get("_base")
+        if base is not None and name in base:
+            return int(_SERVE_EVENTS.labels(event=name).value - base[name])
+        raise AttributeError(name)
 
 
 def _execute_request(arg):
@@ -189,18 +233,22 @@ def _execute_request(arg):
     deadline = (
         Deadline(spec["deadline"]) if spec.get("deadline") else None
     )
-    res = partition(
-        matrix,
-        spec["nparts"],
-        method=spec["method"],
-        eps=spec["eps"],
-        refine=spec["refine"],
-        config=cfg,
-        seed=spec["seed"],
-        jobs=1,
-        algo=spec["algo"],
-        deadline=deadline,
-    )
+    with _trace.activate(
+        spec.get("trace"), "worker.partition",
+        nparts=spec["nparts"], method=spec["method"],
+    ):
+        res = partition(
+            matrix,
+            spec["nparts"],
+            method=spec["method"],
+            eps=spec["eps"],
+            refine=spec["refine"],
+            config=cfg,
+            seed=spec["seed"],
+            jobs=1,
+            algo=spec["algo"],
+            deadline=deadline,
+        )
     info = {
         "volume": int(res.volume),
         "max_part": int(res.max_part),
@@ -266,6 +314,7 @@ class PartitionDaemon:
         req: PartitionRequest,
         matrix: SparseMatrix,
         soft_deadline: float | None = None,
+        trace: object = None,
     ) -> tuple[dict, bool]:
         """Blocking execution of one cache-miss request (dispatch
         thread): publish, run hardened, validate at the trust boundary,
@@ -306,11 +355,15 @@ class PartitionDaemon:
             validate_parts(value[0], nnz, nparts, context=label)
 
         kind = "thread" if self.config.backend == "thread" else "process"
-        value, failures = resilient_call(
-            kind, self.config.jobs, _execute_request,
-            (store.handle, spec),
-            policy=policy, validate=check, label=label,
-        )
+        with _trace.activate(trace, "serve.dispatch", label=label) as dsp:
+            # The worker parents its spans under this dispatch span —
+            # the envelope rides the spec dict like the deadline does.
+            spec["trace"] = dsp.context()
+            value, failures = resilient_call(
+                kind, self.config.jobs, _execute_request,
+                (store.handle, spec),
+                policy=policy, validate=check, label=label,
+            )
         parts, info = value
         result = {
             "instance": req.instance,
@@ -337,95 +390,137 @@ class PartitionDaemon:
     async def _partition(self, payload) -> tuple[int, dict, dict]:
         """The ``POST /partition`` pipeline; returns
         ``(status, body, extra_headers)``."""
+        t0 = time.monotonic()
         req = PartitionRequest.from_payload(payload)
         matrix = self._resolve_matrix(req)
         key = req.cache_key(matrix_digest(matrix))
-
-        # Cache probe *before* admission: hits must stay fast (and
-        # shed-free) while the execution lanes are saturated.
-        hit = self.cache.get(key)
-        if hit is not None:
-            self.stats.cached += 1
-            self.stats.served += 1
-            return 200, self._render(req, hit, cached=True), {}
-
-        if self._draining:
-            raise RequestRejected("daemon is draining", retry_after=2.0)
-        waiting = self._inflight - (
-            self.config.max_inflight - getattr(self._sem, "_value", 0)
+        # Detached (explicit-parent) span: requests interleave on the
+        # event-loop thread, so stack-implicit nesting would braid
+        # concurrent requests into each other's trees.
+        sp = _trace.detached_span(
+            "serve.request", label=req.label(), nparts=req.nparts,
+            method=req.method,
         )
-        if self._inflight >= self.config.max_inflight + self.config.queue_cap:
-            self.stats.shed += 1
-            raise RequestRejected(
-                f"admission queue full ({self._inflight} requests "
-                f"admitted)",
-                retry_after=round(0.2 * max(1, waiting), 2),
-            )
-
-        # Anytime/overload rung: the soft deadline the partitioner gets.
-        # Above the queue's high-water mark it shrinks — the daemon
-        # answers everyone a little worse *before* it sheds anyone.
-        soft = req.timeout or self.config.timeout
-        if waiting > self.config.queue_cap // 2:
-            soft = max(0.05, soft * self.config.overload_deadline_factor)
-
-        self._inflight += 1
+        outcome = "failed"
         try:
-            async with self._sem:
-                # Daemon-side fault point: fires once the request holds
-                # an execution lane (chaos tests poison exactly here).
-                faults.fault_point("serve.request")
-                loop = asyncio.get_running_loop()
-                result, degraded = await loop.run_in_executor(
-                    self._exec, self._dispatch, req, matrix, soft
+            # Cache probe *before* admission: hits must stay fast (and
+            # shed-free) while the execution lanes are saturated.
+            hit = self.cache.get(key)
+            if hit is not None:
+                outcome = "hit"
+                sp.event("cache_hit")
+                self.stats.inc("cached")
+                self.stats.inc("served")
+                return 200, self._render(req, hit, cached=True), {}
+            sp.event("cache_miss")
+
+            if self._draining:
+                outcome = "shed"
+                sp.event("shed", reason="draining")
+                raise RequestRejected(
+                    "daemon is draining", retry_after=2.0
                 )
-        except DegradedExecution as exc:
-            self.stats.failed += 1
-            briefs = [f.brief() for f in getattr(exc, "failures", ())]
-            status = 504 if briefs and all(
-                "Timeout" in b for b in briefs
-            ) else 500
-            if status == 504:
-                self.stats.deadline_misses += 1
-            raise RequestFailed(
-                f"request {req.label()} exhausted its retry budget; "
-                f"inline fallback is disabled in the daemon",
-                briefs=briefs, status=status,
-            ) from None
-        finally:
-            self._inflight -= 1
-
-        if degraded:
-            # The soft deadline expired inside the worker: the incumbent
-            # partition comes back as a 200 with ``degraded: true`` and
-            # the ``Degraded[...]`` briefs saying what was cut short.
-            # Never cached — a retry with more headroom deserves (and
-            # will get) the full-quality answer under the same key.
-            self.stats.deadline_misses += 1
-            self.stats.degraded_responses += 1
-            self.stats.served += 1
-            body = self._render(req, result, cached=False)
-            body["degraded"] = True
-            return 200, body, {}
-
-        try:
-            self.cache.put(key, result)
-        except Exception as exc:  # noqa: BLE001 - cache loss, not failure
-            # A broken cache degrades memoization, never the request.
-            print(
-                f"repro-serve: cache write failed ({exc}); serving "
-                f"uncached", file=sys.stderr, flush=True,
+            waiting = self._inflight - (
+                self.config.max_inflight - getattr(self._sem, "_value", 0)
             )
-        self.stats.served += 1
-        body = self._render(req, result, cached=False)
-        if self.cache.read_only and not self._cache_error_surfaced:
-            # Surface the journal degradation once, on the response that
-            # (first) observed it; /stats carries it permanently.
-            self._cache_error_surfaced = True
-            body["failures"] = list(body.get("failures", ())) + [
-                self.cache.write_error
-            ]
-        return 200, body, {}
+            if (
+                self._inflight
+                >= self.config.max_inflight + self.config.queue_cap
+            ):
+                outcome = "shed"
+                sp.event(
+                    "shed", reason="queue_full", inflight=self._inflight
+                )
+                self.stats.inc("shed")
+                raise RequestRejected(
+                    f"admission queue full ({self._inflight} requests "
+                    f"admitted)",
+                    retry_after=round(0.2 * max(1, waiting), 2),
+                )
+
+            # Anytime/overload rung: the soft deadline the partitioner
+            # gets.  Above the queue's high-water mark it shrinks — the
+            # daemon answers everyone a little worse *before* it sheds
+            # anyone.
+            soft = req.timeout or self.config.timeout
+            if waiting > self.config.queue_cap // 2:
+                soft = max(
+                    0.05, soft * self.config.overload_deadline_factor
+                )
+                sp.event("overload_deadline", soft=soft)
+            sp.event("admitted", waiting=waiting)
+
+            self._inflight += 1
+            try:
+                async with self._sem:
+                    # Daemon-side fault point: fires once the request
+                    # holds an execution lane (chaos tests poison
+                    # exactly here).
+                    faults.fault_point("serve.request")
+                    loop = asyncio.get_running_loop()
+                    result, degraded = await loop.run_in_executor(
+                        self._exec, self._dispatch, req, matrix, soft,
+                        sp.context(),
+                    )
+            except DegradedExecution as exc:
+                self.stats.inc("failed")
+                briefs = [f.brief() for f in getattr(exc, "failures", ())]
+                status = 504 if briefs and all(
+                    "Timeout" in b for b in briefs
+                ) else 500
+                if status == 504:
+                    self.stats.inc("deadline_misses")
+                sp.event("retry_budget_exhausted", status=status)
+                raise RequestFailed(
+                    f"request {req.label()} exhausted its retry budget; "
+                    f"inline fallback is disabled in the daemon",
+                    briefs=briefs, status=status,
+                ) from None
+            finally:
+                self._inflight -= 1
+
+            if degraded:
+                # The soft deadline expired inside the worker: the
+                # incumbent partition comes back as a 200 with
+                # ``degraded: true`` and the ``Degraded[...]`` briefs
+                # saying what was cut short.  Never cached — a retry
+                # with more headroom deserves (and will get) the
+                # full-quality answer under the same key.
+                outcome = "degraded"
+                sp.event("degraded")
+                self.stats.inc("deadline_misses")
+                self.stats.inc("degraded_responses")
+                self.stats.inc("served")
+                body = self._render(req, result, cached=False)
+                body["degraded"] = True
+                return 200, body, {}
+
+            outcome = "miss"
+            try:
+                self.cache.put(key, result)
+            except Exception as exc:  # noqa: BLE001 - cache loss only
+                # A broken cache degrades memoization, never the request.
+                print(
+                    f"repro-serve: cache write failed ({exc}); serving "
+                    f"uncached", file=sys.stderr, flush=True,
+                )
+            self.stats.inc("served")
+            body = self._render(req, result, cached=False)
+            if self.cache.read_only and not self._cache_error_surfaced:
+                # Surface the journal degradation once, on the response
+                # that (first) observed it; /stats carries it
+                # permanently.
+                self._cache_error_surfaced = True
+                body["failures"] = list(body.get("failures", ())) + [
+                    self.cache.write_error
+                ]
+            return 200, body, {}
+        finally:
+            sp.set(outcome=outcome)
+            sp.end()
+            _SERVE_LATENCY.labels(outcome=outcome).observe(
+                time.monotonic() - t0
+            )
 
     @staticmethod
     def _render(req: PartitionRequest, result: dict, *, cached: bool) -> dict:
@@ -439,11 +534,11 @@ class PartitionDaemon:
     # HTTP plumbing
     # ------------------------------------------------------------------ #
     async def _on_connection(self, reader, writer) -> None:
-        self.stats.requests += 1
+        self.stats.inc("requests")
         try:
             status, body, extra = await self._route(reader)
         except ProtocolError as exc:
-            self.stats.rejected += 1
+            self.stats.inc("rejected")
             status, body, extra = 400, {"error": str(exc)}, {}
         except RequestRejected as exc:
             status = exc.status
@@ -460,7 +555,7 @@ class PartitionDaemon:
             # The last line of defence: *nothing* a request does may
             # take the daemon down.  Unknown failures become opaque
             # 500s, with the detail on stderr for the operator.
-            self.stats.failed += 1
+            self.stats.inc("failed")
             print(
                 f"repro-serve: unhandled {type(exc).__name__}: {exc}",
                 file=sys.stderr, flush=True,
@@ -481,7 +576,7 @@ class PartitionDaemon:
             raise ProtocolError("empty request")
         method, path, _headers, body = request
         if body is None:
-            self.stats.shed += 1
+            self.stats.inc("shed")
             return 413, {
                 "error": f"request body exceeds max_body="
                 f"{self.config.max_body} bytes"
@@ -500,6 +595,13 @@ class PartitionDaemon:
         if path == "/stats":
             self._expect(method, "GET", path)
             return 200, self._stats_body(), {}
+        if path == "/metrics":
+            self._expect(method, "GET", path)
+            # Prometheus text exposition 0.0.4 — a raw bytes body, which
+            # ``http_response`` passes through untouched.
+            return 200, _metrics.render_prometheus().encode("utf-8"), {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
         if path == "/partition":
             self._expect(method, "POST", path)
             try:
@@ -627,4 +729,10 @@ class PartitionDaemon:
 def run_daemon(config: ServeConfig | None = None) -> int:
     """Blocking entry point behind ``repro-partition serve``."""
     daemon = PartitionDaemon(config)
-    return asyncio.run(daemon.run())
+    if daemon.config.trace_path:
+        _trace.enable(daemon.config.trace_path)
+    try:
+        return asyncio.run(daemon.run())
+    finally:
+        if daemon.config.trace_path:
+            _trace.disable()

@@ -295,12 +295,14 @@ def http_response(
         payload if isinstance(payload, bytes)
         else json.dumps(payload).encode("utf-8")
     )
+    extra = extra_headers or {}
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]
-    for key, value in (extra_headers or {}).items():
+    if "Content-Type" not in extra:
+        lines.append("Content-Type: application/json")
+    for key, value in extra.items():
         lines.append(f"{key}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -73,6 +73,8 @@ from repro.errors import (
     TaskTimeout,
     WorkerCrash,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sparse.matrix import SparseMatrix
 from repro.utils import faults
 from repro.utils.parallel import resolve_jobs
@@ -100,6 +102,40 @@ __all__ = [
 
 #: Valid values of ``PartitionerConfig.exec_backend`` / ``--exec-backend``.
 EXEC_BACKEND_CHOICES = ("auto", "serial", "thread", "process", "process-pickle")
+
+# Observability (see docs/observability.md): dispatch volume, hardened
+# task latency, and the hardening events.  Plain process-local adds —
+# never consulted by the execution layer itself.
+_EXEC_TASKS = _metrics.counter(
+    "repro_executor_tasks_total",
+    "Tasks dispatched through the execution layer",
+    ("backend",),
+)
+_EXEC_TASK_SECONDS = _metrics.histogram(
+    "repro_executor_task_seconds",
+    "Submit-to-completion latency of hardened (resilient) tasks",
+)
+_EXEC_RETRIES = _metrics.counter(
+    "repro_executor_retries_total",
+    "Task resubmissions (crash, timeout, invalid result)",
+)
+_EXEC_WATCHDOG_KILLS = _metrics.counter(
+    "repro_executor_watchdog_kills_total",
+    "Watchdog pool kills fired for tasks past their deadline",
+)
+_EXEC_DEGRADED = _metrics.counter(
+    "repro_executor_degraded_total",
+    "Tasks completed by the serial in-process last rung",
+)
+_PAYLOAD_BYTES = _metrics.counter(
+    "repro_executor_payload_bytes_total",
+    "Pickled task payload bytes shipped to workers "
+    "(counted while a payload audit is active)",
+)
+_PAYLOAD_TASKS = _metrics.counter(
+    "repro_executor_payload_tasks_total",
+    "Tasks whose payloads were measured by a payload audit",
+)
 
 
 def resolve_exec_backend(spec: str = "auto") -> str:
@@ -432,6 +468,10 @@ def pool_map(kind: str, jobs: int, fn, items, chunksize: int = 1):
     ``map`` submits every item eagerly; only result consumption is
     lazy, and retired pools drain already-submitted work).
     """
+    try:
+        _EXEC_TASKS.labels(backend=kind).inc(len(items))
+    except TypeError:  # pragma: no cover - generator payloads
+        pass
     with _LOCK:
         if kind == "thread":
             return thread_pool(jobs).map(fn, items)
@@ -446,6 +486,7 @@ def pool_submit(kind: str, jobs: int, fn, item):
     bounded window so each chunk's shared-memory store is published just
     before its worker needs it).  Returns the future.
     """
+    _EXEC_TASKS.labels(backend=kind).inc()
     with _LOCK:
         if kind == "thread":
             return thread_pool(jobs).submit(fn, item)
@@ -543,15 +584,15 @@ def resilient_map(
             # The shared pool broke between our calls; start fresh.
             drop_process_pool()
             fut = pool_submit(kind, jobs, fn, items[i])
-        deadline = (
-            time.monotonic() + policy.timeout
-            if policy.timeout is not None
-            else None
-        )
-        pending[fut] = (i, deadline)
+        now = time.monotonic()
+        deadline = now + policy.timeout if policy.timeout is not None else None
+        pending[fut] = (i, deadline, now)
 
     def _fail(i: int, exc: ExecutionError) -> None:
         failures[i].append(exc)
+        _EXEC_RETRIES.inc()
+        _trace.event("task_failure", task=_label(i),
+                     kind=type(exc).__name__, attempt=attempts[i])
         if attempts[i] > policy.retries:
             degraded.append(i)
         else:
@@ -590,7 +631,7 @@ def resilient_map(
                 )
             continue
         wake = min(
-            (d for (_, d) in pending.values() if d is not None),
+            (d for (_, d, _t) in pending.values() if d is not None),
             default=None,
         )
         if queue:
@@ -601,7 +642,8 @@ def resilient_map(
             set(pending), timeout=wait_s, return_when=FIRST_COMPLETED
         )
         for fut in done:
-            i, _deadline = pending.pop(fut)
+            i, _deadline, t_submit = pending.pop(fut)
+            _EXEC_TASK_SECONDS.observe(time.monotonic() - t_submit)
             try:
                 value = fut.result()
             except BrokenProcessPool:
@@ -630,7 +672,7 @@ def resilient_map(
         now = time.monotonic()
         expired = [
             (fut, i)
-            for fut, (i, d) in pending.items()
+            for fut, (i, d, _t) in pending.items()
             if d is not None and d <= now
         ]
         if expired:
@@ -649,8 +691,13 @@ def resilient_map(
             if is_process:
                 # Kill the hung workers; siblings still in flight become
                 # collateral and are resubmitted on the rebuilt pool.
-                for _fut, (i, _d) in pending.items():
+                for _fut, (i, _d, _t) in pending.items():
                     collateral.add(i)
+                _EXEC_WATCHDOG_KILLS.inc()
+                _trace.event(
+                    "watchdog_kill", expired=len(expired),
+                    collateral=len(pending),
+                )
                 _watchdog_kill_pool()
     # Degradation ladder's last rung: whatever the pool could not
     # deliver is computed serially in-process, so the map always
@@ -659,6 +706,8 @@ def resilient_map(
     for i in degraded:
         if completed[i]:  # pragma: no cover - defensive
             continue
+        _EXEC_DEGRADED.inc()
+        _trace.event("degraded_execution", task=_label(i))
         value = fallback(i)
         if validate is not None:
             validate(i, value)
@@ -994,11 +1043,17 @@ def payload_audit():
 
 def _account(items: list) -> None:
     if _AUDIT is not None:
-        _AUDIT["tasks"] += len(items)
-        _AUDIT["bytes"] += sum(
+        nbytes = sum(
             len(pickle.dumps(it, protocol=pickle.HIGHEST_PROTOCOL))
             for it in items
         )
+        _AUDIT["tasks"] += len(items)
+        _AUDIT["bytes"] += nbytes
+        # Fold into the metrics registry too, so an audited run's
+        # payload traffic shows up in `/metrics` and trace dumps
+        # without a second pickling pass.
+        _PAYLOAD_TASKS.inc(len(items))
+        _PAYLOAD_BYTES.inc(nbytes)
 
 
 def account_payload(items: list) -> None:

@@ -1,0 +1,13 @@
+"""Fixtures for the observability suite."""
+
+import pytest
+
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """A test that enables the module tracer must never leak it into
+    the next test (the disabled path is the global default)."""
+    yield
+    trace_mod.disable()

@@ -1,0 +1,94 @@
+"""Opt-in observability overhead gates (``pytest -m bench``).
+
+Deselected by default (see ``pytest.ini``): wall-clock gates belong in
+a quiet environment, not in tier-1.  Two contracts are enforced:
+
+* **Disabled tracing is free (and correct).**  The default path must
+  stay within the same ≤2% budget of itself run twice — a sanity
+  anchor for the timer noise floor — and results are bit-identical
+  (the correctness half also runs in tier-1; here it guards the
+  timing claim's premise).
+* **Enabled tracing costs ≤2%.**  A traced partition run — spans from
+  every FM pass up through the partition root, JSONL sink flushes and
+  all — stays within ``plain * 1.02`` plus a small absolute slack for
+  CI timer noise, min over repeats so pool and cache warm-up cancel
+  out (the ``benchmarks/bench_e2e.py`` watchdog-gate idiom).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.recursive import partition
+from repro.obs.trace import disable, enable
+from repro.sparse.generators import grid2d_laplacian
+
+pytestmark = pytest.mark.bench
+
+#: Big enough that one run is real work (tens of FM passes over a few
+#: multilevel levels), small enough for a bench-lane test.
+ROWS = COLS = 38
+NPARTS = 8
+REPEATS = 3
+
+#: The tentpole's overhead contract: 2% relative plus an absolute
+#: floor so sub-second runs aren't gated on scheduler jitter.
+REL_BUDGET = 1.02
+ABS_SLACK_S = 0.25
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_tracing_overhead_within_two_percent(tmp_path):
+    matrix = grid2d_laplacian(ROWS, COLS)
+
+    def plain_run():
+        return partition(matrix, NPARTS, refine=True, seed=42, jobs=1)
+
+    def traced_run():
+        enable(str(tmp_path / "bench.jsonl"))
+        try:
+            return partition(matrix, NPARTS, refine=True, seed=42, jobs=1)
+        finally:
+            disable()
+
+    # Warm every cache (kernels, hypergraph models) outside the clock,
+    # and pin correctness while we are at it.
+    reference = plain_run()
+    traced = traced_run()
+    assert np.array_equal(traced.parts, reference.parts)
+
+    plain = _best_of(plain_run)
+    traced_t = _best_of(traced_run)
+    budget = plain * REL_BUDGET + ABS_SLACK_S
+    assert traced_t <= budget, (
+        f"tracing overhead over budget: plain {plain:.3f}s vs traced "
+        f"{traced_t:.3f}s (budget {budget:.3f}s)"
+    )
+
+
+def test_disabled_path_noise_floor(tmp_path):
+    # The same gate applied to two untraced runs: if this fails, the
+    # host is too noisy for the overhead gate to mean anything, and
+    # the failure points at the environment rather than the tracer.
+    matrix = grid2d_laplacian(ROWS, COLS)
+
+    def plain_run():
+        return partition(matrix, NPARTS, refine=True, seed=42, jobs=1)
+
+    plain_run()
+    first = _best_of(plain_run)
+    second = _best_of(plain_run)
+    budget = first * REL_BUDGET + ABS_SLACK_S
+    assert second <= budget, (
+        f"timer noise floor exceeds the gate budget itself: "
+        f"{first:.3f}s vs {second:.3f}s"
+    )
